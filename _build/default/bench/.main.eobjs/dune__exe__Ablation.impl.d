@@ -1,0 +1,1 @@
+bench/ablation.ml: Common Dom Engine Fun List Machine Mk Mk_baseline Mk_hw Mk_sim Os Platform Printf Stats Threads Types Urpc Vspace

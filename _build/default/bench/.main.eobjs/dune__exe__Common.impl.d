@@ -1,0 +1,1 @@
+bench/common.ml: List Mk_hw Platform Printf

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Coherence Common Engine List Machine Mk Mk_hw Mk_sim Platform Printf Stats Sync Urpc

@@ -1,0 +1,1 @@
+bench/fig6.ml: Common Engine Fun List Machine Mk Mk_hw Mk_sim Platform Printf Routing Shootdown Stats

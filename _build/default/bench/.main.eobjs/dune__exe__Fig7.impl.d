@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Common Dom Engine Fun Ipi_shootdown List Machine Mk Mk_baseline Mk_hw Mk_sim Os Platform Printf Stats Tlb Types Vspace

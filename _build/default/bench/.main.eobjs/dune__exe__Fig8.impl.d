@@ -1,0 +1,1 @@
+bench/fig8.ml: Common Engine Fun List Mk Mk_hw Mk_sim Monitor Os Platform Printf Stats Sync

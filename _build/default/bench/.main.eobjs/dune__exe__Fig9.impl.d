@@ -1,0 +1,1 @@
+bench/fig9.ml: Common Fun List Machine Mk Mk_apps Mk_baseline Mk_hw Mk_sim Nas Platform Printf Runtime Splash

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig3 Fig6 Fig7 Fig8 Fig9 List Micro Net_bench Polling Printf Scaling Sys Table1 Table2 Table3 Table4

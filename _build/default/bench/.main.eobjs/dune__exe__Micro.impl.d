@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Coherence Common Engine Hashtbl Instance Machine Measure Mk Mk_hw Mk_sim Monitor Os Platform Printf Skb Staged Test Time Toolkit Urpc

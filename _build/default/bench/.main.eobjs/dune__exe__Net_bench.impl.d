@@ -1,0 +1,1 @@
+bench/net_bench.ml: Common Echo Engine Flounder Http List Machine Mk Mk_apps Mk_hw Mk_net Mk_sim Netif Nic Platform Printf Prng Sqldb Stack String

@@ -1,0 +1,1 @@
+bench/polling.ml: Common Engine List Machine Mk Mk_hw Mk_sim Platform Printf Urpc

@@ -1,0 +1,1 @@
+bench/scaling.ml: Array Common Dom Engine Fun List Machine Mk Mk_baseline Mk_hw Mk_sim Monitor Os Platform Printf Stats Tlb Types Vspace

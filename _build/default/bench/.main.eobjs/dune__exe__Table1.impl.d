@@ -1,0 +1,1 @@
+bench/table1.ml: Common Cpu_driver Engine List Lrpc Machine Mk Mk_hw Mk_sim Platform Printf Stats

@@ -1,0 +1,1 @@
+bench/table2.ml: Common Engine List Machine Mk Mk_hw Mk_sim Platform Printf Stats Topology Urpc

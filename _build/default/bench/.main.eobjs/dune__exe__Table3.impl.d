@@ -1,0 +1,1 @@
+bench/table3.ml: Common Engine L4_ipc Machine Mk Mk_baseline Mk_hw Mk_sim Perfcounter Platform Printf Stats Urpc

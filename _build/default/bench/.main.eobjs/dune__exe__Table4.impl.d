@@ -1,0 +1,1 @@
+bench/table4.ml: Array Common Engine Kernel_loopback Machine Mk_hw Mk_net Mk_sim Pbuf Perfcounter Platform Printf Stack

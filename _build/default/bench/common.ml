@@ -1,0 +1,35 @@
+(* Shared helpers for the paper-reproduction benches. *)
+
+open Mk_hw
+
+let hr title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let sub title = Printf.printf "-- %s --\n%!" title
+
+let ns_of plat cycles = Platform.cycles_to_ns plat (float_of_int cycles)
+
+(* Fixed-width row printing for paper-style tables. *)
+let row fmt = Printf.printf fmt
+
+let core_counts ~max_cores =
+  (* The paper's x axes step by 2 from 2 up to the machine size. *)
+  let rec go n acc = if n > max_cores then List.rev acc else go (n + 2) (n :: acc) in
+  go 2 []
+
+let mean_int l =
+  match l with
+  | [] -> 0.0
+  | _ -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let stddev_int l =
+  let m = mean_int l in
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let n = float_of_int (List.length l) in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((float_of_int x -. m) ** 2.0)) 0.0 l
+      /. (n -. 1.0)
+    in
+    sqrt var

@@ -1,0 +1,137 @@
+(* Figure 3: cost of updating shared state — shared memory vs message
+   passing, on the 4x4-core AMD system.
+
+   SHMk: k cores' threads directly update the same k cache lines; the
+   cache-coherence protocol migrates the lines and the cost grows with
+   both the number of writers and the lines touched.
+
+   MSGk: clients send a one-line RPC to a server core that performs the
+   k-line update locally and replies. The Server series is the service
+   time measured at the server, excluding queueing. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+let ops_per_core = 120
+
+let shm_case m ~ncores ~klines =
+  let coh = m.Machine.coh in
+  let cl = m.Machine.plat.Platform.cacheline in
+  (* The shared lines live on core 0's node, like a malloc'd buffer. *)
+  let base = Machine.alloc_lines m ~node:0 klines in
+  let lat = Stats.create () in
+  let done_box = Sync.Mailbox.create () in
+  for core = 0 to ncores - 1 do
+    Engine.spawn m.Machine.eng ~name:(Printf.sprintf "shm%d" core) (fun () ->
+        (* Warmup to reach steady-state line bouncing. *)
+        for _ = 1 to 10 do
+          for j = 0 to klines - 1 do
+            Coherence.store coh ~core (base + (j * cl))
+          done
+        done;
+        for _ = 1 to ops_per_core do
+          let t0 = Engine.now_ () in
+          for j = 0 to klines - 1 do
+            Coherence.store coh ~core (base + (j * cl))
+          done;
+          Stats.add_int lat (Engine.now_ () - t0)
+        done;
+        Sync.Mailbox.send done_box ())
+  done;
+  Engine.spawn m.Machine.eng ~name:"shm.join" (fun () ->
+      for _ = 1 to ncores do
+        Sync.Mailbox.recv done_box
+      done);
+  Machine.run m;
+  Stats.mean lat
+
+(* A small single-server RPC harness: per-client channel pairs, a unified
+   arrival semaphore, round-robin service. *)
+let msg_case m ~ncores ~klines =
+  let nclients = ncores - 1 in
+  let server = 0 in
+  let coh = m.Machine.coh in
+  let cl = m.Machine.plat.Platform.cacheline in
+  let data = Machine.alloc_lines m ~node:0 klines in
+  let lat = Stats.create () and server_time = Stats.create () in
+  let arrivals = Sync.Semaphore.create 0 in
+  let reqs =
+    Array.init nclients (fun i ->
+        let ch =
+          Urpc.create m ~sender:(i + 1) ~receiver:server
+            ~name:(Printf.sprintf "req%d" (i + 1))
+            ()
+        in
+        Urpc.set_notify ch (fun () -> Sync.Semaphore.release arrivals);
+        ch)
+  in
+  let replies =
+    Array.init nclients (fun i ->
+        Urpc.create m ~sender:server ~receiver:(i + 1)
+          ~name:(Printf.sprintf "rep%d" (i + 1))
+          ())
+  in
+  let total_ops = nclients * ops_per_core in
+  (* Server: handle every request, round-robin over client channels. *)
+  Engine.spawn m.Machine.eng ~name:"msg.server" (fun () ->
+      let idx = ref 0 in
+      for _ = 1 to total_ops do
+        Sync.Semaphore.acquire arrivals;
+        let rec find tries =
+          if tries > nclients then None
+          else begin
+            let i = !idx mod nclients in
+            incr idx;
+            if Urpc.pending reqs.(i) > 0 then Some i else find (tries + 1)
+          end
+        in
+        match find 1 with
+        | None -> ()
+        | Some i ->
+          let t0 = Engine.now_ () in
+          let (_ : int) = Urpc.recv reqs.(i) in
+          for j = 0 to klines - 1 do
+            Coherence.store coh ~core:server (data + (j * cl))
+          done;
+          Urpc.send replies.(i) 0;
+          Stats.add_int server_time (Engine.now_ () - t0)
+      done);
+  let done_box = Sync.Mailbox.create () in
+  for i = 0 to nclients - 1 do
+    Engine.spawn m.Machine.eng ~name:(Printf.sprintf "msg.client%d" i) (fun () ->
+        for _ = 1 to 5 do
+          Urpc.send reqs.(i) 0;
+          ignore (Urpc.recv replies.(i) : int)
+        done;
+        for _ = 1 to ops_per_core - 5 do
+          let t0 = Engine.now_ () in
+          Urpc.send reqs.(i) 0;
+          ignore (Urpc.recv replies.(i) : int);
+          Stats.add_int lat (Engine.now_ () - t0)
+        done;
+        Sync.Mailbox.send done_box ())
+  done;
+  Engine.spawn m.Machine.eng ~name:"msg.join" (fun () ->
+      for _ = 1 to nclients do
+        Sync.Mailbox.recv done_box
+      done);
+  Machine.run m;
+  (Stats.mean lat, Stats.mean server_time)
+
+let run () =
+  Common.hr "Figure 3: shared memory vs message passing (4x4-core AMD)";
+  let plat = Platform.amd_4x4 in
+  let cores = Common.core_counts ~max_cores:(Platform.n_cores plat) in
+  Printf.printf
+    "%5s  %9s %9s %9s %9s  %9s %9s %9s\n" "cores" "SHM1" "SHM2" "SHM4" "SHM8" "MSG1"
+    "MSG8" "Server";
+  List.iter
+    (fun n ->
+      let shm k = shm_case (Machine.create plat) ~ncores:n ~klines:k in
+      let s1 = shm 1 and s2 = shm 2 and s4 = shm 4 and s8 = shm 8 in
+      let m1, _ = msg_case (Machine.create plat) ~ncores:n ~klines:1 in
+      let m8, srv = msg_case (Machine.create plat) ~ncores:n ~klines:8 in
+      Printf.printf "%5d  %9.0f %9.0f %9.0f %9.0f  %9.0f %9.0f %9.0f\n%!" n s1 s2 s4 s8
+        m1 m8 srv)
+    cores

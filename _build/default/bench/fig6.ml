@@ -1,0 +1,36 @@
+(* Figure 6: raw messaging cost of the four TLB-shootdown protocols on the
+   8x4-core AMD system (no TLB invalidation, message round only). *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+let rounds = 30
+
+let one_point plat proto ~ncores =
+  let m = Machine.create plat in
+  let cores = List.init ncores Fun.id in
+  let h = Shootdown.setup m ~proto ~root:0 ~cores () in
+  let lat = Stats.create () in
+  Engine.spawn m.Machine.eng ~name:"fig6.master" (fun () ->
+      for _ = 1 to 5 do
+        ignore (Shootdown.round h : int)
+      done;
+      for _ = 1 to rounds do
+        Stats.add_int lat (Shootdown.round h)
+      done);
+  Machine.run m;
+  Stats.mean lat
+
+let run () =
+  Common.hr "Figure 6: TLB shootdown protocols (8x4-core AMD)";
+  let plat = Platform.amd_8x4 in
+  let counts = Common.core_counts ~max_cores:(Platform.n_cores plat) in
+  Printf.printf "%5s %12s %12s %12s %12s\n" "cores" "Broadcast" "Unicast" "Multicast"
+    "NUMA-Mcast";
+  List.iter
+    (fun n ->
+      let v proto = one_point plat proto ~ncores:n in
+      Printf.printf "%5d %12.0f %12.0f %12.0f %12.0f\n%!" n (v Routing.Broadcast)
+        (v Routing.Unicast) (v Routing.Multicast) (v Routing.Numa_multicast))
+    counts

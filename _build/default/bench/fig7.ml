@@ -1,0 +1,64 @@
+(* Figure 7: end-to-end unmap (mprotect) latency on the 8x4-core AMD:
+   Barrelfish's full message path (LRPC to the monitor + NUMA-aware
+   multicast + aggregated acks) vs Linux and Windows serial-IPI
+   shootdown. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+open Mk_baseline
+
+let iters = 25
+let vaddr = 0x200000
+
+let barrelfish_point plat ~ncores =
+  let os = Os.boot ~measure_latencies:true plat in
+  let cores = List.init ncores Fun.id in
+  Os.run os (fun () ->
+      let dom = Os.spawn_domain os ~name:"unmapper" ~cores in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr ~bytes:Types.page_size with
+       | Ok _ -> ()
+       | Error e -> Types.fail e);
+      let lat = Stats.create () in
+      for _ = 1 to iters do
+        (* Everyone touches the page so all TLBs hold the mapping. *)
+        List.iter
+          (fun c -> ignore (Vspace.touch (Dom.vspace dom) ~core:c ~vaddr))
+          cores;
+        let t0 = Engine.now_ () in
+        (match Os.protect os dom ~core:0 ~vaddr ~bytes:Types.page_size ~writable:false with
+         | Ok () -> ()
+         | Error e -> Types.fail e);
+        Stats.add_int lat (Engine.now_ () - t0);
+        (match Os.protect os dom ~core:0 ~vaddr ~bytes:Types.page_size ~writable:true with
+         | Ok () -> ()
+         | Error e -> Types.fail e)
+      done;
+      Stats.mean lat)
+
+let ipi_point plat style ~ncores =
+  let m = Machine.create plat in
+  let cores = List.init ncores Fun.id in
+  let ctx = Ipi_shootdown.setup m style ~cores in
+  let vpage = Types.vpage_of_vaddr vaddr in
+  let lat = Stats.create () in
+  Engine.spawn m.Machine.eng ~name:"fig7.ipi" (fun () ->
+      for _ = 1 to iters do
+        List.iter (fun c -> Tlb.fill m.Machine.tlbs.(c) ~vpage) cores;
+        Stats.add_int lat (Ipi_shootdown.unmap ctx ~initiator:0 ~vpages:[ vpage ])
+      done);
+  Machine.run m;
+  Stats.mean lat
+
+let run () =
+  Common.hr "Figure 7: unmap latency (8x4-core AMD)";
+  let plat = Platform.amd_8x4 in
+  let counts = Common.core_counts ~max_cores:(Platform.n_cores plat) in
+  Printf.printf "%5s %12s %12s %12s\n" "cores" "Windows" "Linux" "Barrelfish";
+  List.iter
+    (fun n ->
+      let w = ipi_point plat Ipi_shootdown.Windows ~ncores:n in
+      let l = ipi_point plat Ipi_shootdown.Linux ~ncores:n in
+      let b = barrelfish_point plat ~ncores:n in
+      Printf.printf "%5d %12.0f %12.0f %12.0f\n%!" n w l b)
+    counts

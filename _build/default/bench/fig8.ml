@@ -1,0 +1,47 @@
+(* Figure 8: two-phase commit on the 8x4-core AMD — single-operation
+   latency of a distributed capability retype vs amortized cost when
+   pipelining many operations. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+let iters = 20
+let pipeline_depth = 16
+
+let points plat ~ncores =
+  let os = Os.boot plat in
+  let members = List.init ncores Fun.id in
+  Os.run os (fun () ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members in
+      (* Single-operation latency. *)
+      let single = Stats.create () in
+      for _ = 1 to iters do
+        let t0 = Engine.now_ () in
+        let (_ : bool) = Monitor.agree mon ~plan ~op:Monitor.Ag_noop in
+        Stats.add_int single (Engine.now_ () - t0)
+      done;
+      (* Pipelined: issue a window of agreements, amortize. *)
+      let t0 = Engine.now_ () in
+      let rounds = 6 in
+      for _ = 1 to rounds do
+        let ivs =
+          List.init pipeline_depth (fun _ ->
+              Monitor.agree_async mon ~plan ~op:Monitor.Ag_noop)
+        in
+        List.iter (fun iv -> ignore (Sync.Ivar.read iv : bool)) ivs
+      done;
+      let per_op = (Engine.now_ () - t0) / (rounds * pipeline_depth) in
+      (Stats.mean single, float_of_int per_op))
+
+let run () =
+  Common.hr "Figure 8: two-phase commit (8x4-core AMD)";
+  let plat = Platform.amd_8x4 in
+  let counts = Common.core_counts ~max_cores:(Platform.n_cores plat) in
+  Printf.printf "%5s %16s %18s\n" "cores" "single-op" "cost-pipelined";
+  List.iter
+    (fun n ->
+      let single, piped = points plat ~ncores:n in
+      Printf.printf "%5d %16.0f %18.0f\n%!" n single piped)
+    counts

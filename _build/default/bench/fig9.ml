@@ -1,0 +1,47 @@
+(* Figure 9: compute-bound workloads on the 4x4-core AMD — NAS OpenMP
+   CG/FT/IS and SPLASH-2 Barnes-Hut/radiosity, Barrelfish user-level
+   threads vs Linux in-kernel threads. Cycle counts in units of 10^8. *)
+
+open Mk_hw
+open Mk_apps
+
+let apps =
+  [
+    ("CG (conjugate gradient)", Nas.cg);
+    ("FT (3D FFT)", Nas.ft);
+    ("IS (integer sort)", Nas.is_sort);
+    ("Barnes-Hut", Splash.barnes_hut);
+    ("radiosity", Splash.radiosity);
+  ]
+
+let barrelfish_cycles app ~ncores =
+  let os = Mk.Os.boot ~measure_latencies:false Platform.amd_4x4 in
+  let rt = Runtime.barrelfish os in
+  Mk.Os.run os (fun () -> app rt ~cores:(List.init ncores Fun.id))
+
+let linux_cycles app ~ncores =
+  let m = Machine.create Platform.amd_4x4 in
+  let mono = Mk_baseline.Monolithic.create m in
+  let rt = Runtime.linux mono in
+  let result = ref 0 in
+  Mk_sim.Engine.spawn m.Machine.eng ~name:"fig9.linux" (fun () ->
+      result := app rt ~cores:(List.init ncores Fun.id));
+  Machine.run m;
+  !result
+
+let run () =
+  Common.hr "Figure 9: compute-bound workloads (4x4-core AMD; cycles x 10^8)";
+  let counts = Common.core_counts ~max_cores:16 in
+  List.iter
+    (fun (name, app) ->
+      Common.sub name;
+      Printf.printf "%5s %14s %14s\n" "cores" "Barrelfish" "Linux";
+      List.iter
+        (fun n ->
+          let b = barrelfish_cycles app ~ncores:n in
+          let l = linux_cycles app ~ncores:n in
+          Printf.printf "%5d %14.2f %14.2f\n%!" n
+            (float_of_int b /. 1e8)
+            (float_of_int l /. 1e8))
+        counts)
+    apps

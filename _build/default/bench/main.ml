@@ -1,0 +1,36 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5). Run all with `dune exec bench/main.exe`, or a
+   subset: `dune exec bench/main.exe -- fig6 table2`. *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("fig3", "shared memory vs message passing", Fig3.run);
+    ("table1", "LRPC latency", Table1.run);
+    ("table2", "URPC latency and throughput", Table2.run);
+    ("table3", "URPC vs L4 IPC", Table3.run);
+    ("fig6", "TLB shootdown protocols", Fig6.run);
+    ("fig7", "end-to-end unmap latency", Fig7.run);
+    ("fig8", "two-phase commit", Fig8.run);
+    ("table4", "IP loopback", Table4.run);
+    ("fig9", "compute-bound workloads", Fig9.run);
+    ("polling", "cost-of-polling model (5.2)", Polling.run);
+    ("net", "IO workloads (5.4): echo, web, web+sql", Net_bench.run);
+    ("ablation", "ablations: page tables, barriers, prefetch", Ablation.run);
+    ("scaling", "scaling extension: mesh machines to 128 cores", Scaling.run);
+    ("micro", "bechamel simulator micro-benches", Micro.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] -> List.iter (fun (_, _, f) -> f ()) all
+  | [ "list" ] -> List.iter (fun (name, doc, _) -> Printf.printf "%-8s %s\n" name doc) all
+  | names ->
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) all with
+        | Some (_, _, f) -> f ()
+        | None ->
+          Printf.eprintf "unknown bench %S (try `list`)\n" name;
+          exit 1)
+      names

@@ -1,0 +1,74 @@
+(* Bechamel micro-benchmarks of the simulator's own hot paths (host-side
+   performance): one Test.make per subsystem that backs a paper table. *)
+
+open Bechamel
+open Toolkit
+open Mk_sim
+open Mk_hw
+open Mk
+
+let test_engine =
+  Test.make ~name:"engine.spawn+run (table1)"
+    (Staged.stage (fun () ->
+         let eng = Engine.create () in
+         Engine.spawn eng (fun () -> Engine.wait 10);
+         Engine.run eng ()))
+
+let test_coherence =
+  let m = Machine.create Platform.amd_4x4 in
+  let addr = Machine.alloc_lines m 1 in
+  Test.make ~name:"coherence.store pair (fig3)"
+    (Staged.stage (fun () ->
+         Engine.spawn m.Machine.eng (fun () ->
+             Coherence.store m.Machine.coh ~core:0 addr;
+             Coherence.store m.Machine.coh ~core:5 addr);
+         Machine.run m))
+
+let test_urpc =
+  Test.make ~name:"urpc.send+recv (table2)"
+    (Staged.stage (fun () ->
+         let m = Machine.create Platform.amd_2x2 in
+         let ch = Urpc.create m ~sender:0 ~receiver:2 () in
+         Engine.spawn m.Machine.eng (fun () -> Urpc.send ch 1);
+         Engine.spawn m.Machine.eng (fun () -> ignore (Urpc.recv ch : int));
+         Machine.run m))
+
+let test_skb =
+  let skb = Skb.create () in
+  let () = Skb.populate_platform skb Platform.amd_8x4 in
+  Test.make ~name:"skb.query (fig6 tree build)"
+    (Staged.stage (fun () ->
+         ignore
+           (Skb.query skb (Skb.fact "core_package" [ Skb.Var "c"; Skb.Int 3 ])
+             : Skb.subst list)))
+
+let test_2pc =
+  Test.make ~name:"monitor.2pc round (fig8)"
+    (Staged.stage (fun () ->
+         let os = Os.boot ~measure_latencies:false Platform.amd_2x2 in
+         Os.run os (fun () ->
+             let mon = Os.monitor os ~core:0 in
+             let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+             ignore (Monitor.agree mon ~plan ~op:Monitor.Ag_noop : bool))))
+
+let tests =
+  Test.make_grouped ~name:"sim" ~fmt:"%s %s"
+    [ test_engine; test_coherence; test_urpc; test_skb; test_2pc ]
+
+let run () =
+  Common.hr "Bechamel micro-benchmarks (simulator host performance)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-40s %12.0f ns/run\n%!" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+    results

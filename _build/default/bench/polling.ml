@@ -1,0 +1,42 @@
+(* §5.2 "The cost of polling": the analytic model — poll for P cycles
+   before blocking at cost C; overhead <= 2C and latency <= C when P = C —
+   checked against simulated arrivals with the real URPC poll-then-block
+   receive path. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+(* C on the paper's hardware is ~6000 cycles (context switch + kernel
+   wakeup path, excluding TLB pollution). *)
+let c_cost = 6000
+
+let model_overhead ~p ~c ~t = if t <= p then t else p + c
+
+let simulate_arrival plat ~arrival_delay =
+  let m = Machine.create plat in
+  let ch = Urpc.create m ~sender:1 ~receiver:0 ~name:"poll.ch" () in
+  let overhead = ref 0 in
+  Engine.spawn m.Machine.eng ~name:"poll.recv" (fun () ->
+      let t0 = Engine.now_ () in
+      ignore (Urpc.recv_blocking ch ~poll_cycles:c_cost ~wakeup_cost:c_cost : int);
+      (* Overhead = time from start of receive to message processed, minus
+         the unavoidable arrival wait. *)
+      overhead := Engine.now_ () - t0 - arrival_delay);
+  Engine.spawn m.Machine.eng ~name:"poll.send" (fun () ->
+      Engine.wait arrival_delay;
+      Urpc.send ch 42);
+  Machine.run m;
+  !overhead
+
+let run () =
+  Common.hr "Section 5.2: the cost of polling (P = C = 6000 cycles)";
+  Printf.printf "%12s %16s %18s\n" "arrival t" "model overhead" "simulated overhead";
+  List.iter
+    (fun t ->
+      let model = model_overhead ~p:c_cost ~c:c_cost ~t in
+      let sim = simulate_arrival Platform.amd_4x4 ~arrival_delay:t in
+      Printf.printf "%12d %16d %18d\n%!" t model sim)
+    [ 0; 1000; 3000; 5999; 6001; 9000; 20000 ];
+  Printf.printf "Model bounds: overhead <= 2C = %d; latency <= C = %d\n%!" (2 * c_cost)
+    c_cost

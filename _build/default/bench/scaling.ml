@@ -1,0 +1,68 @@
+(* Scaling beyond commodity hardware (§3.4's second goal; §7's outlook):
+   the same OS on synthetic mesh machines up to 128 cores. Nothing in the
+   OS changes — the SKB measures the new interconnect and the routing layer
+   derives deeper trees. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+let machines =
+  [ (16, 4); (32, 8); (64, 16); (96, 24); (128, 32) ]
+  |> List.map (fun (cores, pkgs) ->
+         (cores, Platform.synthetic_mesh ~packages:pkgs ~cores_per_package:4))
+
+let unmap_all plat ~ncores =
+  let os = Os.boot ~measure_latencies:false plat in
+  Os.run os (fun () ->
+      let cores = List.init ncores Fun.id in
+      let dom = Os.spawn_domain os ~name:"scale" ~cores in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr:0x500000 ~bytes:4096 with
+       | Ok _ -> ()
+       | Error e -> Types.fail e);
+      let s = Stats.create () in
+      for _ = 1 to 8 do
+        List.iter
+          (fun c -> ignore (Vspace.touch (Dom.vspace dom) ~core:c ~vaddr:0x500000))
+          cores;
+        let t0 = Engine.now_ () in
+        (match Os.protect os dom ~core:0 ~vaddr:0x500000 ~bytes:4096 ~writable:false with
+         | Ok () -> ()
+         | Error e -> Types.fail e);
+        Stats.add_int s (Engine.now_ () - t0);
+        ignore (Os.protect os dom ~core:0 ~vaddr:0x500000 ~bytes:4096 ~writable:true)
+      done;
+      Stats.mean s)
+
+let twopc plat ~ncores =
+  let os = Os.boot ~measure_latencies:false plat in
+  Os.run os (fun () ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:(List.init ncores Fun.id) in
+      let s = Stats.create () in
+      for _ = 1 to 8 do
+        let t0 = Engine.now_ () in
+        let (_ : bool) = Monitor.agree mon ~plan ~op:Monitor.Ag_noop in
+        Stats.add_int s (Engine.now_ () - t0)
+      done;
+      Stats.mean s)
+
+let ipi plat ~ncores =
+  let m = Machine.create plat in
+  let cores = List.init ncores Fun.id in
+  let ctx = Mk_baseline.Ipi_shootdown.setup m Mk_baseline.Ipi_shootdown.Linux ~cores in
+  let r = ref 0 in
+  Engine.spawn m.Machine.eng (fun () ->
+      List.iter (fun c -> Tlb.fill m.Machine.tlbs.(c) ~vpage:1) cores;
+      r := Mk_baseline.Ipi_shootdown.unmap ctx ~initiator:0 ~vpages:[ 1 ]);
+  Machine.run m;
+  float_of_int !r
+
+let run () =
+  Common.hr "Scaling extension: synthetic mesh machines up to 128 cores";
+  Printf.printf "%6s %14s %14s %18s\n" "cores" "mk unmap" "mk 2PC" "Linux-IPI unmap";
+  List.iter
+    (fun (ncores, plat) ->
+      Printf.printf "%6d %14.0f %14.0f %18.0f\n%!" ncores
+        (unmap_all plat ~ncores) (twopc plat ~ncores) (ipi plat ~ncores))
+    machines

@@ -1,0 +1,34 @@
+(* Table 1: LRPC one-way latency (user program to user program) on all
+   four test platforms. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+let iters = 50
+
+let measure plat =
+  let m = Machine.create plat in
+  let driver = Cpu_driver.boot m ~core:0 in
+  let ep = Lrpc.export driver ~name:"null-service" (fun () -> ()) in
+  let lat = Stats.create () in
+  Engine.spawn m.Machine.eng ~name:"lrpc.bench" (fun () ->
+      for _ = 1 to iters do
+        let t0 = Engine.now_ () in
+        Lrpc.call ep ();
+        (* A call is two one-way crossings. *)
+        Stats.add lat (float_of_int (Engine.now_ () - t0) /. 2.0)
+      done);
+  Machine.run m;
+  lat
+
+let run () =
+  Common.hr "Table 1: LRPC one-way latency";
+  Printf.printf "%-18s %10s %6s %8s\n" "System" "cycles" "(sd)" "ns";
+  List.iter
+    (fun plat ->
+      let lat = measure plat in
+      Printf.printf "%-18s %10.0f %6.0f %8.0f\n%!" plat.Platform.name (Stats.mean lat)
+        (Stats.stddev lat)
+        (Common.ns_of plat (int_of_float (Stats.mean lat))))
+    Platform.all

@@ -1,0 +1,105 @@
+(* Table 2: URPC single-message latency and sustained pipelined throughput
+   (queue depth 16) between core pairs of each cache relationship. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+let lat_iters = 60
+let tput_msgs = 600
+
+(* Pick a (sender, receiver) pair exhibiting the given relationship. *)
+let pair_with plat ~relationship =
+  let n = Platform.n_cores plat in
+  let pairs = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then pairs := (a, b) :: !pairs
+    done
+  done;
+  let ok (a, b) =
+    match relationship with
+    | `Shared -> Platform.shares_cache plat a b
+    | `Hops h ->
+      (not (Platform.shares_cache plat a b)) && Platform.hops_between plat a b = h
+  in
+  List.find_opt ok (List.rev !pairs)
+
+let relationships plat =
+  let d = Topology.diameter plat.Platform.topo in
+  let base = [ ("shared", `Shared) ] in
+  let hops =
+    List.filter_map
+      (fun h ->
+        if h <= d then Some ((if h = 1 then "one-hop" else Printf.sprintf "%d-hop" h), `Hops h)
+        else None)
+      [ 1; 2; 3 ]
+  in
+  (* Keep the paper's naming for the 2-socket machines. *)
+  match plat.Platform.name with
+  | "2x4-core Intel" -> [ ("shared", `Shared); ("non-shared", `Hops 1) ]
+  | "2x2-core AMD" -> [ ("same die", `Shared); ("one-hop", `Hops 1) ]
+  | _ -> base @ hops
+
+let ping_pong m ~src ~dst =
+  let fwd = Urpc.create m ~sender:src ~receiver:dst ~name:"t2.fwd" () in
+  let bwd = Urpc.create m ~sender:dst ~receiver:src ~name:"t2.bwd" () in
+  Engine.spawn m.Machine.eng ~name:"t2.echo" (fun () ->
+      let rec loop () =
+        let v = Urpc.recv fwd in
+        Urpc.send bwd v;
+        loop ()
+      in
+      loop ());
+  let lat = Stats.create () in
+  Engine.spawn m.Machine.eng ~name:"t2.pinger" (fun () ->
+      for _ = 1 to 5 do
+        Urpc.send fwd 0;
+        ignore (Urpc.recv bwd : int)
+      done;
+      for _ = 1 to lat_iters do
+        let t0 = Engine.now_ () in
+        Urpc.send fwd 0;
+        ignore (Urpc.recv bwd : int);
+        Stats.add lat (float_of_int (Engine.now_ () - t0) /. 2.0)
+      done);
+  Machine.run m;
+  lat
+
+let throughput m ~src ~dst =
+  (* One-way pipelined stream, 16-deep, with the prefetch variant. *)
+  let ch = Urpc.create m ~sender:src ~receiver:dst ~slots:16 ~name:"t2.pipe" () in
+  let elapsed = ref 0 in
+  Engine.spawn m.Machine.eng ~name:"t2.sink" (fun () ->
+      let t0 = ref 0 in
+      for i = 1 to tput_msgs do
+        ignore (Urpc.recv ch : int);
+        if i = 50 then t0 := Engine.now_ ();
+        if i = tput_msgs then elapsed := Engine.now_ () - !t0
+      done);
+  Engine.spawn m.Machine.eng ~name:"t2.source" (fun () ->
+      for i = 1 to tput_msgs do
+        Urpc.send ch i
+      done);
+  Machine.run m;
+  float_of_int (tput_msgs - 50) /. (float_of_int !elapsed /. 1000.0)
+
+let run () =
+  Common.hr "Table 2: URPC performance";
+  Printf.printf "%-18s %-11s %9s %6s %8s %12s\n" "System" "Cache" "Latency" "(sd)" "ns"
+    "msgs/kcycle";
+  List.iter
+    (fun plat ->
+      List.iter
+        (fun (label, rel) ->
+          match pair_with plat ~relationship:rel with
+          | None -> ()
+          | Some (src, dst) ->
+            let lat = ping_pong (Machine.create plat) ~src ~dst in
+            let tput = throughput (Machine.create plat) ~src ~dst in
+            Printf.printf "%-18s %-11s %9.0f %6.0f %8.0f %12.2f\n%!" plat.Platform.name
+              label (Stats.mean lat) (Stats.stddev lat)
+              (Common.ns_of plat (int_of_float (Stats.mean lat)))
+              tput)
+        (relationships plat))
+    Platform.all

@@ -1,0 +1,78 @@
+(* Table 3: messaging costs on the 2x2-core AMD — URPC between cores vs
+   L4's same-core IPC: latency, throughput, and cache footprint. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+open Mk_baseline
+
+let iters = 60
+
+let urpc_numbers () =
+  let plat = Platform.amd_2x2 in
+  let m = Machine.create plat in
+  let src = 0 and dst = 1 (* same die, matching Table 2s 450-cycle row *) in
+  let fwd = Urpc.create m ~sender:src ~receiver:dst ~name:"t3.fwd" () in
+  let bwd = Urpc.create m ~sender:dst ~receiver:src ~name:"t3.bwd" () in
+  Engine.spawn m.Machine.eng ~name:"t3.echo" (fun () ->
+      let rec loop () =
+        Urpc.send bwd (Urpc.recv fwd);
+        loop ()
+      in
+      loop ());
+  let lat = Stats.create () in
+  let dlines = ref 0 in
+  Engine.spawn m.Machine.eng ~name:"t3.pinger" (fun () ->
+      for _ = 1 to 5 do
+        Urpc.send fwd 0;
+        ignore (Urpc.recv bwd : int)
+      done;
+      (* Footprint of one send+receive round, measured by the counters. *)
+      Perfcounter.set_footprint_tracking m.Machine.counters true;
+      Perfcounter.reset_footprint m.Machine.counters;
+      Urpc.send fwd 0;
+      ignore (Urpc.recv bwd : int);
+      dlines :=
+        Perfcounter.footprint_lines m.Machine.counters ~core:src
+        + Perfcounter.footprint_lines m.Machine.counters ~core:dst;
+      Perfcounter.set_footprint_tracking m.Machine.counters false;
+      for _ = 1 to iters do
+        let t0 = Engine.now_ () in
+        Urpc.send fwd 0;
+        ignore (Urpc.recv bwd : int);
+        Stats.add lat (float_of_int (Engine.now_ () - t0) /. 2.0)
+      done);
+  Machine.run m;
+  let latency = Stats.mean lat in
+  (* Pipelined throughput, measured like Table 2. *)
+  let m2 = Machine.create plat in
+  let pipe = Urpc.create m2 ~sender:src ~receiver:dst ~slots:16 ~name:"t3.pipe" () in
+  let msgs = 400 in
+  let elapsed = ref 0 in
+  Engine.spawn m2.Machine.eng ~name:"t3.sink" (fun () ->
+      let t0 = ref 0 in
+      for i = 1 to msgs do
+        ignore (Urpc.recv pipe : int);
+        if i = 50 then t0 := Engine.now_ ();
+        if i = msgs then elapsed := Engine.now_ () - !t0
+      done);
+  Engine.spawn m2.Machine.eng ~name:"t3.source" (fun () ->
+      for i = 1 to msgs do
+        Urpc.send pipe i
+      done);
+  Machine.run m2;
+  let tput = float_of_int (msgs - 50) /. (float_of_int !elapsed /. 1000.0) in
+  (latency, tput, Urpc.icache_lines, !dlines / 2)
+
+let l4_numbers () =
+  let plat = Platform.amd_2x2 in
+  let latency = float_of_int (L4_ipc.latency plat) in
+  (latency, 1000.0 /. latency, L4_ipc.icache_lines, L4_ipc.dcache_lines)
+
+let run () =
+  Common.hr "Table 3: messaging costs on 2x2-core AMD";
+  Printf.printf "%-8s %9s %12s %8s %8s\n" "" "Latency" "msgs/kcycle" "Icache" "Dcache";
+  let ul, ut, ui, ud = urpc_numbers () in
+  Printf.printf "%-8s %9.0f %12.2f %8d %8d\n" "URPC" ul ut ui ud;
+  let ll, lt, li, ld = l4_numbers () in
+  Printf.printf "%-8s %9.0f %12.2f %8d %8d\n%!" "L4 IPC" ll lt li ld

@@ -1,0 +1,121 @@
+(* Table 4: IP loopback on the 2x2-core AMD — Barrelfish's two user-space
+   stacks over URPC vs the in-kernel shared-memory loopback path.
+   Reports throughput, D-cache misses/packet, and HyperTransport
+   dwords/packet in each direction plus link utilization. *)
+
+open Mk_sim
+open Mk_hw
+open Mk_net
+
+let payload = 1000
+let packets = 400
+let src_core = 0
+let sink_core = 2 (* different package, as in the paper *)
+
+type numbers = {
+  mbps : float;
+  dmiss_per_pkt : float;
+  fwd_dwords : float;  (* source -> sink *)
+  rev_dwords : float;  (* sink -> source *)
+  fwd_util : float;
+  rev_util : float;
+}
+
+(* Link utilization: dwords moved per cycle relative to a HT link's
+   capacity. A 1 GHz 16-bit HT link moves ~2 GB/s ~ 0.18 dwords per
+   2.8 GHz CPU cycle. *)
+let link_dwords_per_cycle = 0.18
+
+(* The 2x2 machine has one HT link; packages 0 (source) and 1 (sink).
+   Traffic is recorded per direction of travel. *)
+let direction_split (snap : Perfcounter.snap) =
+  let fwd = float_of_int (Perfcounter.dwords_on snap (0, 1)) in
+  let rev = float_of_int (Perfcounter.dwords_on snap (1, 0)) in
+  (fwd, rev)
+
+let finish m ~elapsed ~snap0 =
+  let snap1 = Perfcounter.snapshot m.Machine.counters in
+  let d = Perfcounter.diff snap1 snap0 in
+  (* Per-packet misses at the sink core (the consumer-side cost the paper's
+     PMC measurement reflects). *)
+  let misses = d.Perfcounter.dcache_miss.(sink_core) in
+  let fwd, rev = direction_split d in
+  let plat = m.Machine.plat in
+  let seconds = float_of_int elapsed /. (plat.Platform.ghz *. 1e9) in
+  {
+    mbps = float_of_int (packets * payload * 8) /. seconds /. 1e6;
+    dmiss_per_pkt = float_of_int misses /. float_of_int packets;
+    fwd_dwords = fwd /. float_of_int packets;
+    rev_dwords = rev /. float_of_int packets;
+    fwd_util = fwd /. float_of_int elapsed /. link_dwords_per_cycle;
+    rev_util = rev /. float_of_int elapsed /. link_dwords_per_cycle;
+  }
+
+let barrelfish () =
+  let m = Machine.create Platform.amd_2x2 in
+  let nif_a, nif_b = Stack.connect_urpc m ~core_a:src_core ~core_b:sink_core () in
+  let sa = Stack.create m ~core:src_core nif_a in
+  let sb = Stack.create m ~core:sink_core nif_b in
+  let sock_a = Stack.udp_bind sa ~port:7000 in
+  let sock_b = Stack.udp_bind sb ~port:7001 in
+  let elapsed = ref 0 in
+  let snap0 = ref (Perfcounter.snapshot m.Machine.counters) in
+  Engine.spawn m.Machine.eng ~name:"t4.sink" (fun () ->
+      let t0 = ref 0 in
+      for i = 1 to packets do
+        let (_p : Pbuf.t), _from = Stack.udp_recvfrom sock_b in
+        (* The payload arrived in the channel's cache-line messages, which
+           the receive path already fetched; reading it is cache-hot. *)
+        if i = 1 then t0 := Engine.now_ ();
+        if i = packets then elapsed := Engine.now_ () - !t0
+      done);
+  Engine.spawn m.Machine.eng ~name:"t4.source" (fun () ->
+      snap0 := Perfcounter.snapshot m.Machine.counters;
+      for _ = 1 to packets do
+        let p = Pbuf.alloc m ~size:payload () in
+        (* Generator writes its payload. *)
+        Pbuf.touch p m ~core:src_core ~write:true;
+        Stack.udp_sendto sock_a ~dst_ip:(Stack.ip sb) ~dst_port:7001 p
+      done);
+  Machine.run m;
+  finish m ~elapsed:!elapsed ~snap0:!snap0
+
+let linux () =
+  let m = Machine.create Platform.amd_2x2 in
+  let lo = Kernel_loopback.create m in
+  let elapsed = ref 0 in
+  let snap0 = ref (Perfcounter.snapshot m.Machine.counters) in
+  Engine.spawn m.Machine.eng ~name:"t4.sink" (fun () ->
+      let t0 = ref 0 in
+      for i = 1 to packets do
+        let p = Kernel_loopback.recvfrom lo ~core:sink_core in
+        Pbuf.touch p m ~core:sink_core ~write:false;
+        if i = 1 then t0 := Engine.now_ ();
+        if i = packets then elapsed := Engine.now_ () - !t0
+      done);
+  Engine.spawn m.Machine.eng ~name:"t4.source" (fun () ->
+      snap0 := Perfcounter.snapshot m.Machine.counters;
+      for _ = 1 to packets do
+        let p = Pbuf.alloc m ~size:payload () in
+        Pbuf.touch p m ~core:src_core ~write:true;
+        Kernel_loopback.sendto lo ~core:src_core p
+      done);
+  Machine.run m;
+  finish m ~elapsed:!elapsed ~snap0:!snap0
+
+let run () =
+  Common.hr "Table 4: IP loopback (2x2-core AMD)";
+  let b = barrelfish () in
+  let l = linux () in
+  Printf.printf "%-38s %12s %12s\n" "" "Barrelfish" "Linux";
+  Printf.printf "%-38s %12.0f %12.0f\n" "Throughput (Mbit/s)" b.mbps l.mbps;
+  Printf.printf "%-38s %12.1f %12.1f\n" "Dcache misses per packet" b.dmiss_per_pkt
+    l.dmiss_per_pkt;
+  Printf.printf "%-38s %12.0f %12.0f\n" "source->sink HT traffic (dwords/pkt)"
+    b.fwd_dwords l.fwd_dwords;
+  Printf.printf "%-38s %12.0f %12.0f\n" "sink->source HT traffic (dwords/pkt)"
+    b.rev_dwords l.rev_dwords;
+  Printf.printf "%-38s %11.1f%% %11.1f%%\n" "source->sink HT link utilization"
+    (100.0 *. b.fwd_util) (100.0 *. l.fwd_util);
+  Printf.printf "%-38s %11.1f%% %11.1f%%\n%!" "sink->source HT link utilization"
+    (100.0 *. b.rev_util) (100.0 *. l.rev_util)

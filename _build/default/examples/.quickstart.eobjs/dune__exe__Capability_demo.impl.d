@@ -1,0 +1,1 @@
+examples/capability_demo.ml: Cap Capops Format Fun List Mk Mk_hw Mm Monitor Os Platform Printf Types

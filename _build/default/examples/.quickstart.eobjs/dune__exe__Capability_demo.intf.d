@@ -1,0 +1,1 @@
+examples/capability_demo.mli:

@@ -1,0 +1,1 @@
+examples/future_hardware.ml: Dom Engine Fun List Machine Mk Mk_hw Mk_sim Os Platform Printf Routing Shootdown Types Vspace

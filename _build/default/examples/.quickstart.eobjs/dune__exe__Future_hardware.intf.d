@@ -1,0 +1,1 @@
+examples/future_hardware.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cap Dom Flounder Format List Machine Mk Mk_hw Mk_sim Os Platform Printf Skb Tlb Types Vspace

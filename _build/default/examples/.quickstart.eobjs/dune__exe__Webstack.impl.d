@@ -1,0 +1,1 @@
+examples/webstack.ml: Engine Flounder Http List Machine Mk Mk_apps Mk_hw Mk_net Mk_sim Netif Nic Option Platform Printf Sqldb Stack String

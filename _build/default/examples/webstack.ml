@@ -1,0 +1,74 @@
+(* The 5.4 application stack, end to end: an e1000 NIC model, a driver
+   domain, a user-space web server with its own TCP/IP stack (connected to
+   the driver over URPC), and a relational database on another core,
+   queried over a typed channel.
+
+   Run with: dune exec examples/webstack.exe *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+open Mk_net
+open Mk_apps
+
+let () =
+  let m = Machine.create Platform.amd_2x2 in
+
+  (* Database domain on core 1. *)
+  let db = Sqldb.create m ~core:1 in
+  Engine.spawn m.Machine.eng ~name:"populate" (fun () ->
+      Sqldb.Tpcw.populate db ~items:1000);
+  Machine.run m;
+  Printf.printf "database: %d items loaded on core 1\n"
+    (Option.value (Sqldb.table_rows db "item") ~default:0);
+
+  (* Web server domain on core 3, reached from the driver domain on core 2
+     over URPC; the e1000 belongs to the driver. *)
+  let nic = Nic.create m ~driver_core:2 () in
+  let nif_drv, nif_web = Stack.connect_urpc m ~core_a:2 ~core_b:3 () in
+  Netif.set_rx (Nic.netif nic) (fun p -> Netif.transmit nif_drv p);
+  Netif.set_rx nif_drv (fun p -> Netif.transmit (Nic.netif nic) p);
+  let web_stack = Stack.create m ~core:3 ~checksum_offload:true nif_web in
+
+  let dbch = Flounder.connect m ~name:"web2db" ~client:3 ~server:1 () in
+  Sqldb.serve db dbch;
+
+  Http.start_server web_stack ~port:80 (fun ~meth ~path ->
+      match (meth, path) with
+      | "GET", "/" -> Http.ok_html "<h1>multikernel web stack</h1>"
+      | "GET", p when String.length p > 6 && String.sub p 0 6 = "/item/" ->
+        let id = String.sub p 6 (String.length p - 6) in
+        (match
+           Flounder.rpc dbch
+             (Printf.sprintf "SELECT title, price FROM item WHERE id = %s" id)
+         with
+         | Ok { Sqldb.rows = [ [ title; price ] ]; _ } ->
+           Http.ok_html
+             (Printf.sprintf "item %s: %s at %s cents" id
+                (Sqldb.value_to_string title) (Sqldb.value_to_string price))
+         | Ok _ -> Http.not_found
+         | Error e -> { Http.status = 500; content_type = "text/plain"; body = e })
+      | _ -> Http.not_found);
+
+  (* An external client machine, coupled through the NIC's wire. *)
+  let cm = Machine.create ~eng:m.Machine.eng Platform.intel_2x4 in
+  cm.Machine.brk <- 0x4000_0000;
+  let client_nif =
+    Netif.create ~name:"client" ~mac:0x02c000000001 ~send:(fun p -> Nic.inject nic p)
+  in
+  Nic.attach_wire nic (fun p -> Netif.deliver client_nif p);
+  let client = Stack.create cm ~core:0 ~ip:0x0a0000fe ~checksum_offload:true client_nif in
+
+  Engine.spawn m.Machine.eng ~name:"client" (fun () ->
+      List.iter
+        (fun path ->
+          match Http.fetch client ~server_ip:(Stack.ip web_stack) ~port:80 ~path with
+          | Some (status, body) ->
+            Printf.printf "GET %-10s -> %d %s\n%!" path status body
+          | None -> Printf.printf "GET %-10s -> no response\n%!" path)
+        [ "/"; "/item/42"; "/item/999"; "/nope" ]);
+  Machine.run m;
+  Printf.printf "\nsimulated time: %.2f ms; NIC rx/tx: %d/%d frames\n"
+    (Machine.ns_of_cycles m (Machine.now m) /. 1e6)
+    (Nic.rx_count nic) (Nic.tx_count nic);
+  print_endline "webstack: done"

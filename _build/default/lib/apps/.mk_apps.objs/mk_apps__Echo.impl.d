@@ -1,0 +1,1 @@
+lib/apps/echo.ml: Engine Ethernet Ipv4 Machine Mk_hw Mk_net Mk_sim Netif Nic Pbuf Platform Stack Udp

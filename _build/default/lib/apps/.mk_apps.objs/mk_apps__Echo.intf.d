@@ -1,0 +1,1 @@
+lib/apps/echo.mli: Mk_hw Mk_net

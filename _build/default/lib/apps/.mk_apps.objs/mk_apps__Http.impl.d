@@ -1,0 +1,1 @@
+lib/apps/http.ml: Buffer Engine List Machine Mk_hw Mk_net Mk_sim Printf Stack String Sync Tcp_lite

@@ -1,0 +1,1 @@
+lib/apps/nas.mli: Runtime

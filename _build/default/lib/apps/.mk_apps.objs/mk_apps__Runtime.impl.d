@@ -1,0 +1,1 @@
+lib/apps/runtime.ml: List Machine Mk Mk_baseline Mk_hw

@@ -1,0 +1,1 @@
+lib/apps/runtime.mli: Mk Mk_baseline Mk_hw

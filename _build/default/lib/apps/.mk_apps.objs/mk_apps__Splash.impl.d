@@ -1,0 +1,1 @@
+lib/apps/splash.ml: Coherence Engine List Machine Mk_hw Mk_sim Platform Runtime

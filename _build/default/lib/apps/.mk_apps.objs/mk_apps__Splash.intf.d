@@ -1,0 +1,1 @@
+lib/apps/splash.mli: Runtime

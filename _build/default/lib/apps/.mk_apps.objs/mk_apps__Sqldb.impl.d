@@ -1,0 +1,1 @@
+lib/apps/sqldb.ml: Array Fun Hashtbl List Machine Mk Mk_hw Mk_sim Option Printf Result Stdlib String

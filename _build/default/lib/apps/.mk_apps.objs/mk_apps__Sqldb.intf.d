@@ -1,0 +1,1 @@
+lib/apps/sqldb.mli: Mk Mk_hw Mk_sim Stdlib

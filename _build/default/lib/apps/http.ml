@@ -1,0 +1,189 @@
+open Mk_sim
+open Mk_hw
+open Mk_net
+
+let parse_cost_per_char = 2
+
+(* Serving a request is more than parsing: stat/open of the content,
+   response assembly, logging, connection bookkeeping. Calibrated to
+   lighttpd-class path lengths. *)
+let handler_overhead = 25_000
+let conn_setup_cost = 30_000  (* accept + PCB + per-connection state *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = meth:string -> path:string -> response
+
+let ok_html body = { status = 200; content_type = "text/html"; body }
+
+let not_found =
+  { status = 404; content_type = "text/plain"; body = "404 not found\n" }
+
+let status_text = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 400 -> "Bad Request"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let format_response r =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nServer: mk-httpd/0.1\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    r.status (status_text r.status) r.content_type (String.length r.body) r.body
+
+let parse_request head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol ->
+    let line = String.sub head 0 eol in
+    (match String.split_on_char ' ' line with
+     | [ meth; path; _version ] -> Some (meth, path)
+     | _ -> None)
+
+(* Pull TCP segments until the head of the request (through the blank
+   line) has arrived. *)
+let read_head conn =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    let contains_blank () =
+      let s = Buffer.contents buf in
+      let rec scan i =
+        if i + 3 >= String.length s then false
+        else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+        then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    if contains_blank () then Some (Buffer.contents buf)
+    else begin
+      match Tcp_lite.recv conn with
+      | "" -> None  (* EOF before a full request *)
+      | chunk ->
+        Buffer.add_string buf chunk;
+        go ()
+    end
+  in
+  go ()
+
+let start_server stack ~port handler =
+  let m = Stack.machine stack in
+  let core = Stack.core stack in
+  let listener = Stack.tcp_listen stack ~port in
+  Engine.spawn m.Machine.eng ~name:"httpd.accept" (fun () ->
+      let rec accept_loop () =
+        let conn = Tcp_lite.accept listener in
+        Engine.spawn_ ~name:"httpd.conn" (fun () ->
+            Machine.compute m ~core conn_setup_cost;
+            (match read_head conn with
+             | None -> ()
+             | Some head ->
+               Machine.compute m ~core (String.length head * parse_cost_per_char);
+               let resp =
+                 match parse_request head with
+                 | Some (meth, path) ->
+                   Machine.compute m ~core handler_overhead;
+                   handler ~meth ~path
+                 | None -> { status = 400; content_type = "text/plain"; body = "bad request\n" }
+               in
+               Tcp_lite.send conn (format_response resp));
+            Tcp_lite.close conn);
+        accept_loop ()
+      in
+      accept_loop ())
+
+(* Client side: read a full response (headers + Content-Length body). *)
+let read_response conn =
+  let buf = Buffer.create 4096 in
+  let header_end s =
+    let rec scan i =
+      if i + 3 >= String.length s then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
+        Some (i + 4)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let rec read_until_headers () =
+    match header_end (Buffer.contents buf) with
+    | Some off -> Some off
+    | None ->
+      (match Tcp_lite.recv conn with
+       | "" -> None
+       | chunk ->
+         Buffer.add_string buf chunk;
+         read_until_headers ())
+  in
+  match read_until_headers () with
+  | None -> None
+  | Some body_off ->
+    let s = Buffer.contents buf in
+    let head = String.sub s 0 body_off in
+    let status =
+      match String.split_on_char ' ' head with
+      | _ :: code :: _ -> (try int_of_string code with _ -> 0)
+      | _ -> 0
+    in
+    let content_length =
+      let lower = String.lowercase_ascii head in
+      let key = "content-length:" in
+      let rec find i =
+        if i + String.length key > String.length lower then 0
+        else if String.sub lower i (String.length key) = key then begin
+          let j = ref (i + String.length key) in
+          while !j < String.length lower && lower.[!j] = ' ' do incr j done;
+          let k = ref !j in
+          while !k < String.length lower && lower.[!k] >= '0' && lower.[!k] <= '9' do
+            incr k
+          done;
+          int_of_string (String.sub lower !j (!k - !j))
+        end
+        else find (i + 1)
+      in
+      find 0
+    in
+    let rec read_body () =
+      if Buffer.length buf - body_off >= content_length then
+        Some (status, String.sub (Buffer.contents buf) body_off content_length)
+      else
+        match Tcp_lite.recv conn with
+        | "" -> Some (status, String.sub (Buffer.contents buf) body_off
+                        (Buffer.length buf - body_off))
+        | chunk ->
+          Buffer.add_string buf chunk;
+          read_body ()
+    in
+    read_body ()
+
+let fetch stack ~server_ip ~port ~path =
+  let conn = Stack.tcp_connect stack ~dst_ip:server_ip ~dst_port:port in
+  Tcp_lite.send conn (Printf.sprintf "GET %s HTTP/1.1\r\nHost: sim\r\n\r\n" path);
+  let r = read_response conn in
+  Tcp_lite.close conn;
+  r
+
+let run_load stacks ~server_ip ~port ~path ~clients_per_stack ~duration =
+  let completed = ref 0 in
+  let deadline = Engine.now_ () + duration in
+  let done_box = Sync.Mailbox.create () in
+  let nclients = List.length stacks * clients_per_stack in
+  List.iter
+    (fun stack ->
+      for _i = 1 to clients_per_stack do
+        Engine.spawn_ ~name:"httperf.client" (fun () ->
+            let rec loop () =
+              if Engine.now_ () >= deadline then Sync.Mailbox.send done_box ()
+              else begin
+                (match fetch stack ~server_ip ~port ~path with
+                 | Some (200, _) -> incr completed
+                 | Some _ | None -> ());
+                loop ()
+              end
+            in
+            loop ())
+      done)
+    stacks;
+  for _i = 1 to nclients do
+    Sync.Mailbox.recv done_box
+  done;
+  !completed

@@ -1,0 +1,39 @@
+(** HTTP/1.1 server and httperf-style load generator (§5.4).
+
+    A real (small) HTTP implementation over {!Mk_net.Tcp_lite}: request
+    parsing, response formatting with Content-Length, one connection per
+    request (the httperf closed-loop pattern the paper uses), parse costs
+    charged to the server core. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = meth:string -> path:string -> response
+
+val ok_html : string -> response
+val not_found : response
+
+val start_server : Mk_net.Stack.t -> port:int -> handler -> unit
+(** Accept loop on the stack's core; each connection served by its own
+    task. *)
+
+val parse_request : string -> (string * string) option
+(** [parse_request head] returns (method, path) from a request head
+    (through the blank line). Exposed for tests. *)
+
+val format_response : response -> string
+
+val fetch :
+  Mk_net.Stack.t -> server_ip:int -> port:int -> path:string -> (int * string) option
+(** One closed-loop client request: connect, GET, read full response,
+    close. Returns (status, body). Task context required. *)
+
+(** Closed-loop load generation: [clients] concurrent fetch loops per
+    client stack for [duration] cycles; returns completed requests. *)
+val run_load :
+  Mk_net.Stack.t list ->
+  server_ip:int ->
+  port:int ->
+  path:string ->
+  clients_per_stack:int ->
+  duration:int ->
+  int

@@ -1,0 +1,98 @@
+open Mk_sim
+open Mk_hw
+
+(* Work volumes (total cycles across the whole run) and serial fractions,
+   calibrated to Figure 9's y-axes on the 4x4 AMD machine. *)
+
+let split_work ~total ~serial_frac ~n ~rank =
+  let serial = int_of_float (float_of_int total *. serial_frac) in
+  let parallel = (total - serial) / n in
+  if rank = 0 then serial + parallel else parallel
+
+let elapsed f =
+  let t0 = Engine.now_ () in
+  f ();
+  Engine.now_ () - t0
+
+(* An allreduce point: every worker updates the shared reduction line
+   (contended store), then synchronizes. *)
+let reduction m line (ctx : Runtime.worker_ctx) =
+  Coherence.store m.Machine.coh ~core:ctx.Runtime.wcore line;
+  ctx.Runtime.barrier ()
+
+let cg (rt : Runtime.t) ~cores =
+  let m = rt.Runtime.rt_machine in
+  let n = List.length cores in
+  let niter = 75 and total = 14_500_000_000 and serial_frac = 0.04 in
+  let red_line = Machine.alloc_lines m 1 in
+  elapsed (fun () ->
+      rt.Runtime.run_team ~cores (fun ctx ->
+          let work =
+            split_work ~total ~serial_frac ~n ~rank:ctx.Runtime.rank / niter
+          in
+          for _iter = 1 to niter do
+            (* SpMV + vector updates. *)
+            Machine.compute m ~core:ctx.Runtime.wcore work;
+            (* Each CG iteration is a chain of parallel loops and dot
+               products, each ending in an implicit OpenMP barrier. *)
+            for _r = 1 to 26 do
+              reduction m red_line ctx
+            done
+          done))
+
+let ft (rt : Runtime.t) ~cores =
+  let m = rt.Runtime.rt_machine in
+  let n = List.length cores in
+  let niter = 6 and total = 48_000_000_000 and serial_frac = 0.02 in
+  (* Each worker owns a block of the array others read during transpose. *)
+  let blocks = List.map (fun c -> (c, Machine.alloc_lines m 32)) cores in
+  let cl = m.Machine.plat.Platform.cacheline in
+  elapsed (fun () ->
+      rt.Runtime.run_team ~cores (fun ctx ->
+          let work =
+            split_work ~total ~serial_frac ~n ~rank:ctx.Runtime.rank / (niter * 3)
+          in
+          let my_block = List.assoc ctx.Runtime.wcore blocks in
+          for _iter = 1 to niter do
+            for _dim = 1 to 3 do
+              (* Local FFTs along one dimension. *)
+              Machine.compute m ~core:ctx.Runtime.wcore work;
+              (* Write our block, then all-to-all: pull two lines from every
+                 other worker's block. *)
+              for i = 0 to 7 do
+                Coherence.store m.Machine.coh ~core:ctx.Runtime.wcore
+                  (my_block + (i * cl))
+              done;
+              List.iter
+                (fun (c, block) ->
+                  if c <> ctx.Runtime.wcore then begin
+                    Coherence.load m.Machine.coh ~core:ctx.Runtime.wcore block;
+                    Coherence.load m.Machine.coh ~core:ctx.Runtime.wcore (block + cl)
+                  end)
+                blocks;
+              ctx.Runtime.barrier ()
+            done
+          done))
+
+let is_sort (rt : Runtime.t) ~cores =
+  let m = rt.Runtime.rt_machine in
+  let n = List.length cores in
+  let niter = 40 and total = 2_750_000_000 and serial_frac = 0.02 in
+  (* The shared bucket array: a handful of lines every worker updates. *)
+  let buckets = Machine.alloc_lines m 16 in
+  let cl = m.Machine.plat.Platform.cacheline in
+  elapsed (fun () ->
+      rt.Runtime.run_team ~cores (fun ctx ->
+          let work =
+            split_work ~total ~serial_frac ~n ~rank:ctx.Runtime.rank / niter
+          in
+          for _iter = 1 to niter do
+            (* Local key counting. *)
+            Machine.compute m ~core:ctx.Runtime.wcore work;
+            ctx.Runtime.barrier ();
+            (* Global histogram: contended read-modify-writes. *)
+            for b = 0 to 15 do
+              Coherence.store m.Machine.coh ~core:ctx.Runtime.wcore (buckets + (b * cl))
+            done;
+            ctx.Runtime.barrier ()
+          done))

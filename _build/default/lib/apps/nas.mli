@@ -1,0 +1,23 @@
+(** NAS-parallel-benchmark skeletons (§5.3, Figures 9a-9c).
+
+    Compute/communication skeletons of the three OpenMP kernels the paper
+    runs: identical arithmetic work on every OS (charged as compute cycles
+    on the worker cores), with the real synchronization and sharing
+    structure — reductions, barriers, all-to-all transposes, contended
+    bucket updates — executed through the runtime under test. Work volumes
+    are calibrated to the paper's cycle axes (×10^8 cycles on the 4×4 AMD).
+
+    Each function returns total elapsed simulated cycles. Task context
+    required. *)
+
+val cg : Runtime.t -> cores:int list -> int
+(** Conjugate gradient: 15 iterations, each a sparse matrix-vector product
+    plus five dot-product reductions (barrier + contended reduction line). *)
+
+val ft : Runtime.t -> cores:int list -> int
+(** 3D FFT: 6 iterations of compute + all-to-all transpose (every worker
+    pulls blocks written by every other worker) + barrier. *)
+
+val is_sort : Runtime.t -> cores:int list -> int
+(** Integer sort: 10 rank iterations of local counting plus updates to a
+    shared bucket array (heavily contended lines) and two barriers. *)

@@ -1,0 +1,83 @@
+open Mk_hw
+
+type worker_ctx = { rank : int; wcore : int; barrier : unit -> unit }
+
+type t = {
+  rt_name : string;
+  rt_machine : Machine.t;
+  run_team : cores:int list -> (worker_ctx -> unit) -> unit;
+}
+
+let name t = t.rt_name
+
+let barrelfish os =
+  let m = Mk.Os.machine os in
+  {
+    rt_name = "Barrelfish";
+    rt_machine = m;
+    run_team =
+      (fun ~cores body ->
+        let dom =
+          Mk.Os.spawn_domain os ~name:"omp" ~cores
+        in
+        let bar = Mk.Threads.Barrier.create m ~parties:(List.length cores) in
+        let threads =
+          List.mapi
+            (fun rank core ->
+              let disp = Mk.Dom.dispatcher_on dom core in
+              Mk.Threads.spawn m ~disp (fun () ->
+                  body
+                    { rank; wcore = core;
+                      barrier = (fun () -> Mk.Threads.Barrier.await bar ~core) }))
+            cores
+        in
+        List.iter Mk.Threads.join threads);
+  }
+
+let barrelfish_msg os =
+  let m = Mk.Os.machine os in
+  {
+    rt_name = "Barrelfish (msg barrier)";
+    rt_machine = m;
+    run_team =
+      (fun ~cores body ->
+        let dom = Mk.Os.spawn_domain os ~name:"omp-msg" ~cores in
+        let coordinator = List.hd cores in
+        let parties = List.mapi (fun i c -> (i, c)) cores in
+        let bar = Mk.Threads.Msg_barrier.create m ~coordinator ~parties in
+        let threads =
+          List.mapi
+            (fun rank core ->
+              let disp = Mk.Dom.dispatcher_on dom core in
+              Mk.Threads.spawn m ~disp (fun () ->
+                  body
+                    { rank; wcore = core;
+                      barrier = (fun () -> Mk.Threads.Msg_barrier.await bar ~party:rank) }))
+            cores
+        in
+        List.iter Mk.Threads.join threads);
+  }
+
+let linux mono =
+  let m = Mk_baseline.Monolithic.machine mono in
+  {
+    rt_name = "Linux";
+    rt_machine = m;
+    run_team =
+      (fun ~cores body ->
+        let bar =
+          Mk_baseline.Monolithic.Futex_barrier.create mono ~parties:(List.length cores)
+        in
+        let kts =
+          List.mapi
+            (fun rank core ->
+              Mk_baseline.Monolithic.spawn mono ~core (fun () ->
+                  body
+                    { rank; wcore = core;
+                      barrier =
+                        (fun () ->
+                          Mk_baseline.Monolithic.Futex_barrier.await bar ~core) }))
+            cores
+        in
+        List.iter (Mk_baseline.Monolithic.join mono) kts);
+  }

@@ -1,0 +1,35 @@
+(** OS-neutral parallel runtime for the compute-bound workloads (§5.3).
+
+    Figure 9 runs identical OpenMP/SPLASH programs on Barrelfish and Linux;
+    the performance differences come from the threading and synchronization
+    implementations (user-level library vs. in-kernel). This interface
+    captures exactly that: a way to start one worker per core and a barrier,
+    with each OS providing its own implementation. The compute kernels in
+    {!Nas} and {!Splash} are written once against this interface. *)
+
+type worker_ctx = {
+  rank : int;
+  wcore : int;
+  barrier : unit -> unit;  (** full-team barrier, charged to this worker's core *)
+}
+
+type t = {
+  rt_name : string;
+  rt_machine : Mk_hw.Machine.t;
+  run_team : cores:int list -> (worker_ctx -> unit) -> unit;
+      (** Start one worker per core, wait for all to finish. Task context
+          required. *)
+}
+
+val name : t -> string
+
+val barrelfish : Mk.Os.t -> t
+(** User-level threads in a shared-address-space domain; barriers are the
+    user-space shared-line implementation of {!Mk.Threads.Barrier}. *)
+
+val barrelfish_msg : Mk.Os.t -> t
+(** Variant using the message-based barrier ({!Mk.Threads.Msg_barrier}) —
+    the ablation for §4.8's "thread schedulers exchange messages". *)
+
+val linux : Mk_baseline.Monolithic.t -> t
+(** Kernel threads created by clone; barriers via futex system calls. *)

@@ -1,0 +1,57 @@
+open Mk_sim
+open Mk_hw
+
+let elapsed f =
+  let t0 = Engine.now_ () in
+  f ();
+  Engine.now_ () - t0
+
+let barnes_hut (rt : Runtime.t) ~cores =
+  let m = rt.Runtime.rt_machine in
+  let n = List.length cores in
+  let steps = 4 and total = 4_600_000_000 in
+  let tree_frac = 0.08 in  (* tree build, done by rank 0 *)
+  (* The shared octree: a block of lines everyone reads during forces. *)
+  let tree = Machine.alloc_lines m 64 in
+  let cl = m.Machine.plat.Platform.cacheline in
+  elapsed (fun () ->
+      rt.Runtime.run_team ~cores (fun ctx ->
+          let per_step = total / steps in
+          let build = int_of_float (float_of_int per_step *. tree_frac) in
+          let force = (per_step - build) / n in
+          for _step = 1 to steps do
+            if ctx.Runtime.rank = 0 then begin
+              Machine.compute m ~core:ctx.Runtime.wcore build;
+              (* Publishing the rebuilt tree invalidates all readers. *)
+              for i = 0 to 15 do
+                Coherence.store m.Machine.coh ~core:ctx.Runtime.wcore (tree + (i * cl))
+              done
+            end;
+            ctx.Runtime.barrier ();
+            (* Force computation: read-shared tree walks + local math. *)
+            for i = 0 to 15 do
+              Coherence.load m.Machine.coh ~core:ctx.Runtime.wcore (tree + (i * cl))
+            done;
+            Machine.compute m ~core:ctx.Runtime.wcore force;
+            ctx.Runtime.barrier ()
+          done))
+
+let radiosity (rt : Runtime.t) ~cores =
+  let m = rt.Runtime.rt_machine in
+  let total = 17_000_000_000 and tasks = 2048 in
+  let task_work = total / tasks in
+  let queue_line = Machine.alloc_lines m 1 in
+  elapsed (fun () ->
+      let remaining = ref tasks in
+      rt.Runtime.run_team ~cores (fun ctx ->
+          let rec work () =
+            (* Dequeue under the shared queue head line (lock + RMW). *)
+            Coherence.store m.Machine.coh ~core:ctx.Runtime.wcore queue_line;
+            if !remaining > 0 then begin
+              decr remaining;
+              Machine.compute m ~core:ctx.Runtime.wcore task_work;
+              work ()
+            end
+          in
+          work ();
+          ctx.Runtime.barrier ()))

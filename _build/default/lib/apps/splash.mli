@@ -1,0 +1,14 @@
+(** SPLASH-2 application skeletons (§5.3, Figures 9d-9e).
+
+    Same methodology as {!Nas}: the sharing and synchronization structure
+    of the two applications the paper measures, with arithmetic charged as
+    compute cycles, run against either OS runtime. Returns elapsed
+    simulated cycles; task context required. *)
+
+val barnes_hut : Runtime.t -> cores:int list -> int
+(** N-body: per step, a mostly serial tree build, a parallel force phase
+    reading the shared tree, and barriers between phases. *)
+
+val radiosity : Runtime.t -> cores:int list -> int
+(** Task-queue parallel light transport: workers repeatedly dequeue from a
+    shared lock-protected work queue until it drains. *)

@@ -1,0 +1,358 @@
+open Mk_hw
+
+type value = Int of int | Text of string
+
+let value_to_string = function Int i -> string_of_int i | Text s -> s
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                             *)
+
+type table = {
+  tname : string;
+  columns : string array;
+  mutable rows : value array array;  (* grows by doubling *)
+  mutable nrows : int;
+  indexes : (string, (value, int list ref) Hashtbl.t) Hashtbl.t;
+}
+
+type db = {
+  m : Machine.t;
+  db_core : int;
+  tables : (string, table) Hashtbl.t;
+}
+
+let create m ~core = { m; db_core = core; tables = Hashtbl.create 8 }
+let core db = db.db_core
+
+(* Execution cost model, charged on the database core. *)
+let parse_cost_per_char = 25  (* SQL lexing/parsing, SQLite-class *)
+let row_scan_cost = 45
+let index_probe_cost = 2_200  (* B-tree descent *)
+let row_materialize_cost = 600
+let insert_cost = 3_500
+(* Standing in for SQLite's interpreted VDBE execution: statement
+   compilation, snapshot setup, opcode dispatch. This is what makes the
+   paper's web+DB configuration bottleneck on the database core. *)
+let vdbe_overhead = 550_000
+
+type result = { columns : string list; rows : value list list }
+
+(* ------------------------------------------------------------------ *)
+(* SQL tokenizer                                                       *)
+
+type token =
+  | Ident of string
+  | IntLit of int
+  | StrLit of string
+  | Sym of char
+  | Star
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let err = ref None in
+  while !i < n && !err = None do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '*' then begin
+      toks := Star :: !toks;
+      incr i
+    end
+    else if c = ',' || c = '(' || c = ')' || c = '=' || c = ';' then begin
+      toks := Sym c :: !toks;
+      incr i
+    end
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '\'' do incr j done;
+      if !j >= n then err := Some "unterminated string literal"
+      else begin
+        toks := StrLit (String.sub s (!i + 1) (!j - !i - 1)) :: !toks;
+        i := !j + 1
+      end
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      toks := IntLit (int_of_string (String.sub s !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref (!i + 1) in
+      let is_ident_char c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      toks := Ident (String.lowercase_ascii (String.sub s !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else err := Some (Printf.sprintf "unexpected character %C" c)
+  done;
+  match !err with Some e -> Error e | None -> Ok (List.rev !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: a tiny recursive-descent grammar                            *)
+
+type stmt =
+  | Select of { cols : string list option (* None = * *); from : string;
+                where : (string * value) list; limit : int option }
+  | Insert of { into : string; values : value list }
+  | Create of { tbl : string; cols : string list }
+
+let parse toks =
+  let ( let* ) = Result.bind in
+  let expect_ident kw rest =
+    match rest with
+    | Ident id :: tl when id = kw -> Ok tl
+    | _ -> Error (Printf.sprintf "expected %S" kw)
+  in
+  let parse_value = function
+    | IntLit i :: tl -> Ok (Int i, tl)
+    | StrLit s :: tl -> Ok (Text s, tl)
+    | _ -> Error "expected a literal value"
+  in
+  let rec parse_where acc rest =
+    match rest with
+    | Ident col :: Sym '=' :: tl ->
+      let* v, tl = parse_value tl in
+      (match tl with
+       | Ident "and" :: tl -> parse_where ((col, v) :: acc) tl
+       | _ -> Ok (List.rev ((col, v) :: acc), tl))
+    | _ -> Error "expected column = value"
+  in
+  let parse_tail ~cols ~from rest =
+    let* where, rest =
+      match rest with
+      | Ident "where" :: tl -> parse_where [] tl
+      | _ -> Ok ([], rest)
+    in
+    let* limit, rest =
+      match rest with
+      | Ident "limit" :: IntLit n :: tl -> Ok (Some n, tl)
+      | Ident "limit" :: _ -> Error "expected integer after LIMIT"
+      | _ -> Ok (None, rest)
+    in
+    match rest with
+    | [] | [ Sym ';' ] -> Ok (Select { cols; from; where; limit })
+    | _ -> Error "trailing tokens after statement"
+  in
+  match toks with
+  | Ident "select" :: rest ->
+    (match rest with
+     | Star :: rest ->
+       let* rest = expect_ident "from" rest in
+       (match rest with
+        | Ident from :: rest -> parse_tail ~cols:None ~from rest
+        | _ -> Error "expected table name")
+     | _ ->
+       let rec cols acc = function
+         | Ident c :: Sym ',' :: tl -> cols (c :: acc) tl
+         | Ident c :: tl -> Ok (List.rev (c :: acc), tl)
+         | _ -> Error "expected column list"
+       in
+       let* cs, rest = cols [] rest in
+       let* rest = expect_ident "from" rest in
+       (match rest with
+        | Ident from :: rest -> parse_tail ~cols:(Some cs) ~from rest
+        | _ -> Error "expected table name"))
+  | Ident "insert" :: rest ->
+    let* rest = expect_ident "into" rest in
+    (match rest with
+     | Ident into :: Ident "values" :: Sym '(' :: tl ->
+       let rec vals acc = function
+         | Sym ')' :: tl -> Ok (List.rev acc, tl)
+         | Sym ',' :: tl -> vals acc tl
+         | toks ->
+           let* v, tl = parse_value toks in
+           vals (v :: acc) tl
+       in
+       let* values, rest = vals [] tl in
+       (match rest with
+        | [] | [ Sym ';' ] -> Ok (Insert { into; values })
+        | _ -> Error "trailing tokens after statement")
+     | _ -> Error "expected INSERT INTO t VALUES (...)")
+  | Ident "create" :: rest ->
+    let* rest = expect_ident "table" rest in
+    (match rest with
+     | Ident tbl :: Sym '(' :: tl ->
+       let rec cols acc = function
+         | Ident c :: Sym ',' :: tl -> cols (c :: acc) tl
+         | Ident c :: Sym ')' :: tl -> Ok (List.rev (c :: acc), tl)
+         | _ -> Error "expected column list"
+       in
+       let* cols_, rest = cols [] tl in
+       (match rest with
+        | [] | [ Sym ';' ] -> Ok (Create { tbl; cols = cols_ })
+        | _ -> Error "trailing tokens after statement")
+     | _ -> Error "expected CREATE TABLE t (cols)")
+  | _ -> Error "expected SELECT, INSERT or CREATE"
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let col_index (tbl : table) col =
+  let rec go i =
+    if i >= Array.length tbl.columns then None
+    else if tbl.columns.(i) = col then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let add_row (tbl : table) row =
+  if tbl.nrows = Array.length tbl.rows then begin
+    let cap = max 64 (tbl.nrows * 2) in
+    let next = Array.make cap [||] in
+    Array.blit tbl.rows 0 next 0 tbl.nrows;
+    tbl.rows <- next
+  end;
+  tbl.rows.(tbl.nrows) <- row;
+  (* Maintain indexes. *)
+  Hashtbl.iter
+    (fun col idx ->
+      match col_index tbl col with
+      | None -> ()
+      | Some ci ->
+        let key = row.(ci) in
+        (match Hashtbl.find_opt idx key with
+         | Some l -> l := tbl.nrows :: !l
+         | None -> Hashtbl.replace idx key (ref [ tbl.nrows ])))
+    tbl.indexes;
+  tbl.nrows <- tbl.nrows + 1
+
+let create_index db ~table ~column =
+  match Hashtbl.find_opt db.tables table with
+  | None -> Error (Printf.sprintf "no such table: %s" table)
+  | Some tbl ->
+    (match col_index tbl column with
+     | None -> Error (Printf.sprintf "no such column: %s" column)
+     | Some ci ->
+       let idx = Hashtbl.create (max 64 tbl.nrows) in
+       for r = 0 to tbl.nrows - 1 do
+         let key = tbl.rows.(r).(ci) in
+         match Hashtbl.find_opt idx key with
+         | Some l -> l := r :: !l
+         | None -> Hashtbl.replace idx key (ref [ r ])
+       done;
+       Hashtbl.replace tbl.indexes column idx;
+       Ok ())
+
+let exec db sql =
+  Machine.compute db.m ~core:db.db_core (String.length sql * parse_cost_per_char);
+  match tokenize sql with
+  | Error e -> Error e
+  | Ok toks ->
+    (match parse toks with
+     | Error e -> Error e
+     | Ok (Create { tbl; cols }) ->
+       if Hashtbl.mem db.tables tbl then Error (Printf.sprintf "table exists: %s" tbl)
+       else begin
+         Hashtbl.replace db.tables tbl
+           { tname = tbl; columns = Array.of_list cols; rows = [||]; nrows = 0;
+             indexes = Hashtbl.create 4 };
+         Ok { columns = []; rows = [] }
+       end
+     | Ok (Insert { into; values }) ->
+       (match Hashtbl.find_opt db.tables into with
+        | None -> Error (Printf.sprintf "no such table: %s" into)
+        | Some tbl ->
+          if List.length values <> Array.length tbl.columns then
+            Error "wrong number of values"
+          else begin
+            Machine.compute db.m ~core:db.db_core insert_cost;
+            add_row tbl (Array.of_list values);
+            Ok { columns = []; rows = [] }
+          end)
+     | Ok (Select { cols; from; where; limit }) ->
+       Machine.compute db.m ~core:db.db_core vdbe_overhead;
+       (match Hashtbl.find_opt db.tables from with
+        | None -> Error (Printf.sprintf "no such table: %s" from)
+        | Some tbl ->
+          (* Resolve projection. *)
+          let proj =
+            match cols with
+            | None -> Ok (Array.to_list (Array.mapi (fun i c -> (c, i)) tbl.columns))
+            | Some cs ->
+              let rec resolve acc = function
+                | [] -> Ok (List.rev acc)
+                | c :: tl ->
+                  (match col_index tbl c with
+                   | Some i -> resolve ((c, i) :: acc) tl
+                   | None -> Error (Printf.sprintf "no such column: %s" c))
+              in
+              resolve [] cs
+          in
+          (match proj with
+           | Error e -> Error e
+           | Ok proj ->
+             (* Resolve predicates; try an index for the first one. *)
+             let rec resolve_preds acc = function
+               | [] -> Ok (List.rev acc)
+               | (c, v) :: tl ->
+                 (match col_index tbl c with
+                  | Some i -> resolve_preds ((c, i, v) :: acc) tl
+                  | None -> Error (Printf.sprintf "no such column: %s" c))
+             in
+             (match resolve_preds [] where with
+              | Error e -> Error e
+              | Ok preds ->
+                let candidates =
+                  match preds with
+                  | (c, _, v) :: _ when Hashtbl.mem tbl.indexes c ->
+                    Machine.compute db.m ~core:db.db_core index_probe_cost;
+                    (match Hashtbl.find_opt (Hashtbl.find tbl.indexes c) v with
+                     | Some l -> !l
+                     | None -> [])
+                  | _ ->
+                    Machine.compute db.m ~core:db.db_core (tbl.nrows * row_scan_cost);
+                    List.init tbl.nrows Fun.id
+                in
+                let matches r =
+                  List.for_all (fun (_, i, v) -> tbl.rows.(r).(i) = v) preds
+                in
+                let selected = List.filter matches candidates in
+                let selected = List.sort compare selected in
+                let selected =
+                  match limit with
+                  | Some n -> List.filteri (fun i _ -> i < n) selected
+                  | None -> selected
+                in
+                Machine.compute db.m ~core:db.db_core
+                  (List.length selected * row_materialize_cost);
+                let rows =
+                  List.map
+                    (fun r -> List.map (fun (_, i) -> tbl.rows.(r).(i)) proj)
+                    selected
+                in
+                Ok { columns = List.map fst proj; rows }))))
+
+let table_rows db name =
+  Option.map (fun t -> t.nrows) (Hashtbl.find_opt db.tables name)
+
+type query = string
+type reply = (result, string) Stdlib.result
+
+let serve db binding = Mk.Flounder.export binding (fun sql -> exec db sql)
+
+module Tpcw = struct
+  let populate db ~items =
+    (match exec db "CREATE TABLE item (id, title, stock, price)" with
+     | Ok _ -> ()
+     | Error e -> failwith e);
+    for i = 1 to items do
+      let sql =
+        Printf.sprintf "INSERT INTO item VALUES (%d, 'item-%d', %d, %d)" i i
+          ((i * 7) mod 100)
+          (100 + ((i * 131) mod 5000))
+      in
+      match exec db sql with Ok _ -> () | Error e -> failwith e
+    done;
+    match create_index db ~table:"item" ~column:"id" with
+    | Ok () -> ()
+    | Error e -> failwith e
+
+  let point_query rng ~items =
+    let id = 1 + Mk_sim.Prng.int rng items in
+    Printf.sprintf "SELECT id, title, stock, price FROM item WHERE id = %d" id
+end

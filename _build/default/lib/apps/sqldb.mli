@@ -1,0 +1,45 @@
+(** A small relational database engine — the SQLite stand-in of §5.4.
+
+    Real tables, rows, hash indexes and a real (small) SQL front end:
+    [CREATE TABLE], [INSERT INTO .. VALUES], and [SELECT cols FROM t
+    [WHERE col = lit [AND ...]] [LIMIT n]]. Query execution charges
+    per-row-examined compute on the database core, so an indexed point
+    SELECT is cheap and a scan is not — enough to reproduce the
+    database-core bottleneck of the paper's web+DB experiment. *)
+
+type value = Int of int | Text of string
+
+val value_to_string : value -> string
+
+type db
+
+val create : Mk_hw.Machine.t -> core:int -> db
+val core : db -> int
+
+type result = { columns : string list; rows : value list list }
+
+val exec : db -> string -> (result, string) Stdlib.result
+(** Run one SQL statement; [Error] carries a parse/semantic message.
+    Charges parse + execution costs on the database core. *)
+
+val create_index : db -> table:string -> column:string -> (unit, string) Stdlib.result
+(** Hash index for equality WHERE clauses. *)
+
+val table_rows : db -> string -> int option
+
+(** Remote access: the query protocol served over URPC. *)
+
+type query = string
+type reply = (result, string) Stdlib.result
+
+val serve : db -> (query, reply) Mk.Flounder.binding -> unit
+(** Export the engine on a binding (one per client). *)
+
+(** Deterministic TPC-W-flavoured content for the benchmark. *)
+module Tpcw : sig
+  val populate : db -> items:int -> unit
+  (** ITEM(id, title, stock, price_cents) with an index on id. *)
+
+  val point_query : Mk_sim.Prng.t -> items:int -> string
+  (** A SELECT by primary key, as issued by the web frontend. *)
+end

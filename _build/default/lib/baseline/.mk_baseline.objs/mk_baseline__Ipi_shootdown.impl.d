@@ -1,0 +1,1 @@
+lib/baseline/ipi_shootdown.ml: Array Coherence Engine Ipi List Machine Mk_hw Mk_sim Platform Spinlock Sync Tlb

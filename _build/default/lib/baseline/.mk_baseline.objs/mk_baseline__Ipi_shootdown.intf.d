@@ -1,0 +1,1 @@
+lib/baseline/ipi_shootdown.mli: Mk_hw

@@ -1,0 +1,1 @@
+lib/baseline/l4_ipc.ml: Array Coherence Hashtbl Machine Mk_hw Platform Tlb

@@ -1,0 +1,1 @@
+lib/baseline/l4_ipc.mli: Mk_hw

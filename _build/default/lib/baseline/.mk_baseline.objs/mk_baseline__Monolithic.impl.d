@@ -1,0 +1,1 @@
+lib/baseline/monolithic.ml: Coherence Engine List Machine Mk_hw Mk_sim Option Platform Printf Spinlock Sync

@@ -1,0 +1,1 @@
+lib/baseline/spinlock.ml: Array Coherence Machine Mk_hw Mk_sim Sync

@@ -1,0 +1,1 @@
+lib/baseline/spinlock.mli: Mk_hw

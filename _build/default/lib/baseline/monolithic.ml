@@ -1,0 +1,90 @@
+open Mk_sim
+open Mk_hw
+
+let clone_cost = 2600
+let join_syscall_extra = 250
+
+type t = {
+  m : Machine.t;
+  rq_lock : Spinlock.Tas.t;
+  rq_line : int;  (* the shared scheduler-queue cache line *)
+}
+
+type kthread = { k_core : int; k_done : unit Sync.Ivar.t }
+
+let create m = { m; rq_lock = Spinlock.Tas.create m; rq_line = Machine.alloc_lines m 1 }
+
+let machine t = t.m
+
+let spawn t ~core ?name body =
+  let p = t.m.Machine.plat in
+  (* clone(2): kernel setup plus a run-queue insertion under the global
+     lock — the shared data structure every spawn contends on. *)
+  Machine.compute t.m ~core p.Platform.syscall;
+  Machine.compute t.m ~core clone_cost;
+  Spinlock.Tas.with_lock t.rq_lock ~core (fun () ->
+      Coherence.store t.m.Machine.coh ~core t.rq_line);
+  let k_done = Sync.Ivar.create () in
+  let name = Option.value name ~default:(Printf.sprintf "kthread%d" core) in
+  Engine.spawn t.m.Machine.eng ~name (fun () ->
+      body ();
+      Sync.Ivar.fill k_done ());
+  { k_core = core; k_done }
+
+let join t kt =
+  let p = t.m.Machine.plat in
+  Machine.compute t.m ~core:kt.k_core (p.Platform.syscall + join_syscall_extra);
+  Sync.Ivar.read kt.k_done
+
+module Futex_barrier = struct
+  (* Waking a sleeper reschedules it: futex-bucket work plus the resched
+     IPI the destination core takes. *)
+  let wake_cost_per_waiter = 280
+  let resched_ipi = 550
+
+  type b = {
+    os : t;
+    counter_line : int;
+    parties : int;
+    mutable arrived : int;
+    mutable sleepers : (int * Engine.waker) list;  (* core, waker *)
+  }
+
+  let create os ~parties =
+    if parties <= 0 then invalid_arg "Futex_barrier.create";
+    {
+      os;
+      counter_line = Machine.alloc_lines os.m 1;
+      parties;
+      arrived = 0;
+      sleepers = [];
+    }
+
+  let await b ~core =
+    let m = b.os.m in
+    let p = m.Machine.plat in
+    (* User-space atomic on the barrier word (contended line). *)
+    Coherence.store m.Machine.coh ~core b.counter_line;
+    b.arrived <- b.arrived + 1;
+    if b.arrived = b.parties then begin
+      b.arrived <- 0;
+      (* futex(WAKE): enter the kernel and wake each sleeper serially under
+         the futex-bucket lock; each wake reschedules the sleeper. *)
+      Machine.compute m ~core p.Platform.syscall;
+      Spinlock.Tas.with_lock b.os.rq_lock ~core (fun () ->
+          let sleepers = List.rev b.sleepers in
+          b.sleepers <- [];
+          List.iter
+            (fun ((_score : int), (w : Engine.waker)) ->
+              Machine.compute m ~core wake_cost_per_waiter;
+              (* The sleeper resumes only after its resched IPI + trap. *)
+              w ~delay:(resched_ipi + p.Platform.trap) ())
+            sleepers)
+    end
+    else begin
+      (* futex(WAIT): syscall in, sleep, context switch back in on wake. *)
+      Machine.compute m ~core p.Platform.syscall;
+      Engine.suspend (fun w -> b.sleepers <- (core, w) :: b.sleepers);
+      Machine.compute m ~core p.Platform.context_switch
+    end
+end

@@ -1,0 +1,1 @@
+lib/core/cap.ml: Format Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/core/cap.mli: Format Types

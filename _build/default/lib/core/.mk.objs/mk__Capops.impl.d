@@ -1,0 +1,1 @@
+lib/core/capops.ml: Cap Cpu_driver Mk_sim Monitor Types

@@ -1,0 +1,1 @@
+lib/core/capops.mli: Cap Monitor Routing Types

@@ -1,0 +1,1 @@
+lib/core/cpu_driver.ml: Cap Dispatcher Ipi List Machine Mk_hw Platform

@@ -1,0 +1,1 @@
+lib/core/cpu_driver.mli: Cap Dispatcher Mk_hw Types

@@ -1,0 +1,1 @@
+lib/core/dispatcher.mli: Types

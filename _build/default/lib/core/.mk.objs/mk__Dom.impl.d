@@ -1,0 +1,1 @@
+lib/core/dom.ml: Cap Dispatcher List Printf Types Vspace

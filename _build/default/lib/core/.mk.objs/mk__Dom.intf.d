@@ -1,0 +1,1 @@
+lib/core/dom.mli: Cap Dispatcher Types Vspace

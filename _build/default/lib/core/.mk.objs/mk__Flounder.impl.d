@@ -1,0 +1,1 @@
+lib/core/flounder.ml: Engine Machine Mk_hw Mk_sim Sync Urpc

@@ -1,0 +1,1 @@
+lib/core/flounder.mli: Mk_hw

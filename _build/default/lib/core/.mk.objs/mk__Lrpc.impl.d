@@ -1,0 +1,1 @@
+lib/core/lrpc.ml: Cpu_driver Machine Mk_hw Platform

@@ -1,0 +1,1 @@
+lib/core/lrpc.mli: Cpu_driver Mk_hw

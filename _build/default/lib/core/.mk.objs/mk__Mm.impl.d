@@ -1,0 +1,1 @@
+lib/core/mm.ml: Array Cap Cpu_driver Machine Mk_hw Monitor Platform Types

@@ -1,0 +1,1 @@
+lib/core/mm.mli: Cap Cpu_driver Mk_hw Monitor Types

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Cap Cpu_driver Engine Hashtbl List Machine Mk_hw Mk_sim Option Platform Printf Routing Sync Tlb Types Urpc Vspace_costs

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Cap Cpu_driver Mk_hw Mk_sim Routing Types Urpc

@@ -1,0 +1,1 @@
+lib/core/name_service.ml: Array Flounder Hashtbl Machine Mk_hw Printf

@@ -1,0 +1,1 @@
+lib/core/name_service.mli: Mk_hw

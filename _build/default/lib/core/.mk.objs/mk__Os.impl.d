@@ -1,0 +1,1 @@
+lib/core/os.ml: Array Cap Cpu_driver Dispatcher Dom Engine Hashtbl List Lrpc Machine Mk_hw Mk_sim Mm Monitor Name_service Platform Printf Routing Skb Types Vspace

@@ -1,0 +1,1 @@
+lib/core/os.mli: Cap Cpu_driver Dom Mk_hw Mk_sim Mm Monitor Name_service Routing Skb Types Vspace

@@ -1,0 +1,1 @@
+lib/core/routing.ml: Hashtbl List Mk_hw Option Platform

@@ -1,0 +1,1 @@
+lib/core/shootdown.ml: Engine List Machine Mk_hw Mk_sim Platform Printf Routing Urpc

@@ -1,0 +1,1 @@
+lib/core/shootdown.mli: Mk_hw Routing

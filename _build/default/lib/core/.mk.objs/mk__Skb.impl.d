@@ -1,0 +1,1 @@
+lib/core/skb.ml: Array Hashtbl List Mk_hw Platform String Topology

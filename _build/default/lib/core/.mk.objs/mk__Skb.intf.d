@@ -1,0 +1,1 @@
+lib/core/skb.mli: Mk_hw

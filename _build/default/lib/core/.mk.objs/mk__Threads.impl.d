@@ -1,0 +1,1 @@
+lib/core/threads.ml: Coherence Dispatcher Engine List Machine Mk_hw Mk_sim Option Platform Printf Sync Urpc

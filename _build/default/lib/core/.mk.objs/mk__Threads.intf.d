@@ -1,0 +1,1 @@
+lib/core/threads.mli: Dispatcher Mk_hw

@@ -1,0 +1,1 @@
+lib/core/urpc.ml: Array Coherence Engine List Machine Mk_hw Mk_sim Platform Sync

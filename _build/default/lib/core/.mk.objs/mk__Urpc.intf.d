@@ -1,0 +1,1 @@
+lib/core/urpc.mli: Mk_hw

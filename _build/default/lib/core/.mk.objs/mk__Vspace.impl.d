@@ -1,0 +1,1 @@
+lib/core/vspace.ml: Array Cap Cpu_driver Engine Hashtbl List Machine Mk_hw Mk_sim Monitor Tlb Types Vspace_costs

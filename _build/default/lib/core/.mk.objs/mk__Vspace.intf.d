@@ -1,0 +1,1 @@
+lib/core/vspace.mli: Cap Cpu_driver Mk_hw Monitor Routing Types

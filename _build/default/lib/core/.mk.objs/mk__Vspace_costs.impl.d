@@ -1,0 +1,1 @@
+lib/core/vspace_costs.ml:

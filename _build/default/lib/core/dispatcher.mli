@@ -1,0 +1,33 @@
+(** Dispatcher objects (§4.5).
+
+    A process (domain) in the multikernel is a collection of dispatchers,
+    one per core it might execute on; communication happens between
+    dispatchers, not processes. The CPU driver schedules dispatchers via an
+    upcall interface (scheduler activations, as in Psyche), and each
+    dispatcher runs a user-level thread scheduler above it.
+
+    The record is transparent: the thread package and CPU driver maintain
+    its mutable bookkeeping directly, as the per-core structures they
+    are. *)
+
+type t = {
+  domid : Types.domid;
+  core : Types.coreid;
+  name : string;
+  mutable runnable : bool;
+  mutable upcalls : int;  (** scheduler activations delivered *)
+  mutable threads_spawned : int;
+}
+
+val create : domid:Types.domid -> core:Types.coreid -> name:string -> t
+val domid : t -> Types.domid
+val core : t -> Types.coreid
+val name : t -> string
+
+val upcall : t -> unit
+(** Record a scheduler activation delivered to this dispatcher (the cost
+    is the platform's dispatch constant, charged by the caller). *)
+
+val block : t -> unit
+val unblock : t -> unit
+val is_runnable : t -> bool

@@ -1,0 +1,48 @@
+open Mk_sim
+open Mk_hw
+
+type ('req, 'resp) binding = {
+  m : Machine.t;
+  req_chan : ('req * bool) Urpc.t;  (* bool: expects a response *)
+  resp_chan : 'resp Urpc.t;
+  req_lines : int;
+  resp_lines : int;
+  lock : Sync.Mutex.t;  (* one outstanding RPC per binding *)
+}
+
+let connect m ~name ~client ~server ?(req_lines = 1) ?(resp_lines = 1) () =
+  {
+    m;
+    req_chan = Urpc.create m ~sender:client ~receiver:server ~name:(name ^ ".req") ();
+    resp_chan = Urpc.create m ~sender:server ~receiver:client ~name:(name ^ ".resp") ();
+    req_lines;
+    resp_lines;
+    lock = Sync.Mutex.create ();
+  }
+
+let export b handler =
+  let rec loop () =
+    let req, wants_resp = Urpc.recv b.req_chan in
+    let resp = handler req in
+    if wants_resp then Urpc.send b.resp_chan ~lines:b.resp_lines resp;
+    loop ()
+  in
+  Engine.spawn b.m.Machine.eng ~name:(Urpc.name b.req_chan ^ ".server") loop
+
+let rpc b req =
+  Sync.Mutex.with_lock b.lock (fun () ->
+      Urpc.send b.req_chan ~lines:b.req_lines (req, true);
+      Urpc.recv b.resp_chan)
+
+let rpc_async b req =
+  Sync.Mutex.lock b.lock;
+  Urpc.send b.req_chan ~lines:b.req_lines (req, true);
+  fun () ->
+    let resp = Urpc.recv b.resp_chan in
+    Sync.Mutex.unlock b.lock;
+    resp
+
+let oneway b req = Urpc.send b.req_chan ~lines:b.req_lines (req, false)
+
+let client_core b = Urpc.sender b.req_chan
+let server_core b = Urpc.receiver b.req_chan

@@ -1,0 +1,40 @@
+(** Typed message-interface stubs (§4.6).
+
+    Barrelfish generates marshalling code from interface definitions with a
+    stub compiler ("Flounder"); here the equivalent is a typed RPC binding
+    over a pair of URPC channels, with message sizes declared per interface
+    so the transport charges the right number of cache lines. All message
+    transports hide behind this interface, keeping services
+    transport-independent. *)
+
+type ('req, 'resp) binding
+
+val connect :
+  Mk_hw.Machine.t ->
+  name:string ->
+  client:int ->
+  server:int ->
+  ?req_lines:int ->
+  ?resp_lines:int ->
+  unit ->
+  ('req, 'resp) binding
+(** Create a client-side binding (a channel pair). [req_lines]/[resp_lines]
+    are the marshalled sizes in cache lines (default 1). *)
+
+val export : ('req, 'resp) binding -> ('req -> 'resp) -> unit
+(** Start the server loop: for each request, run the handler in the server
+    core's context and send the response. Call once per binding. *)
+
+val rpc : ('req, 'resp) binding -> 'req -> 'resp
+(** Synchronous call. Concurrent callers on the same binding serialize. *)
+
+val rpc_async : ('req, 'resp) binding -> 'req -> (unit -> 'resp)
+(** Split-phase call: send now, return a function that blocks for the
+    reply — the pipelining pattern of §3.1. *)
+
+val oneway : ('req, _) binding -> 'req -> unit
+(** Fire-and-forget request (no response expected for this message; the
+    server handler still runs and its response is discarded). *)
+
+val client_core : (_, _) binding -> int
+val server_core : (_, _) binding -> int

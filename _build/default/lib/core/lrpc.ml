@@ -1,0 +1,31 @@
+open Mk_hw
+
+(* Scheduler-activation upcall + user-level message dispatch + thread
+   scheduler pass: the parts of Table 1's latency that are not the raw
+   kernel crossing. *)
+let activation_extra = 160
+
+type ('a, 'b) endpoint = {
+  driver : Cpu_driver.t;
+  ep_name : string;
+  handler : 'a -> 'b;
+  mutable served : int;
+}
+
+let export driver ~name handler = { driver; ep_name = name; handler; served = 0 }
+
+let one_way_cost (p : Platform.t) =
+  p.Platform.syscall + p.Platform.context_switch + p.Platform.dispatch + activation_extra
+
+let call ep arg =
+  let m = Cpu_driver.machine ep.driver in
+  let core = Cpu_driver.core ep.driver in
+  let cost = one_way_cost m.Machine.plat in
+  Machine.compute m ~core cost;
+  let reply = ep.handler arg in
+  ep.served <- ep.served + 1;
+  Machine.compute m ~core cost;
+  reply
+
+let core ep = Cpu_driver.core ep.driver
+let calls_served ep = ep.served

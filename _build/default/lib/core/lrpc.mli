@@ -1,0 +1,26 @@
+(** Synchronous same-core IPC (§4.3, Table 1).
+
+    The latency-sensitive alternative to the asynchronous split-phase
+    facility, akin to LRPC [Bershad 90] or L4 IPC: a user program calls a
+    service on the same core through the CPU driver, which switches
+    directly to the server dispatcher. The Barrelfish figures in Table 1
+    include a scheduler activation, user-level message dispatch, and a pass
+    through the thread scheduler — all represented in {!one_way_cost}. *)
+
+type ('a, 'b) endpoint
+
+val export : Cpu_driver.t -> name:string -> ('a -> 'b) -> ('a, 'b) endpoint
+(** Register a same-core service; the handler runs in the server
+    dispatcher's context when called. *)
+
+val call : ('a, 'b) endpoint -> 'a -> 'b
+(** Synchronous call: one-way into the server, run the handler, one-way
+    back. Must be made from a task logically on the endpoint's core. *)
+
+val one_way_cost : Mk_hw.Platform.t -> int
+(** User-program-to-user-program one-way latency (what Table 1 reports):
+    syscall entry + context switch + scheduler activation upcall + thread
+    scheduler pass + message dispatch. *)
+
+val core : (_, _) endpoint -> int
+val calls_served : (_, _) endpoint -> int

@@ -1,0 +1,446 @@
+open Mk_sim
+open Mk_hw
+
+let handle_cost = 50
+let poll_scan_cost = 5
+
+(* §4.4: with nothing runnable, the monitor idles the core (MONITOR/MWAIT
+   or waiting for an IPI). Waking from that sleep costs more than a poll
+   hit. The poll window before sleeping follows §5.2's P = C heuristic. *)
+let sleep_poll_window = 6000
+let wakeup_cost = 1200
+
+type fan_op =
+  | Op_noop
+  | Op_tlb_invalidate of { vpages : int list }
+  | Op_set_replica of { key : string; value : int }
+  | Op_pt_update of { vpages : int list }
+      (* replicated-page-table mode (§4.8): apply a mapping change to this
+         core's hardware-table replica *)
+
+type agree_op =
+  | Ag_noop
+  | Ag_retype of { cap : Cap.t; expected_frontier : int; bytes : int }
+  | Ag_revoke of { cap : Cap.t }
+
+type msg =
+  | Ping of { seq : int; from : int }
+  | Pong of { seq : int }
+  | Fan of { xid : int; parent : int; leaves : int list; op : fan_op }
+  | Fan_ack of { xid : int }
+  | Prepare of { xid : int; parent : int; leaves : int list; op : agree_op }
+  | Vote of { xid : int; yes : bool }
+  | Decide of { xid : int; parent : int; leaves : int list; commit : bool; op : agree_op }
+  | Decide_ack of { xid : int }
+  | Cap_transfer of { xid : int; from : int; cap : Cap.t }
+  | Cap_transfer_ack of { xid : int; ok : bool }
+  | Wake of { domid : Types.domid }
+
+(* Per-transaction state while a fan/agreement is in flight through us. *)
+type fan_state = {
+  mutable fs_remaining : int;
+  fs_parent : int option;  (* None at the origin *)
+  fs_done : unit Sync.Ivar.t option;
+}
+
+type vote_state = {
+  mutable vs_remaining : int;
+  mutable vs_yes : bool;
+  vs_parent : int option;
+  vs_plan : Routing.plan option;  (* at the origin: to run phase 2 *)
+  vs_op : agree_op;
+  vs_result : bool Sync.Ivar.t option;
+}
+
+type t = {
+  m : Machine.t;
+  driver : Cpu_driver.t;
+  core_id : int;
+  peers : (int, msg Urpc.t) Hashtbl.t;
+  mutable in_chans : msg Urpc.t array;
+  inbox : Sync.Semaphore.t;
+  mutable scan_idx : int;
+  mutable next_seq : int;
+  fans : (int, fan_state) Hashtbl.t;
+  votes : (int, vote_state) Hashtbl.t;
+  pings : (int, unit Sync.Ivar.t) Hashtbl.t;
+  cap_acks : (int, bool Sync.Ivar.t) Hashtbl.t;
+  revoking : (Cap.objtype * int * int, unit) Hashtbl.t;
+  (* Extent locks taken by a yes vote in a retype prepare; cleared by the
+     decide round. Guarantees a single global ordering of conflicting
+     retypes (§4.7). *)
+  retype_locks : (Cap.objtype * int * int, int) Hashtbl.t;  (* extent -> xid *)
+  replicas : (string, int) Hashtbl.t;
+  wakers : (Types.domid, unit -> unit) Hashtbl.t;
+  mutable handled : int;
+  mutable sleeps : int;
+  mutable slept_cycles : int;
+}
+
+let create m driver =
+  {
+    m;
+    driver;
+    core_id = Cpu_driver.core driver;
+    peers = Hashtbl.create 8;
+    in_chans = [||];
+    inbox = Sync.Semaphore.create 0;
+    scan_idx = 0;
+    next_seq = 0;
+    fans = Hashtbl.create 8;
+    votes = Hashtbl.create 8;
+    pings = Hashtbl.create 8;
+    cap_acks = Hashtbl.create 8;
+    revoking = Hashtbl.create 8;
+    retype_locks = Hashtbl.create 8;
+    replicas = Hashtbl.create 8;
+    wakers = Hashtbl.create 8;
+    handled = 0;
+    sleeps = 0;
+    slept_cycles = 0;
+  }
+
+let core t = t.core_id
+let driver t = t.driver
+let machine t = t.m
+
+let fresh_xid t =
+  let x = (t.core_id * 1_000_000) + t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  x
+
+let origin_of_xid xid = xid / 1_000_000
+
+let chan_to t dst =
+  match Hashtbl.find_opt t.peers dst with
+  | Some ch -> ch
+  | None -> invalid_arg (Printf.sprintf "Monitor %d: no channel to %d" t.core_id dst)
+
+let send_to t dst msg = Urpc.send (chan_to t dst) msg
+
+(* ------------------------------------------------------------------ *)
+(* Local application of operations                                     *)
+
+let apply_fan_op t op =
+  match op with
+  | Op_noop -> ()
+  | Op_tlb_invalidate { vpages } ->
+    let tlb = t.m.Machine.tlbs.(t.core_id) in
+    List.iter
+      (fun vpage ->
+        if Tlb.invalidate tlb ~vpage then
+          Engine.wait t.m.Machine.plat.Platform.tlb_invlpg)
+      vpages
+  | Op_set_replica { key; value } -> Hashtbl.replace t.replicas key value
+  | Op_pt_update { vpages } ->
+    (* Replicated-table mode: edit the local replica's entries and drop any
+       stale translation the TLB still caches. *)
+    let tlb = t.m.Machine.tlbs.(t.core_id) in
+    List.iter
+      (fun vpage ->
+        Machine.compute t.m ~core:t.core_id Vspace_costs.pt_update_cost;
+        if Tlb.invalidate tlb ~vpage then
+          Engine.wait t.m.Machine.plat.Platform.tlb_invlpg)
+      vpages
+
+let extent_key (c : Cap.t) = (c.Cap.otype, c.Cap.base, c.Cap.bytes)
+
+let vote_on t ~xid op =
+  match op with
+  | Ag_noop -> true
+  | Ag_retype { cap; expected_frontier; bytes = _ } ->
+    let key = extent_key cap in
+    if Hashtbl.mem t.revoking key then false
+    else begin
+      match Hashtbl.find_opt t.retype_locks key with
+      | Some owner when owner <> xid -> false  (* a concurrent retype holds it *)
+      | _ ->
+        if Cap.Db.vote_retype (Cpu_driver.capdb t.driver) cap ~expected_frontier then begin
+          Hashtbl.replace t.retype_locks key xid;
+          true
+        end
+        else false
+    end
+  | Ag_revoke { cap } ->
+    if Hashtbl.mem t.revoking (extent_key cap) then false
+    else begin
+      Hashtbl.replace t.revoking (extent_key cap) ();
+      true
+    end
+
+let apply_decision t ~xid ~commit op =
+  let db = Cpu_driver.capdb t.driver in
+  match op with
+  | Ag_noop -> ()
+  | Ag_retype { cap; expected_frontier = _; bytes } ->
+    (* Release the prepare-phase extent lock if this transaction holds it. *)
+    let key = extent_key cap in
+    (match Hashtbl.find_opt t.retype_locks key with
+     | Some owner when owner = xid -> Hashtbl.remove t.retype_locks key
+     | _ -> ());
+    (* The origin performs the real retype itself after the commit round;
+       replicas just advance their view of the consumed extent. *)
+    if commit && origin_of_xid xid <> t.core_id then
+      ignore (Cap.Db.advance_frontier db cap ~bytes : (unit, Types.error) result)
+  | Ag_revoke { cap } ->
+    Hashtbl.remove t.revoking (extent_key cap);
+    if commit && origin_of_xid xid <> t.core_id then
+      ignore (Cap.Db.revoke_replica db cap : int)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol engine                                                     *)
+
+let fan_complete t xid st =
+  Hashtbl.remove t.fans xid;
+  match (st.fs_parent, st.fs_done) with
+  | Some p, _ -> send_to t p (Fan_ack { xid })
+  | None, Some iv -> Sync.Ivar.fill iv ()
+  | None, None -> ()
+
+let vote_round_done t xid vs =
+  match vs.vs_parent with
+  | Some p ->
+    Hashtbl.remove t.votes xid;
+    send_to t p (Vote { xid; yes = vs.vs_yes })
+  | None ->
+    (* Origin: all votes in. Run the decide round over the same plan. *)
+    let plan = Option.get vs.vs_plan in
+    let commit = vs.vs_yes in
+    apply_decision t ~xid ~commit vs.vs_op;
+    vs.vs_remaining <- Routing.branch_count plan;
+    if vs.vs_remaining = 0 then begin
+      Hashtbl.remove t.votes xid;
+      match vs.vs_result with Some iv -> Sync.Ivar.fill iv commit | None -> ()
+    end
+    else
+      List.iter
+        (fun (b : Routing.branch) ->
+          send_to t b.Routing.aggregator
+            (Decide { xid; parent = t.core_id; leaves = b.Routing.leaves; commit; op = vs.vs_op }))
+        plan.Routing.branches
+
+let decide_round_done t xid vs =
+  Hashtbl.remove t.votes xid;
+  match vs.vs_parent with
+  | Some p -> send_to t p (Decide_ack { xid })
+  | None -> (match vs.vs_result with Some iv -> Sync.Ivar.fill iv vs.vs_yes | None -> ())
+
+let handle t msg =
+  t.handled <- t.handled + 1;
+  Engine.wait handle_cost;
+  match msg with
+  | Ping { seq; from } -> send_to t from (Pong { seq })
+  | Pong { seq } ->
+    (match Hashtbl.find_opt t.pings seq with
+     | Some iv ->
+       Hashtbl.remove t.pings seq;
+       Sync.Ivar.fill iv ()
+     | None -> ())
+  | Fan { xid; parent; leaves; op } ->
+    apply_fan_op t op;
+    if leaves = [] then send_to t parent (Fan_ack { xid })
+    else begin
+      Hashtbl.replace t.fans xid
+        { fs_remaining = List.length leaves; fs_parent = Some parent; fs_done = None };
+      List.iter
+        (fun leaf -> send_to t leaf (Fan { xid; parent = t.core_id; leaves = []; op }))
+        leaves
+    end
+  | Fan_ack { xid } ->
+    (match Hashtbl.find_opt t.fans xid with
+     | None -> ()
+     | Some st ->
+       st.fs_remaining <- st.fs_remaining - 1;
+       if st.fs_remaining = 0 then fan_complete t xid st)
+  | Prepare { xid; parent; leaves; op } ->
+    let my_vote = vote_on t ~xid op in
+    if leaves = [] then send_to t parent (Vote { xid; yes = my_vote })
+    else begin
+      Hashtbl.replace t.votes xid
+        { vs_remaining = List.length leaves; vs_yes = my_vote; vs_parent = Some parent;
+          vs_plan = None; vs_op = op; vs_result = None };
+      List.iter
+        (fun leaf -> send_to t leaf (Prepare { xid; parent = t.core_id; leaves = []; op }))
+        leaves
+    end
+  | Vote { xid; yes } ->
+    (match Hashtbl.find_opt t.votes xid with
+     | None -> ()
+     | Some vs ->
+       vs.vs_yes <- vs.vs_yes && yes;
+       vs.vs_remaining <- vs.vs_remaining - 1;
+       if vs.vs_remaining = 0 then vote_round_done t xid vs)
+  | Decide { xid; parent; leaves; commit; op } ->
+    apply_decision t ~xid ~commit op;
+    if leaves = [] then send_to t parent (Decide_ack { xid })
+    else begin
+      Hashtbl.replace t.votes xid
+        { vs_remaining = List.length leaves; vs_yes = commit; vs_parent = Some parent;
+          vs_plan = None; vs_op = op; vs_result = None };
+      List.iter
+        (fun leaf ->
+          send_to t leaf (Decide { xid; parent = t.core_id; leaves = []; commit; op }))
+        leaves
+    end
+  | Decide_ack { xid } ->
+    (match Hashtbl.find_opt t.votes xid with
+     | None -> ()
+     | Some vs ->
+       vs.vs_remaining <- vs.vs_remaining - 1;
+       if vs.vs_remaining = 0 then decide_round_done t xid vs)
+  | Cap_transfer { xid; from; cap } ->
+    let ok =
+      match Cap.Db.insert_remote (Cpu_driver.capdb t.driver) cap with
+      | Ok () -> true
+      | Error _ -> false
+    in
+    send_to t from (Cap_transfer_ack { xid; ok })
+  | Cap_transfer_ack { xid; ok } ->
+    (match Hashtbl.find_opt t.cap_acks xid with
+     | Some iv ->
+       Hashtbl.remove t.cap_acks xid;
+       Sync.Ivar.fill iv ok
+     | None -> ())
+  | Wake { domid } ->
+    (match Hashtbl.find_opt t.wakers domid with Some w -> w () | None -> ())
+
+(* The monitor's event loop: one schedulable task multiplexing all incoming
+   channels. A semaphore counts visible messages across channels, so the
+   simulated monitor only runs when there is work — the real system's poll
+   loop cost is approximated by a per-message scan charge. *)
+let run_loop t =
+  let n = Array.length t.in_chans in
+  let rec next_msg scanned idx =
+    if scanned > n then None
+    else
+      let ch = t.in_chans.(idx mod n) in
+      if Urpc.pending ch > 0 then begin
+        t.scan_idx <- (idx + 1) mod n;
+        Some (Urpc.recv ch)
+      end
+      else next_msg (scanned + 1) (idx + 1)
+  in
+  let rec loop () =
+    let idle_from = Engine.now_ () in
+    Sync.Semaphore.acquire t.inbox;
+    let waited = Engine.now_ () - idle_from in
+    if waited > sleep_poll_window then begin
+      (* The core slept through the wait; pay the MWAIT exit on wake. *)
+      t.sleeps <- t.sleeps + 1;
+      t.slept_cycles <- t.slept_cycles + (waited - sleep_poll_window);
+      Engine.wait wakeup_cost
+    end;
+    Engine.wait poll_scan_cost;
+    (match next_msg 0 t.scan_idx with
+     | Some msg -> handle t msg
+     | None -> ());
+    loop ()
+  in
+  loop ()
+
+let connect monitors =
+  let n = Array.length monitors in
+  let incoming = Array.make n [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let msrc = monitors.(src) in
+        let plat = msrc.m.Machine.plat in
+        (* Buffers NUMA-local to the receiver: the monitor mesh is what the
+           NUMA-aware protocols of §5.1 run over. *)
+        let ch =
+          Urpc.create msrc.m ~sender:src ~receiver:dst
+            ~node:(Platform.package_of plat dst)
+            ~name:(Printf.sprintf "mon%d->%d" src dst)
+            ()
+        in
+        Hashtbl.replace msrc.peers dst ch;
+        let mdst = monitors.(dst) in
+        Urpc.set_notify ch (fun () -> Sync.Semaphore.release mdst.inbox);
+        incoming.(dst) <- ch :: incoming.(dst)
+      end
+    done
+  done;
+  Array.iteri
+    (fun i mon ->
+      mon.in_chans <- Array.of_list (List.rev incoming.(i));
+      Engine.spawn mon.m.Machine.eng ~name:(Printf.sprintf "monitor%d" i) (fun () ->
+          run_loop mon))
+    monitors
+
+let ping t dst =
+  let seq = fresh_xid t in
+  let iv = Sync.Ivar.create () in
+  Hashtbl.replace t.pings seq iv;
+  let t0 = Engine.now_ () in
+  send_to t dst (Ping { seq; from = t.core_id });
+  Sync.Ivar.read iv;
+  Engine.now_ () - t0
+
+let run_fan_async t ~plan ~op =
+  let xid = fresh_xid t in
+  let iv = Sync.Ivar.create () in
+  apply_fan_op t op;
+  let branches = plan.Routing.branches in
+  if branches = [] then Sync.Ivar.fill iv ()
+  else begin
+    Hashtbl.replace t.fans xid
+      { fs_remaining = List.length branches; fs_parent = None; fs_done = Some iv };
+    List.iter
+      (fun (b : Routing.branch) ->
+        send_to t b.Routing.aggregator
+          (Fan { xid; parent = t.core_id; leaves = b.Routing.leaves; op }))
+      branches
+  end;
+  iv
+
+let run_fan t ~plan ~op = Sync.Ivar.read (run_fan_async t ~plan ~op)
+
+let agree_async t ~plan ~op =
+  let xid = fresh_xid t in
+  let iv = Sync.Ivar.create () in
+  let my_vote = vote_on t ~xid op in
+  let branches = plan.Routing.branches in
+  if branches = [] then begin
+    apply_decision t ~xid ~commit:my_vote op;
+    Sync.Ivar.fill iv my_vote
+  end
+  else begin
+    Hashtbl.replace t.votes xid
+      { vs_remaining = List.length branches; vs_yes = my_vote; vs_parent = None;
+        vs_plan = Some plan; vs_op = op; vs_result = Some iv };
+    List.iter
+      (fun (b : Routing.branch) ->
+        send_to t b.Routing.aggregator
+          (Prepare { xid; parent = t.core_id; leaves = b.Routing.leaves; op }))
+      branches
+  end;
+  iv
+
+let agree t ~plan ~op = Sync.Ivar.read (agree_async t ~plan ~op)
+
+let transferable (cap : Cap.t) =
+  match cap.Cap.otype with
+  | Cap.Frame | Cap.Dev_frame | Cap.RAM | Cap.Endpoint -> true
+  | Cap.Page_table _ | Cap.CNode | Cap.Dispatcher -> false
+
+let send_cap t ~dst cap =
+  if not (transferable cap) then Error (Types.Err_cap_type "not transferable")
+  else if Hashtbl.mem t.revoking (extent_key cap) then Error Types.Err_revoke_in_progress
+  else begin
+    let xid = fresh_xid t in
+    let iv = Sync.Ivar.create () in
+    Hashtbl.replace t.cap_acks xid iv;
+    send_to t dst (Cap_transfer { xid; from = t.core_id; cap });
+    if Sync.Ivar.read iv then Ok () else Error (Types.Err_invalid_args "cap transfer refused")
+  end
+
+let set_replica t key value = Hashtbl.replace t.replicas key value
+let get_replica t key = Hashtbl.find_opt t.replicas key
+
+let register_wake t domid w = Hashtbl.replace t.wakers domid w
+
+let wake_remote t ~core domid = send_to t core (Wake { domid })
+
+let messages_handled t = t.handled
+let sleep_stats t = (t.sleeps, t.slept_cycles)

@@ -1,0 +1,99 @@
+(** The per-core monitor process (§4.4).
+
+    Monitors collectively coordinate system-wide state: they run the
+    agreement protocols that keep replicated data structures (capability
+    databases, address-space mappings) globally consistent, perform
+    inter-core capability transfer and channel setup, and wake blocked
+    local dispatchers. Each monitor is a single-core, schedulable
+    user-space process whose only cross-core interface is URPC.
+
+    Two protocol engines cover everything the paper needs:
+
+    - {!run_fan}: ordered one-phase dissemination over a {!Routing.plan}
+      with aggregated acknowledgements — TLB shootdown (§5.1) and any
+      order-insensitive replica update.
+    - {!agree}: two-phase commit over the same plans — capability retype
+      and revoke (§4.7, Figure 8), where all cores must agree on a single
+      ordering of operations. *)
+
+type fan_op =
+  | Op_noop  (** raw messaging-cost measurement (Figure 6) *)
+  | Op_tlb_invalidate of { vpages : int list }
+  | Op_set_replica of { key : string; value : int }
+      (** generic replicated OS state (e.g. scheduler parameters) *)
+  | Op_pt_update of { vpages : int list }
+      (** apply a mapping change to this core's page-table replica and drop
+          the stale TLB entries (the replicated-table variant of §4.8) *)
+
+type agree_op =
+  | Ag_noop  (** 2PC cost measurement (Figure 8) *)
+  | Ag_retype of {
+      cap : Cap.t;
+      expected_frontier : int;
+      bytes : int;  (** total bytes being carved out *)
+    }
+  | Ag_revoke of { cap : Cap.t }
+
+type msg
+
+type t
+
+val create : Mk_hw.Machine.t -> Cpu_driver.t -> t
+(** One monitor per CPU driver / core. *)
+
+val core : t -> int
+val driver : t -> Cpu_driver.t
+val machine : t -> Mk_hw.Machine.t
+
+val connect : t array -> unit
+(** Build the full mesh of monitor URPC channels (buffers NUMA-local to
+    each receiver) and start every monitor's dispatch loop. Call once at
+    boot with all monitors. *)
+
+val chan_to : t -> int -> msg Urpc.t
+(** The outgoing channel to a peer monitor (for channel-setup services). *)
+
+val ping : t -> int -> int
+(** Round-trip a message to a peer monitor and return the cycles taken:
+    the boot-time online measurement that feeds the SKB. *)
+
+val run_fan : t -> plan:Routing.plan -> op:fan_op -> unit
+(** Disseminate [op] along the plan; blocks until every reached core has
+    applied it and acknowledgements have aggregated back. The op is also
+    applied locally at the root. *)
+
+val run_fan_async : t -> plan:Routing.plan -> op:fan_op -> unit Mk_sim.Sync.Ivar.t
+(** Split-phase variant: returns immediately with a completion ivar, so
+    requests can be pipelined (Figure 8's "cost when pipelining"). *)
+
+val agree : t -> plan:Routing.plan -> op:agree_op -> bool
+(** Two-phase commit of [op] across the plan's cores (plus the root).
+    Returns whether the operation committed. On commit every replica has
+    applied the op; on abort nothing changed anywhere. *)
+
+val agree_async : t -> plan:Routing.plan -> op:agree_op -> bool Mk_sim.Sync.Ivar.t
+
+val send_cap : t -> dst:int -> Cap.t -> (unit, Types.error) result
+(** Transfer a capability to another core's database, refusing types that
+    may not cross cores and capabilities under revocation (§4.8). *)
+
+val set_replica : t -> string -> int -> unit
+val get_replica : t -> string -> int option
+(** The generic replicated key/value state updated by [Op_set_replica]. *)
+
+val register_wake : t -> Types.domid -> (unit -> unit) -> unit
+(** Register the waker the monitor calls when a [Wake] message arrives for
+    a blocked local dispatcher (§4.6's poll-then-block path). *)
+
+val wake_remote : t -> core:int -> Types.domid -> unit
+
+val handle_cost : int
+(** Monitor event-loop cycles charged per handled message. *)
+
+val messages_handled : t -> int
+
+val sleep_stats : t -> int * int
+(** [(times_slept, cycles_slept)] — §4.4's core idling: after polling its
+    channels for the §5.2 window with nothing arriving, the monitor puts
+    the core to sleep (MWAIT / wait-for-IPI) and pays a wake-up cost when
+    the next message lands. *)

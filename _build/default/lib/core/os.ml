@@ -1,0 +1,167 @@
+open Mk_sim
+open Mk_hw
+
+type mon_req =
+  | Req_unmap of { dom : Dom.t; vaddr : int; bytes : int }
+  | Req_protect of { dom : Dom.t; vaddr : int; bytes : int; writable : bool }
+
+type mon_resp = (unit, Types.error) result
+
+type t = {
+  m : Machine.t;
+  drivers : Cpu_driver.t array;
+  monitors : Monitor.t array;
+  the_skb : Skb.t;
+  mms : Mm.t array;
+  ns : Name_service.t;
+  mutable endpoints : (mon_req, mon_resp) Lrpc.endpoint array;
+  mutable next_domid : int;
+  doms : (int, Dom.t) Hashtbl.t;
+}
+
+let machine t = t.m
+let platform t = t.m.Machine.plat
+let skb t = t.the_skb
+let name_service t = t.ns
+let n_cores t = Machine.n_cores t.m
+let driver t ~core = t.drivers.(core)
+let monitor t ~core = t.monitors.(core)
+let mm t ~core = t.mms.(core)
+let domains t = Hashtbl.fold (fun _ d acc -> d :: acc) t.doms []
+
+let latency t ~src ~dst =
+  if src = dst then 0
+  else
+    match Skb.urpc_latency t.the_skb ~src ~dst with
+    | Some l -> l
+    | None -> Platform.hops_between (platform t) src dst
+
+let plan t proto ~root ~members =
+  match proto with
+  | Routing.Broadcast ->
+    invalid_arg "Os.plan: broadcast has no tree plan (use Urpc.Broadcast)"
+  | Routing.Unicast -> Routing.unicast ~root ~members
+  | Routing.Multicast -> Routing.multicast (platform t) ~root ~members
+  | Routing.Numa_multicast ->
+    Routing.numa_multicast (platform t)
+      ~latency:(fun ~src ~dst -> latency t ~src ~dst)
+      ~root ~members
+
+let default_plan t ~root ~members = plan t Routing.Numa_multicast ~root ~members
+
+let run t ?(name = "main") f =
+  let result = ref None in
+  Engine.spawn t.m.Machine.eng ~name (fun () -> result := Some (f ()));
+  Machine.run t.m;
+  match !result with
+  | Some r -> r
+  | None -> failwith "Os.run: main task did not complete (deadlock?)"
+
+(* Per-core monitor LRPC endpoint: how applications reach OS services that
+   need global coordination (§4.4). The handler runs the monitor-side work
+   in the caller's context after the kernel crossing Lrpc charges. *)
+let monitor_endpoint t core =
+  Lrpc.export t.drivers.(core) ~name:(Printf.sprintf "monitor%d.vspace" core)
+    (fun req ->
+      let mon = t.monitors.(core) in
+      let plan_for ~members = default_plan t ~root:core ~members in
+      match req with
+      | Req_unmap { dom; vaddr; bytes } ->
+        Vspace.unmap (Dom.vspace dom) ~monitor:mon ~plan_for ~vaddr ~bytes
+      | Req_protect { dom; vaddr; bytes; writable } ->
+        Vspace.protect (Dom.vspace dom) ~monitor:mon ~plan_for ~vaddr ~bytes ~writable)
+
+let boot ?eng ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 1024) plat =
+  let m = Machine.create ?eng plat in
+  let n = Machine.n_cores m in
+  let drivers = Array.init n (fun core -> Cpu_driver.boot m ~core) in
+  let monitors = Array.map (fun d -> Monitor.create m d) drivers in
+  Monitor.connect monitors;
+  let mms = Mm.init m drivers ~mem_per_core in
+  Mm.set_peers mms ~monitors;
+  let the_skb = Skb.create () in
+  Skb.populate_platform the_skb plat;
+  let ns = Name_service.create m ~home_core:0 in
+  let t =
+    {
+      m;
+      drivers;
+      monitors;
+      the_skb;
+      mms;
+      ns;
+      endpoints = [||];
+      next_domid = 1;
+      doms = Hashtbl.create 8;
+    }
+  in
+  t.endpoints <- Array.init n (fun core -> monitor_endpoint t core);
+  (* Online measurement (§4.9): round-trip each monitor pair once and
+     record the one-way latency as an SKB fact. *)
+  if measure_latencies then
+    Engine.spawn m.Machine.eng ~name:"boot.measure" (fun () ->
+        for src = 0 to n - 1 do
+          for dst = 0 to n - 1 do
+            if src <> dst then begin
+              (* First ping warms the channel (cold misses on the ring and
+                 bookkeeping lines); the second is the steady-state figure. *)
+              let (_ : int) = Monitor.ping monitors.(src) dst in
+              let rtt = Monitor.ping monitors.(src) dst in
+              Skb.assert_urpc_latency the_skb ~src ~dst ~cycles:(rtt / 2)
+            end
+          done
+        done);
+  Machine.run m;
+  t
+
+let spawn_domain ?pt_mode t ~name ~cores =
+  (match cores with [] -> invalid_arg "Os.spawn_domain: empty core list" | _ -> ());
+  let domid = t.next_domid in
+  t.next_domid <- domid + 1;
+  let home = List.hd cores in
+  (* Root page table: RAM from the local memory server retyped in place. *)
+  let pt_root =
+    match Mm.alloc_ram t.mms.(home) ~bytes:Types.page_size with
+    | Error e -> Types.fail e
+    | Ok ram ->
+      (match
+         Cpu_driver.cap_retype t.drivers.(home) ram ~to_:(Cap.Page_table 4) ~count:1
+           ~bytes_each:Types.page_size
+       with
+       | Ok [ c ] -> c
+       | Ok _ | Error _ -> Types.fail Types.Err_no_memory)
+  in
+  let vspace = Vspace.create ?mode:pt_mode t.m ~domid ~cores ~pt_root in
+  let disps =
+    List.map
+      (fun core ->
+        let d = Dispatcher.create ~domid ~core ~name:(Printf.sprintf "%s/%d" name core) in
+        Cpu_driver.add_dispatcher t.drivers.(core) d;
+        (core, d))
+      cores
+  in
+  (* Announce the new domain to every OS node it spans: replicated domain
+     table updated through the monitors. *)
+  let members = cores in
+  let p = default_plan t ~root:home ~members in
+  Monitor.run_fan t.monitors.(home) ~plan:p
+    ~op:(Monitor.Op_set_replica { key = Printf.sprintf "dom%d" domid; value = 1 });
+  let dom = Dom.create ~domid ~name ~cores ~vspace ~disps in
+  Hashtbl.replace t.doms domid dom;
+  dom
+
+let alloc_map_frame t dom ~core ~vaddr ~bytes =
+  match Mm.alloc_frame t.mms.(core) ~bytes with
+  | Error e -> Error e
+  | Ok frame ->
+    (match
+       Vspace.map (Dom.vspace dom) ~driver:t.drivers.(core) ~vaddr ~frame ~writable:true
+     with
+     | Ok () -> Ok frame
+     | Error e -> Error e)
+
+let unmap t dom ~core ~vaddr ~bytes =
+  Lrpc.call t.endpoints.(core) (Req_unmap { dom; vaddr; bytes })
+
+let protect t dom ~core ~vaddr ~bytes ~writable =
+  Lrpc.call t.endpoints.(core) (Req_protect { dom; vaddr; bytes; writable })

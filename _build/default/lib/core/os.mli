@@ -1,0 +1,72 @@
+(** Booting and operating a complete multikernel (Barrelfish-style) OS on a
+    simulated machine.
+
+    [boot] brings up, per core: a CPU driver, a monitor, and a memory-server
+    pool; connects the monitor mesh; starts the name service; populates the
+    SKB with hardware-discovery facts; and (by default) runs the boot-time
+    online measurement of inter-monitor URPC latencies that feeds the
+    SKB's multicast-tree computation (§4.9, §5.1).
+
+    Functions that execute OS operations ({!spawn_domain}, {!unmap}, ...)
+    must run inside a simulation task; use {!run} to enter one. *)
+
+type t
+
+val boot :
+  ?eng:Mk_sim.Engine.t ->
+  ?measure_latencies:bool ->
+  ?mem_per_core:int ->
+  Mk_hw.Platform.t ->
+  t
+(** Construct the machine and the OS and run the engine until boot
+    completes. [mem_per_core] defaults to 64 MiB of simulated RAM. *)
+
+val machine : t -> Mk_hw.Machine.t
+val platform : t -> Mk_hw.Platform.t
+val skb : t -> Skb.t
+val name_service : t -> Name_service.t
+val n_cores : t -> int
+
+val driver : t -> core:int -> Cpu_driver.t
+val monitor : t -> core:int -> Monitor.t
+val mm : t -> core:int -> Mm.t
+
+val run : t -> ?name:string -> (unit -> 'a) -> 'a
+(** Spawn [f] as a simulation task, drive the engine until it finishes and
+    all derived work quiesces, and return its result. *)
+
+val latency : t -> src:int -> dst:int -> int
+(** Measured URPC latency between two cores' monitors (SKB fact), falling
+    back to interconnect hop count if not measured. *)
+
+val plan : t -> Routing.proto -> root:int -> members:int list -> Routing.plan
+(** Build a routing plan; NUMA-aware plans use the SKB latencies. *)
+
+val default_plan : t -> root:int -> members:int list -> Routing.plan
+(** What the OS actually uses for global operations: the NUMA-aware
+    multicast computed from the SKB (§5.1's conclusion). *)
+
+val spawn_domain :
+  ?pt_mode:Vspace.pt_mode -> t -> name:string -> cores:int list -> Dom.t
+(** Create a domain spanning [cores]: a dispatcher on each (announced to
+    the remote OS nodes through the monitors), a shared vspace whose root
+    page table is allocated from the local memory server, and a capability
+    space. Task context required. *)
+
+val alloc_map_frame :
+  t -> Dom.t -> core:int -> vaddr:int -> bytes:int -> (Cap.t, Types.error) result
+(** Allocate a frame from [core]'s memory server and map it into the
+    domain's vspace at [vaddr]. *)
+
+val unmap : t -> Dom.t -> core:int -> vaddr:int -> bytes:int -> (unit, Types.error) result
+(** The full application-level unmap path of Figure 7: LRPC to the local
+    monitor, page-table update, NUMA-aware multicast TLB shootdown over the
+    domain's cores, aggregated acks, LRPC reply. *)
+
+val protect :
+  t -> Dom.t -> core:int -> vaddr:int -> bytes:int -> writable:bool ->
+  (unit, Types.error) result
+(** Same path as {!unmap} but reducing rights (the mprotect measured in
+    Figure 7). *)
+
+val domains : t -> Dom.t list

@@ -1,0 +1,79 @@
+open Mk_hw
+
+type proto = Broadcast | Unicast | Multicast | Numa_multicast
+
+let proto_to_string = function
+  | Broadcast -> "Broadcast"
+  | Unicast -> "Unicast"
+  | Multicast -> "Multicast"
+  | Numa_multicast -> "NUMA-Aware Multicast"
+
+let all_protos = [ Broadcast; Unicast; Multicast; Numa_multicast ]
+
+type branch = { aggregator : int; leaves : int list }
+
+type plan = { root : int; branches : branch list; numa_aware : bool }
+
+let others ~root ~members =
+  List.sort_uniq compare (List.filter (fun c -> c <> root) members)
+
+let unicast ~root ~members =
+  {
+    root;
+    branches = List.map (fun c -> { aggregator = c; leaves = [] }) (others ~root ~members);
+    numa_aware = false;
+  }
+
+(* Group the non-root members by package; the root's own package members
+   become direct children of the root (a branch whose aggregator is the
+   root handles no forwarding - the root just sends to each leaf). *)
+let group_by_package plat ~root ~members =
+  let rest = others ~root ~members in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let p = Platform.package_of plat c in
+      let cur = Option.value (Hashtbl.find_opt tbl p) ~default:[] in
+      Hashtbl.replace tbl p (c :: cur))
+    rest;
+  let root_pkg = Platform.package_of plat root in
+  let local = Option.value (Hashtbl.find_opt tbl root_pkg) ~default:[] in
+  Hashtbl.remove tbl root_pkg;
+  let remote =
+    Hashtbl.fold (fun _ cores acc -> List.sort compare cores :: acc) tbl []
+    |> List.sort compare
+  in
+  (List.sort compare local, remote)
+
+let multicast_branches plat ~root ~members =
+  let local, remote = group_by_package plat ~root ~members in
+  let local_branches = List.map (fun c -> { aggregator = c; leaves = [] }) local in
+  let remote_branches =
+    List.map
+      (fun cores ->
+        match cores with
+        | agg :: leaves -> { aggregator = agg; leaves }
+        | [] -> assert false)
+      remote
+  in
+  (local_branches, remote_branches)
+
+let multicast plat ~root ~members =
+  let local, remote = multicast_branches plat ~root ~members in
+  { root; branches = remote @ local; numa_aware = false }
+
+let numa_multicast plat ~latency ~root ~members =
+  let local, remote = multicast_branches plat ~root ~members in
+  (* Farthest aggregation node first: its message is in flight while the
+     root keeps sending. Descending latency; ties broken by core id for
+     determinism. *)
+  let dist b = latency ~src:root ~dst:b.aggregator in
+  let remote =
+    List.stable_sort (fun a b -> compare (dist b, a.aggregator) (dist a, b.aggregator)) remote
+  in
+  { root; branches = remote @ local; numa_aware = true }
+
+let plan_cores plan =
+  List.concat_map (fun b -> b.aggregator :: b.leaves) plan.branches
+
+let branch_count plan = List.length plan.branches

@@ -1,0 +1,162 @@
+open Mk_sim
+open Mk_hw
+
+(* Request messages carry the round number; acks carry the subtree size
+   they account for (aggregators merge their leaves' acks). *)
+type req = { round : int }
+type ack = { round_a : int; covers : int }
+
+type t = {
+  m : Machine.t;
+  protocol : Routing.proto;
+  root : int;
+  members : int list;
+  (* Root-side send actions, in plan order. *)
+  send_round : int -> unit;
+  (* Root-side ack sources. *)
+  ack_chans : ack Urpc.t list;
+  expected_acks : int;  (* total cores covered by incoming acks *)
+}
+
+let proto t = t.protocol
+let n_cores t = List.length t.members
+
+(* A leaf task: receive a request, immediately ack to parent. *)
+let leaf_task ~req_in ~(parent_ack : ack Urpc.t) () =
+  let rec loop () =
+    let r : req = Urpc.recv req_in in
+    Urpc.send parent_ack { round_a = r.round; covers = 1 };
+    loop ()
+  in
+  loop ()
+
+(* An aggregator: receive from root, forward to local leaves, collect their
+   acks, send one aggregated ack upstream. *)
+let aggregator_task ~req_in ~fwd ~leaf_acks ~(parent_ack : ack Urpc.t) () =
+  let n = List.length fwd in
+  let rec loop () =
+    let r : req = Urpc.recv req_in in
+    List.iter (fun ch -> Urpc.send ch { round = r.round }) fwd;
+    List.iter (fun ch -> ignore (Urpc.recv ch : ack)) leaf_acks;
+    Urpc.send parent_ack { round_a = r.round; covers = n + 1 };
+    loop ()
+  in
+  loop ()
+
+(* A broadcast slave: wait on the shared line, ack point-to-point. *)
+let bcast_slave_task bc ~core ~(parent_ack : ack Urpc.t) () =
+  let rec loop () =
+    let r : req = Urpc.Broadcast.recv bc ~core in
+    Urpc.send parent_ack { round_a = r.round; covers = 1 };
+    loop ()
+  in
+  loop ()
+
+let setup m ~proto ~root ~cores ?latency () =
+  let plat = m.Machine.plat in
+  let latency =
+    match latency with
+    | Some f -> f
+    | None -> fun ~src ~dst -> Platform.hops_between plat src dst
+  in
+  let members = List.sort_uniq compare cores in
+  let slaves = List.filter (fun c -> c <> root) members in
+  (* The collector polls an array of ack channels; the hardware stride
+     prefetcher hides part of each fetch (the paper's explanation of the
+     flat sub-8-core unicast curve). *)
+  let ack_chan ~from =
+    Urpc.create m ~sender:from ~receiver:root ~prefetch:true
+      ~name:(Printf.sprintf "ack%d->%d" from root) ()
+  in
+  match proto with
+  | Routing.Broadcast ->
+    let bc = Urpc.Broadcast.create m ~sender:root ~receivers:slaves () in
+    let acks =
+      List.map
+        (fun c ->
+          let ch = ack_chan ~from:c in
+          Engine.spawn m.Machine.eng ~name:(Printf.sprintf "bslave%d" c)
+            (bcast_slave_task bc ~core:c ~parent_ack:ch);
+          ch)
+        slaves
+    in
+    {
+      m;
+      protocol = proto;
+      root;
+      members;
+      send_round = (fun round -> Urpc.Broadcast.send bc { round });
+      ack_chans = acks;
+      expected_acks = List.length slaves;
+    }
+  | Routing.Unicast | Routing.Multicast | Routing.Numa_multicast ->
+    let plan =
+      match proto with
+      | Routing.Unicast -> Routing.unicast ~root ~members
+      | Routing.Multicast -> Routing.multicast plat ~root ~members
+      | Routing.Numa_multicast | Routing.Broadcast ->
+        Routing.numa_multicast plat ~latency ~root ~members
+    in
+    let numa = plan.Routing.numa_aware in
+    let branch_setup (b : Routing.branch) =
+      let agg = b.Routing.aggregator in
+      (* NUMA-aware: the root->aggregator buffer lives on the aggregation
+         node; default: on the root's node. *)
+      let node =
+        if numa then Platform.package_of plat agg else Platform.package_of plat root
+      in
+      let req_in =
+        Urpc.create m ~sender:root ~receiver:agg ~node
+          ~name:(Printf.sprintf "req%d->%d" root agg) ()
+      in
+      let parent_ack = ack_chan ~from:agg in
+      (match b.Routing.leaves with
+       | [] ->
+         Engine.spawn m.Machine.eng ~name:(Printf.sprintf "leaf%d" agg)
+           (leaf_task ~req_in ~parent_ack)
+       | leaves ->
+         let fwd_and_acks =
+           List.map
+             (fun leaf ->
+               let fwd =
+                 Urpc.create m ~sender:agg ~receiver:leaf
+                   ~node:(Platform.package_of plat agg)
+                   ~name:(Printf.sprintf "fwd%d->%d" agg leaf) ()
+               in
+               let lack =
+                 Urpc.create m ~sender:leaf ~receiver:agg ~prefetch:true
+                   ~node:(Platform.package_of plat leaf)
+                   ~name:(Printf.sprintf "lack%d->%d" leaf agg) ()
+               in
+               Engine.spawn m.Machine.eng ~name:(Printf.sprintf "leaf%d" leaf)
+                 (leaf_task ~req_in:fwd ~parent_ack:lack);
+               (fwd, lack))
+             leaves
+         in
+         let fwd = List.map fst fwd_and_acks and leaf_acks = List.map snd fwd_and_acks in
+         Engine.spawn m.Machine.eng ~name:(Printf.sprintf "agg%d" agg)
+           (aggregator_task ~req_in ~fwd ~leaf_acks ~parent_ack));
+      (req_in, parent_ack, 1 + List.length b.Routing.leaves)
+    in
+    let setups = List.map branch_setup plan.Routing.branches in
+    let req_chans = List.map (fun (r, _, _) -> r) setups in
+    let acks = List.map (fun (_, a, _) -> a) setups in
+    let covered = List.fold_left (fun acc (_, _, n) -> acc + n) 0 setups in
+    {
+      m;
+      protocol = proto;
+      root;
+      members;
+      send_round =
+        (fun round -> List.iter (fun ch -> Urpc.send ch { round }) req_chans);
+      ack_chans = acks;
+      expected_acks = covered;
+    }
+
+let round t =
+  let t0 = Engine.now_ () in
+  let r = t0 in
+  t.send_round r;
+  (* Collect one ack per branch (aggregated acks cover whole subtrees). *)
+  List.iter (fun ch -> ignore (Urpc.recv ch : ack)) t.ack_chans;
+  Engine.now_ () - t0

@@ -1,0 +1,33 @@
+(** Raw TLB-shootdown messaging protocols (§5.1, Figure 6).
+
+    Measures only the inter-core messaging cost — no TLB invalidation, no
+    monitor dispatch — exactly like the paper's Figure 6: the master core
+    initiates a round, every slave core acknowledges, and the round ends
+    when the master has collected all (possibly aggregated) acks.
+
+    The four protocols differ in dissemination and buffer placement:
+    Broadcast (one shared line all slaves pull), Unicast (point-to-point
+    channels), Multicast (one forwarding aggregator per package), and
+    NUMA-aware Multicast (aggregator-local buffers, farthest-first send
+    order). *)
+
+type t
+
+val setup :
+  Mk_hw.Machine.t ->
+  proto:Routing.proto ->
+  root:int ->
+  cores:int list ->
+  ?latency:(src:int -> dst:int -> int) ->
+  unit ->
+  t
+(** Build the channels and start the slave/aggregator tasks for one
+    protocol instance. [latency] feeds the NUMA-aware plan ordering
+    (defaults to interconnect hop count). *)
+
+val round : t -> int
+(** Run one shootdown round from the root; returns its latency in cycles.
+    Must be called from a simulation task. *)
+
+val proto : t -> Routing.proto
+val n_cores : t -> int

@@ -1,0 +1,121 @@
+open Mk_hw
+
+type term =
+  | Int of int
+  | Atom of string
+  | Var of string
+  | Compound of string * term list
+
+type subst = (string * term) list
+
+type t = {
+  (* Facts indexed by functor name and arity for quick retrieval;
+     insertion order preserved per bucket. *)
+  facts : (string * int, term list ref) Hashtbl.t;
+  mutable count : int;
+}
+
+let create () = { facts = Hashtbl.create 64; count = 0 }
+
+let rec is_ground = function
+  | Int _ | Atom _ -> true
+  | Var _ -> false
+  | Compound (_, args) -> List.for_all is_ground args
+
+let key_of = function
+  | Compound (f, args) -> (f, List.length args)
+  | Atom a -> (a, 0)
+  | Int _ | Var _ -> invalid_arg "Skb: facts must be atoms or compounds"
+
+let assert_fact t f =
+  if not (is_ground f) then invalid_arg "Skb.assert_fact: fact contains variables";
+  let key = key_of f in
+  (match Hashtbl.find_opt t.facts key with
+   | Some bucket -> bucket := f :: !bucket
+   | None -> Hashtbl.replace t.facts key (ref [ f ]));
+  t.count <- t.count + 1
+
+(* Unification of a pattern (may contain vars) against a ground fact. *)
+let rec unify pattern fact_ (s : subst) : subst option =
+  match (pattern, fact_) with
+  | Int a, Int b -> if a = b then Some s else None
+  | Atom a, Atom b -> if String.equal a b then Some s else None
+  | Var v, g ->
+    (match List.assoc_opt v s with
+     | Some bound -> if bound = g then Some s else None
+     | None -> Some ((v, g) :: s))
+  | Compound (f, args), Compound (g, brgs) ->
+    if String.equal f g && List.length args = List.length brgs then
+      List.fold_left2
+        (fun acc a b -> match acc with None -> None | Some s -> unify a b s)
+        (Some s) args brgs
+    else None
+  | _, _ -> None
+
+let bucket_for t pattern =
+  match pattern with
+  | Compound (f, args) ->
+    (match Hashtbl.find_opt t.facts (f, List.length args) with
+     | Some b -> List.rev !b
+     | None -> [])
+  | Atom a ->
+    (match Hashtbl.find_opt t.facts (a, 0) with Some b -> List.rev !b | None -> [])
+  | Int _ | Var _ -> invalid_arg "Skb.query: pattern must be an atom or compound"
+
+let query t pattern =
+  List.filter_map (fun f -> unify pattern f []) (bucket_for t pattern)
+
+let query_one t pattern =
+  let rec first = function
+    | [] -> None
+    | f :: rest ->
+      (match unify pattern f [] with Some s -> Some s | None -> first rest)
+  in
+  first (bucket_for t pattern)
+
+let holds t pattern = query_one t pattern <> None
+
+let retract t pattern =
+  match pattern with
+  | Compound (f, args) ->
+    (match Hashtbl.find_opt t.facts (f, List.length args) with
+     | None -> ()
+     | Some b ->
+       let keep, drop = List.partition (fun fct -> unify pattern fct [] = None) !b in
+       b := keep;
+       t.count <- t.count - List.length drop)
+  | _ -> invalid_arg "Skb.retract: pattern must be a compound"
+
+let lookup_int s v =
+  match List.assoc_opt v s with
+  | Some (Int i) -> i
+  | Some _ -> invalid_arg ("Skb.lookup_int: variable " ^ v ^ " not bound to an int")
+  | None -> raise Not_found
+
+let fact f args = Compound (f, args)
+
+let size t = t.count
+
+let populate_platform t plat =
+  let n = Platform.n_cores plat in
+  assert_fact t (fact "num_cores" [ Int n ]);
+  assert_fact t (fact "num_packages" [ Int plat.Platform.n_packages ]);
+  for c = 0 to n - 1 do
+    assert_fact t (fact "core_package" [ Int c; Int (Platform.package_of plat c) ]);
+    assert_fact t (fact "share_group" [ Int c; Int (Platform.share_group_of plat c) ])
+  done;
+  for p = 0 to plat.Platform.n_packages - 1 do
+    assert_fact t (fact "package_first_core" [ Int p; Int (p * plat.Platform.cores_per_package) ])
+  done;
+  Array.iter
+    (fun (a, b) -> assert_fact t (fact "ht_link" [ Int a; Int b ]))
+    (Topology.links plat.Platform.topo)
+
+let assert_urpc_latency t ~src ~dst ~cycles =
+  retract t (fact "urpc_latency" [ Int src; Int dst; Var "_" ]);
+  assert_fact t (fact "urpc_latency" [ Int src; Int dst; Int cycles ])
+
+let urpc_latency t ~src ~dst =
+  match query_one t (fact "urpc_latency" [ Int src; Int dst; Var "L" ]) with
+  | Some s -> (try Some (lookup_int s "L") with Not_found -> None)
+  | None -> None

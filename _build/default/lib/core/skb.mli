@@ -1,0 +1,63 @@
+(** The system knowledge base (§4.9).
+
+    A service holding knowledge of the underlying hardware as relational
+    facts, queried with unification — our stand-in for the port of the
+    ECLiPSe constraint solver the paper uses. It is populated from three
+    sources, exactly as in the paper: hardware discovery (platform
+    description), online measurement (boot-time URPC latency probing, see
+    {!Os}), and pre-asserted facts (topology quirks).
+
+    Facts are ground terms like [fact "ht_link" [Int 0; Int 1]]; queries
+    may contain variables: [query skb (compound "core_package" [Var "c"; Int 3])]
+    returns one substitution per matching fact. The multicast-tree
+    computation of §5.1 ({!Routing.numa_multicast}) is a deterministic
+    function over these facts. *)
+
+type term =
+  | Int of int
+  | Atom of string
+  | Var of string
+  | Compound of string * term list
+
+type subst = (string * term) list
+(** Variable bindings produced by a query. *)
+
+type t
+
+val create : unit -> t
+
+val assert_fact : t -> term -> unit
+(** Add a ground fact (no variables). Raises [Invalid_argument] otherwise. *)
+
+val retract : t -> term -> unit
+(** Remove all facts unifying with the pattern. *)
+
+val query : t -> term -> subst list
+(** All substitutions under which the pattern unifies with a stored fact,
+    in assertion order. *)
+
+val query_one : t -> term -> subst option
+
+val holds : t -> term -> bool
+(** Is there at least one matching fact? *)
+
+val lookup_int : subst -> string -> int
+(** Binding of a variable expected to be an integer; raises [Not_found] /
+    [Invalid_argument] otherwise. *)
+
+val fact : string -> term list -> term
+(** [fact f args] builds [Compound (f, args)]. *)
+
+val size : t -> int
+
+(** {1 Standard hardware facts} *)
+
+val populate_platform : t -> Mk_hw.Platform.t -> unit
+(** Assert the discovery facts: [core_package(core, pkg)],
+    [share_group(core, grp)], [ht_link(a, b)], [num_cores(n)],
+    [package_first_core(pkg, core)]. *)
+
+val assert_urpc_latency : t -> src:int -> dst:int -> cycles:int -> unit
+(** Online-measurement fact [urpc_latency(src, dst, cycles)]. *)
+
+val urpc_latency : t -> src:int -> dst:int -> int option

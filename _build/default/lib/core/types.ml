@@ -1,0 +1,50 @@
+(* Shared identifiers and error type for the multikernel OS. *)
+
+type coreid = int
+(** A core id doubles as the id of the OS node (CPU driver + monitor)
+    running on it. *)
+
+type domid = int
+(** A domain (process) identifier: one dispatcher per core it spans. *)
+
+type vaddr = int
+type paddr = int
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let vpage_of_vaddr va = va lsr page_bits
+
+type error =
+  | Err_no_memory
+  | Err_cap_not_found
+  | Err_cap_type of string
+  | Err_cap_rights
+  | Err_retype_conflict
+  | Err_revoke_in_progress
+  | Err_already_mapped
+  | Err_not_mapped
+  | Err_channel_full
+  | Err_not_registered
+  | Err_invalid_args of string
+
+exception Mk_error of error
+
+let error_to_string = function
+  | Err_no_memory -> "out of memory"
+  | Err_cap_not_found -> "capability not found"
+  | Err_cap_type s -> "wrong capability type: " ^ s
+  | Err_cap_rights -> "insufficient capability rights"
+  | Err_retype_conflict -> "retype conflicts with existing descendants"
+  | Err_revoke_in_progress -> "revoke in progress"
+  | Err_already_mapped -> "address already mapped"
+  | Err_not_mapped -> "address not mapped"
+  | Err_channel_full -> "message channel full"
+  | Err_not_registered -> "name not registered"
+  | Err_invalid_args s -> "invalid arguments: " ^ s
+
+let fail e = raise (Mk_error e)
+
+let () =
+  Printexc.register_printer (function
+    | Mk_error e -> Some ("Mk_error: " ^ error_to_string e)
+    | _ -> None)

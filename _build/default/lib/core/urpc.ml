@@ -1,0 +1,190 @@
+open Mk_sim
+open Mk_hw
+
+let send_sw_cost = 30
+let recv_sw_cost = 30
+let prefetch_latency_penalty = 120
+let icache_lines = 9
+
+type 'a delivery = { payload : 'a; slot_addr : int; lines : int }
+
+type 'a t = {
+  m : Machine.t;
+  src : int;
+  dst : int;
+  slot_addrs : int array;
+  send_ctrl : int array;  (* sender-local ring bookkeeping lines *)
+  recv_ctrl : int array;  (* receiver-local dispatch/waitset lines *)
+  mutable head : int;
+  flow : Sync.Semaphore.t;
+  box : 'a delivery Sync.Mailbox.t;
+  prefetch : bool;
+  chan_name : string;
+  mutable last_visible : int;
+  mutable sent : int;
+  mutable received : int;
+  mutable notify : (unit -> unit) option;
+}
+
+let create (type a) m ~sender ~receiver ?(slots = 16) ?node ?(prefetch = false)
+    ?(name = "urpc") () : a t =
+  if slots <= 0 then invalid_arg "Urpc.create: slots must be positive";
+  let plat = m.Machine.plat in
+  let node =
+    match node with Some n -> n | None -> Platform.package_of plat sender
+  in
+  (* Each slot gets its own line; message payloads larger than one line
+     spill into lines allocated right after the ring (same home). *)
+  let slot_addrs =
+    Array.init slots (fun _ -> Machine.alloc_lines m ~node 1)
+  in
+  let send_ctrl =
+    Array.init 2 (fun _ ->
+        Machine.alloc_lines m ~node:(Platform.package_of plat sender) 1)
+  in
+  let recv_ctrl =
+    Array.init 3 (fun _ ->
+        Machine.alloc_lines m ~node:(Platform.package_of plat receiver) 1)
+  in
+  {
+    m;
+    src = sender;
+    dst = receiver;
+    slot_addrs;
+    send_ctrl;
+    recv_ctrl;
+    head = 0;
+    flow = Sync.Semaphore.create slots;
+    box = Sync.Mailbox.create ();
+    prefetch;
+    chan_name = name;
+    last_visible = 0;
+    sent = 0;
+    received = 0;
+    notify = None;
+  }
+
+let set_notify t f = t.notify <- Some f
+
+let sender t = t.src
+let receiver t = t.dst
+let name t = t.chan_name
+let pending t = Sync.Mailbox.length t.box
+let stats_sent t = t.sent
+let stats_received t = t.received
+
+(* Post [lines] consecutive line stores starting at the slot; the message
+   becomes visible when the last store's invalidation completes. In-order
+   delivery is enforced by the channel's visibility sequencer. *)
+let post_message t ~slot_addr ~lines =
+  let coh = t.m.Machine.coh in
+  let cl = t.m.Machine.plat.Platform.cacheline in
+  let delay = ref 0 in
+  for i = 0 to lines - 1 do
+    let d = Coherence.store_posted coh ~core:t.src (slot_addr + (i * cl)) in
+    if d > !delay then delay := d
+  done;
+  !delay
+
+let send t ?(lines = 1) payload =
+  Sync.Semaphore.acquire t.flow;
+  Engine.wait (send_sw_cost + if t.prefetch then prefetch_latency_penalty else 0);
+  (* Ring-position and channel-state updates (sender-local lines). *)
+  Array.iter (fun a -> Coherence.store t.m.Machine.coh ~core:t.src a) t.send_ctrl;
+  let slot_addr = t.slot_addrs.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.slot_addrs;
+  let delay = post_message t ~slot_addr ~lines in
+  let visible_at = max (Engine.now_ () + delay) t.last_visible in
+  t.last_visible <- visible_at;
+  t.sent <- t.sent + 1;
+  Engine.spawn_ ~name:(t.chan_name ^ ".wire") (fun () ->
+      Engine.wait_until visible_at;
+      Sync.Mailbox.send t.box { payload; slot_addr; lines };
+      match t.notify with Some f -> f () | None -> ())
+
+(* Receive-side cost once a message line is visible: fetch each line from
+   the sender's cache, then run the dispatch stub. With the prefetch
+   variant and a backlog, the fetch of the next line overlaps the dispatch
+   of the current one, halving the exposed fetch cost. *)
+let charge_receive t (d : 'a delivery) =
+  let coh = t.m.Machine.coh in
+  let cl = t.m.Machine.plat.Platform.cacheline in
+  if t.prefetch then
+    (* Stride-prefetched endpoint array (§4.6): the hardware prefetcher
+       issued the fetch before the dispatch loop reached this channel,
+       hiding part of the transfer latency. *)
+    for i = 0 to d.lines - 1 do
+      let lat = Coherence.load_async coh ~core:t.dst (d.slot_addr + (i * cl)) in
+      Engine.wait (lat * 7 / 10)
+    done
+  else
+    for i = 0 to d.lines - 1 do
+      Coherence.load coh ~core:t.dst (d.slot_addr + (i * cl))
+    done;
+  (* Dispatch-table and waitset updates (receiver-local lines). *)
+  Array.iter (fun a -> Coherence.store t.m.Machine.coh ~core:t.dst a) t.recv_ctrl;
+  Engine.wait recv_sw_cost;
+  t.received <- t.received + 1;
+  Sync.Semaphore.release t.flow;
+  d.payload
+
+let recv t =
+  let d = Sync.Mailbox.recv t.box in
+  charge_receive t d
+
+let recv_blocking t ~poll_cycles ~wakeup_cost =
+  let t0 = Engine.now_ () in
+  let d = Sync.Mailbox.recv t.box in
+  if Engine.now_ () - t0 > poll_cycles then Engine.wait wakeup_cost;
+  charge_receive t d
+
+let try_recv t =
+  match Sync.Mailbox.try_recv t.box with
+  | Some d -> Some (charge_receive t d)
+  | None ->
+    (* Poll read of the head slot: a cache hit while we own/share it. *)
+    Engine.wait t.m.Machine.plat.Platform.l1_hit;
+    None
+
+module Broadcast = struct
+  type 'a bc = {
+    m : Machine.t;
+    src : int;
+    line_addr : int;
+    boxes : (int * 'a Sync.Mailbox.t) list;
+  }
+
+  let create m ~sender ~receivers ?node () =
+    let node =
+      match node with
+      | Some n -> n
+      | None -> Platform.package_of m.Machine.plat sender
+    in
+    let line_addr = Machine.alloc_lines m ~node 1 in
+    {
+      m;
+      src = sender;
+      line_addr;
+      boxes = List.map (fun c -> (c, Sync.Mailbox.create ())) receivers;
+    }
+
+  let send t payload =
+    Engine.wait send_sw_cost;
+    let delay = Coherence.store_posted t.m.Machine.coh ~core:t.src t.line_addr in
+    Engine.spawn_ ~name:"bcast.wire" (fun () ->
+        Engine.wait delay;
+        List.iter (fun (_, box) -> Sync.Mailbox.send box payload) t.boxes)
+
+  let recv t ~core =
+    let box =
+      match List.assoc_opt core t.boxes with
+      | Some b -> b
+      | None -> invalid_arg "Urpc.Broadcast.recv: not a receiver of this channel"
+    in
+    let payload = Sync.Mailbox.recv box in
+    (* Every receiver pulls the line from wherever it currently lives —
+       serialized at the home directory and the owner's cache port. *)
+    Coherence.load t.m.Machine.coh ~core t.line_addr;
+    Engine.wait recv_sw_cost;
+    payload
+end

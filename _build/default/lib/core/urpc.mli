@@ -1,0 +1,88 @@
+(** User-level RPC channels (§4.6).
+
+    The only inter-core communication mechanism: a region of shared memory
+    used as a ring of cache-line-sized slots, written by exactly one sender
+    core and polled by exactly one receiver core. The send fast path is a
+    posted (write-buffered) store — the sender continues while invalidation
+    is in flight — and the receive path pays the cache-to-cache fetch, so a
+    message costs two interconnect round trips end to end, exactly the
+    behaviour §4.6 describes for HyperTransport.
+
+    The channel buffer's home (directory) node is a placement knob: by
+    default it lives on the sender's node; the NUMA-aware multicast of §5.1
+    allocates it on the aggregation node instead ({!create}'s [node]). *)
+
+type 'a t
+
+val create :
+  Mk_hw.Machine.t ->
+  sender:int ->
+  receiver:int ->
+  ?slots:int ->
+  ?node:int ->
+  ?prefetch:bool ->
+  ?name:string ->
+  unit ->
+  'a t
+(** [slots] is the ring size (default 16, the paper's pipeline depth);
+    [node] pins the buffer's home node (default: sender's package);
+    [prefetch] selects the throughput-optimized variant of §4.6 that uses
+    prefetch instructions (better pipelined throughput, worse
+    single-message latency). *)
+
+val send : 'a t -> ?lines:int -> 'a -> unit
+(** Send a message occupying [lines] cache lines (default 1). Blocks only
+    when all ring slots are in flight (flow control); otherwise the sender
+    is released after the software path + store post and the line transfer
+    completes asynchronously. Messages arrive in order. *)
+
+val recv : 'a t -> 'a
+(** Block until a message line is visible, then pay the fetch + dispatch
+    path. A task blocked here models a dispatcher polling the channel. *)
+
+val recv_blocking : 'a t -> poll_cycles:int -> wakeup_cost:int -> 'a
+(** §5.2's poll-then-block discipline: poll for [poll_cycles]; if the
+    message had not arrived by then, charge [wakeup_cost] (the C of the
+    paper's model: IPI + context switch via the monitor) on top. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking poll. Pays the fetch cost when a message is present and
+    only a cache-hit poll read otherwise. *)
+
+val sender : _ t -> int
+val receiver : _ t -> int
+val name : _ t -> string
+val pending : _ t -> int
+(** Messages visible to the receiver but not yet received. *)
+
+val stats_sent : _ t -> int
+val stats_received : _ t -> int
+
+val set_notify : _ t -> (unit -> unit) -> unit
+(** Install a callback run each time a message becomes visible to the
+    receiver. Lets a dispatcher multiplex many channels without burning
+    poll cycles in the simulator (the real system's poll loop; its cost is
+    charged by the consumer, see {!Monitor}). *)
+
+val send_sw_cost : int
+(** Cycles of marshalling/stub code on the send side (per message). *)
+
+val recv_sw_cost : int
+(** Cycles of dispatch/stub code on the receive side (per message). *)
+
+val icache_lines : int
+(** Instruction-cache footprint of the URPC send+receive fast path, for
+    Table 3 (a property of the code size, asserted not measured). *)
+
+(** One writer, many pollers of the same line: the (bad) Broadcast protocol
+    of §5.1. Every receiver pulls the full line from the sender's cache,
+    serializing at its home directory — which is why it scales poorly. *)
+module Broadcast : sig
+  type 'a bc
+
+  val create :
+    Mk_hw.Machine.t -> sender:int -> receivers:int list -> ?node:int -> unit -> 'a bc
+
+  val send : 'a bc -> 'a -> unit
+  val recv : 'a bc -> core:int -> 'a
+end

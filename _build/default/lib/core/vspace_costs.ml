@@ -1,0 +1,5 @@
+(* Page-table manipulation costs, shared by Vspace and the monitors'
+   replicated-table update path (kept separate to avoid a module cycle). *)
+
+let pt_update_cost = 120
+let tlb_walk_cost = 180

@@ -1,0 +1,1 @@
+lib/hw/coherence.ml: Array Engine Hashtbl List Lru Mk_sim Perfcounter Platform Printf Resource Topology

@@ -1,0 +1,1 @@
+lib/hw/coherence.mli: Perfcounter Platform

@@ -1,0 +1,1 @@
+lib/hw/ipi.ml: Array Engine Hashtbl Mk_sim Platform Printf Resource

@@ -1,0 +1,1 @@
+lib/hw/ipi.mli: Mk_sim Platform

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Coherence Engine Ipi Mk_sim Option Perfcounter Platform Printf Resource Tlb

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Coherence Ipi Mk_sim Perfcounter Platform Tlb

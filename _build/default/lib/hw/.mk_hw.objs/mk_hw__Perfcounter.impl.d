@@ -1,0 +1,1 @@
+lib/hw/perfcounter.ml: Array Hashtbl List Option Platform Topology

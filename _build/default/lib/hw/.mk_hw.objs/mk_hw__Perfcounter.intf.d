@@ -1,0 +1,1 @@
+lib/hw/perfcounter.mli: Platform Topology

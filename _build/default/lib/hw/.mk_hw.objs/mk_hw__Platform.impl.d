@@ -1,0 +1,1 @@
+lib/hw/platform.ml: Fun List Printf Topology

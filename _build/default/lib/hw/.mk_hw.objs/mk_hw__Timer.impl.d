@@ -1,0 +1,1 @@
+lib/hw/timer.ml: Engine Machine Mk_sim Printf

@@ -1,0 +1,343 @@
+open Mk_sim
+
+type line_state = Invalid | Shared of int list | Modified of int
+
+type line = {
+  mutable st : line_state;
+  mutable home : int;
+  (* MOESI owner: the last writer keeps sourcing data to readers until the
+     line is written again. *)
+  mutable owner : int option;
+  (* End of the last owner-sourced transfer of this line: successive reads
+     of one dirty line are serviced one at a time (a single line has a
+     single set of MSHR/response buffers at its owner), which is Figure 6's
+     Broadcast storm. Distinct lines pipeline. *)
+  mutable line_busy_until : int;
+}
+
+type t = {
+  plat : Platform.t;
+  counters : Perfcounter.t;
+  lines : (int, line) Hashtbl.t;
+  (* Optional finite capacity per core (in lines): evictions write dirty
+     victims back to their home and drop clean ones. None = infinite. *)
+  lrus : Lru.t option array;
+  (* Home-node pinning as sorted, non-overlapping (first, last, node)
+     ranges: the bump allocator pins whole regions, so per-line entries
+     would be wastefully huge. *)
+  mutable home_ranges : (int * int * int) array;
+  mutable n_ranges : int;
+  dirs : Resource.t array;  (* one directory/home-node resource per package *)
+  ports : Resource.t array;  (* per-core cache port: serializes c2c sourcing *)
+}
+
+(* Dword accounting per the HT convention the paper uses for Table 4:
+   command/probe packets are 2 dwords, a cache line of data is 16 dwords
+   plus a 2-dword header. *)
+let cmd_dwords = 2
+let data_dwords = 18
+let store_post_cost = 60
+let port_occupancy = 70
+
+let create ?cache_lines_per_core plat counters =
+  let n = Platform.n_cores plat in
+  {
+    plat;
+    counters;
+    lines = Hashtbl.create 4096;
+    lrus =
+      (match cache_lines_per_core with
+       | None -> Array.make n None
+       | Some cap -> Array.init n (fun _ -> Some (Lru.create ~capacity:cap)));
+    home_ranges = Array.make 64 (0, 0, 0);
+    n_ranges = 0;
+    dirs =
+      Array.init plat.Platform.n_packages (fun i ->
+          Resource.create ~name:(Printf.sprintf "dir%d" i) ());
+    ports =
+      Array.init (Platform.n_cores plat) (fun i ->
+          Resource.create ~name:(Printf.sprintf "cacheport%d" i) ());
+  }
+
+let platform t = t.plat
+let line_of_addr t addr = addr / t.plat.Platform.cacheline
+
+let set_home_range t ~first_line ~last_line ~node =
+  if t.n_ranges = Array.length t.home_ranges then begin
+    let bigger = Array.make (t.n_ranges * 2) (0, 0, 0) in
+    Array.blit t.home_ranges 0 bigger 0 t.n_ranges;
+    t.home_ranges <- bigger
+  end;
+  (* The allocator hands out monotonically increasing addresses, so ranges
+     arrive sorted; enforce it to keep the binary search valid. *)
+  (if t.n_ranges > 0 then
+     let _, prev_last, _ = t.home_ranges.(t.n_ranges - 1) in
+     if first_line <= prev_last then
+       invalid_arg "Coherence.set_home_range: ranges must be increasing");
+  t.home_ranges.(t.n_ranges) <- (first_line, last_line, node);
+  t.n_ranges <- t.n_ranges + 1
+
+let set_home t ~line ~node = set_home_range t ~first_line:line ~last_line:line ~node
+
+let pinned_home_of t line =
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let first, last, node = t.home_ranges.(mid) in
+      if line < first then search lo (mid - 1)
+      else if line > last then search (mid + 1) hi
+      else Some node
+    end
+  in
+  search 0 (t.n_ranges - 1)
+
+let home_of t ~line =
+  match Hashtbl.find_opt t.lines line with
+  | Some l -> Some l.home
+  | None -> pinned_home_of t line
+
+let get_line t ~core line =
+  match Hashtbl.find_opt t.lines line with
+  | Some l -> l
+  | None ->
+    let home =
+      match pinned_home_of t line with
+      | Some n -> n
+      | None -> Platform.package_of t.plat core
+    in
+    let l = { st = Invalid; home; owner = None; line_busy_until = 0 } in
+    Hashtbl.replace t.lines line l;
+    l
+
+(* Charge dword traffic along the route between two packages, keeping the
+   direction of travel (Table 4 reports per-direction link utilization). *)
+let charge_path t src_pkg dst_pkg dwords =
+  if src_pkg <> dst_pkg then
+    List.iter
+      (fun (u, v) -> Perfcounter.add_link_dwords t.counters (u, v) dwords)
+      (Topology.path_directed t.plat.Platform.topo src_pkg dst_pkg)
+
+(* Broadcast probe traffic: HT probes fan out on every link, both ways. *)
+let charge_probe_broadcast t =
+  Array.iter
+    (fun (a, b) ->
+      Perfcounter.add_link_dwords t.counters (a, b) cmd_dwords;
+      Perfcounter.add_link_dwords t.counters (b, a) cmd_dwords)
+    (Topology.links t.plat.Platform.topo)
+
+(* Latency of moving a line from core [src]'s cache to core [dst]'s. *)
+let transfer_latency t ~src ~dst =
+  let p = t.plat in
+  if Platform.shares_cache p src dst then p.Platform.shared_cache_fetch
+  else
+    p.Platform.cc_base + (2 * p.Platform.hop_one_way * Platform.hops_between p src dst)
+
+let is_local_group t a b = Platform.shares_cache t.plat a b
+
+(* Capacity: a core dropping a line (eviction or remote invalidation). *)
+let forget t ~core lid =
+  match t.lrus.(core) with Some lru -> Lru.remove lru lid | None -> ()
+
+let evict t ~core victim_lid =
+  match Hashtbl.find_opt t.lines victim_lid with
+  | None -> ()
+  | Some v ->
+    (match v.st with
+     | Modified o when o = core ->
+       (* Dirty eviction: write the line back to its home. *)
+       charge_path t (Platform.package_of t.plat core) v.home data_dwords;
+       v.st <- Invalid;
+       v.owner <- None
+     | Shared cs ->
+       let rest = List.filter (fun c -> c <> core) cs in
+       v.st <- (if rest = [] then Invalid else Shared rest);
+       if v.owner = Some core then v.owner <- None
+     | Modified _ | Invalid -> ())
+
+(* Record that [core] now caches [lid]; handle any capacity eviction. *)
+let note_presence t ~core lid =
+  match t.lrus.(core) with
+  | None -> ()
+  | Some lru ->
+    (match Lru.touch lru lid with
+     | Some victim when victim <> lid -> evict t ~core victim
+     | Some _ | None -> ())
+
+(* What a memory access must do, decided from the line state. State
+   transitions, counters and traffic happen here; how the latency is
+   realized (blocking wait vs posted/async delay) is up to the caller. *)
+type outcome =
+  | Hit
+  | Local of int  (* within a share group: no fabric involvement *)
+  | Txn of { home : int; lat : int; source_port : int option; ln : line option }
+      (* [ln]: serialize this transaction per line (owner-sourced data) *)
+
+let in_sharers core = List.exists (fun c -> c = core)
+
+let prepare_load t ~core addr =
+  let p = t.plat in
+  let lid = line_of_addr t addr in
+  let l = get_line t ~core lid in
+  Perfcounter.count_load t.counters ~core;
+  Perfcounter.touch_line t.counters ~core ~line:lid;
+  note_presence t ~core lid;
+  match l.st with
+  | Modified o when o = core -> Hit
+  | Shared cs when in_sharers core cs -> Hit
+  | Modified o ->
+    Perfcounter.count_miss t.counters ~core;
+    Perfcounter.count_c2c t.counters ~core;
+    l.st <- Shared [ core; o ];
+    if is_local_group t core o then Local p.Platform.shared_cache_fetch
+    else begin
+      let lat = transfer_latency t ~src:o ~dst:core in
+      charge_path t (Platform.package_of p core) l.home cmd_dwords;
+      charge_path t (Platform.package_of p o) (Platform.package_of p core) data_dwords;
+      Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+    end
+  | Shared cs ->
+    Perfcounter.count_miss t.counters ~core;
+    l.st <- Shared (core :: cs);
+    (match l.owner with
+     | Some o when o <> core && not (is_local_group t core o) ->
+       (* Owned line: the last writer's cache sources the data. *)
+       Perfcounter.count_c2c t.counters ~core;
+       let lat = transfer_latency t ~src:o ~dst:core in
+       charge_path t (Platform.package_of p core) l.home cmd_dwords;
+       charge_path t (Platform.package_of p o) (Platform.package_of p core) data_dwords;
+       Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+     | Some o when o <> core ->
+       Perfcounter.count_c2c t.counters ~core;
+       Local p.Platform.shared_cache_fetch
+     | _ ->
+       Perfcounter.count_dram t.counters ~core;
+       let home_dist =
+         Topology.hops p.Platform.topo (Platform.package_of p core) l.home
+       in
+       let lat = p.Platform.dram + (2 * p.Platform.hop_one_way * home_dist) in
+       charge_path t (Platform.package_of p core) l.home (cmd_dwords + data_dwords);
+       Txn { home = l.home; lat; source_port = None; ln = None })
+  | Invalid ->
+    Perfcounter.count_miss t.counters ~core;
+    Perfcounter.count_dram t.counters ~core;
+    l.st <- Shared [ core ];
+    let home_dist = Topology.hops p.Platform.topo (Platform.package_of p core) l.home in
+    let lat = p.Platform.dram + (2 * p.Platform.hop_one_way * home_dist) in
+    charge_path t (Platform.package_of p core) l.home (cmd_dwords + data_dwords);
+    Txn { home = l.home; lat; source_port = None; ln = None }
+
+let prepare_store t ~core addr =
+  let p = t.plat in
+  let lid = line_of_addr t addr in
+  let l = get_line t ~core lid in
+  Perfcounter.count_store t.counters ~core;
+  Perfcounter.touch_line t.counters ~core ~line:lid;
+  note_presence t ~core lid;
+  l.owner <- Some core;
+  match l.st with
+  | Modified o when o = core -> Hit
+  | Shared [ c ] when c = core ->
+    (* Silent E->M upgrade. *)
+    l.st <- Modified core;
+    Hit
+  | Shared cs ->
+    Perfcounter.count_miss t.counters ~core;
+    Perfcounter.count_inval t.counters ~core;
+    List.iter (fun c -> if c <> core then forget t ~core:c lid) cs;
+    let remote = List.filter (fun c -> c <> core && not (is_local_group t core c)) cs in
+    l.st <- Modified core;
+    if remote = [] then Local p.Platform.shared_cache_fetch
+    else begin
+      (* Invalidation probes broadcast across the fabric; latency bounded by
+         the farthest sharer. *)
+      charge_probe_broadcast t;
+      let far =
+        List.fold_left (fun acc c -> max acc (transfer_latency t ~src:c ~dst:core)) 0 remote
+      in
+      Txn { home = l.home; lat = far; source_port = None; ln = None }
+    end
+  | Modified o ->
+    Perfcounter.count_miss t.counters ~core;
+    Perfcounter.count_c2c t.counters ~core;
+    forget t ~core:o lid;
+    l.st <- Modified core;
+    if is_local_group t core o then Local p.Platform.shared_cache_fetch
+    else begin
+      let lat = transfer_latency t ~src:o ~dst:core in
+      charge_path t (Platform.package_of p core) l.home cmd_dwords;
+      charge_path t (Platform.package_of p o) (Platform.package_of p core) data_dwords;
+      (* Migratory write: ownership moves between different cores, so
+         successive transfers pipeline (no per-line storm slot). *)
+      Txn { home = l.home; lat; source_port = Some o; ln = None }
+    end
+  | Invalid ->
+    Perfcounter.count_miss t.counters ~core;
+    Perfcounter.count_dram t.counters ~core;
+    l.st <- Modified core;
+    let home_dist = Topology.hops p.Platform.topo (Platform.package_of p core) l.home in
+    let lat = p.Platform.dram + (2 * p.Platform.hop_one_way * home_dist) in
+    charge_path t (Platform.package_of p core) l.home (cmd_dwords + data_dwords);
+    Txn { home = l.home; lat; source_port = None; ln = None }
+
+(* Realize an outcome without blocking: reserve the serialized resources
+   and return the delay (relative to now) until the access completes.
+   The home directory is occupied for its fixed service time; the sourcing
+   cache's port is occupied for the whole transfer (a second fetch from the
+   same cache cannot start until the first response has left), which is
+   what serializes reader storms on one line. Both overlap the transfer
+   latency itself. *)
+let realize_posted t outcome =
+  let p = t.plat in
+  let now = Engine.now_ () in
+  match outcome with
+  | Hit -> p.Platform.l1_hit
+  | Local lat -> lat
+  | Txn { home; lat; source_port; ln } ->
+    let occ = p.Platform.dir_occupancy in
+    let dir_done = Resource.reserve t.dirs.(home) occ in
+    let port_done =
+      match source_port with
+      | Some src -> Resource.reserve t.ports.(src) port_occupancy
+      | None -> dir_done
+    in
+    (match ln with
+     | Some l ->
+       (* Owner-sourced transfer: readers of one dirty line are serviced
+          one at a time; each service slot spans directory lookup, port
+          turnaround and the transfer itself. An uncontended access still
+          completes in [lat]. *)
+       let slot_start = max now l.line_busy_until in
+       l.line_busy_until <- slot_start + occ + port_occupancy + lat;
+       let data_at = slot_start + lat in
+       max (max lat (max dir_done port_done - now)) (data_at - now)
+     | None -> max lat (max dir_done port_done - now))
+
+let realize_blocking t outcome =
+  let delay = realize_posted t outcome in
+  Engine.wait delay
+
+let load t ~core addr = realize_blocking t (prepare_load t ~core addr)
+
+let load_async t ~core addr = realize_posted t (prepare_load t ~core addr)
+
+let store t ~core addr = realize_blocking t (prepare_store t ~core addr)
+
+let store_posted t ~core addr =
+  let outcome = prepare_store t ~core addr in
+  let delay = realize_posted t outcome in
+  Engine.wait store_post_cost;
+  max 0 (delay - store_post_cost)
+
+let touch_range t ~core ~addr ~bytes ~write =
+  if bytes > 0 then begin
+    let first = line_of_addr t addr in
+    let last = line_of_addr t (addr + bytes - 1) in
+    for l = first to last do
+      let a = l * t.plat.Platform.cacheline in
+      if write then store t ~core a else load t ~core a
+    done
+  end
+
+let line_state t ~line =
+  match Hashtbl.find_opt t.lines line with Some l -> l.st | None -> Invalid

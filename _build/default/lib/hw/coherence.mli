@@ -1,0 +1,72 @@
+(** Directory-based MESI cache-coherence model.
+
+    Tracks the MESI state of every touched cache line across per-core
+    private caches (with shared-LLC groups treated as a locality class, not
+    a separate level), computes the latency of each load/store from the
+    line state, the interconnect hop distance and home-directory queueing,
+    and maintains the performance counters.
+
+    This is the component that makes messages-vs-shared-memory tradeoffs
+    emerge rather than being asserted: Figure 3's linear shared-memory
+    growth comes from home-node serialization under contention; Table 2's
+    latency classes come from the hop distances; Figure 6's broadcast
+    behaviour comes from N cores fetching the same dirty line serially.
+
+    Caches default to infinite capacity (misses are cold and coherence
+    misses); pass [cache_lines_per_core] to model finite caches with LRU
+    replacement — dirty victims write back to their home node, clean ones
+    are silently dropped, and the directory stays consistent either way. *)
+
+type t
+
+type line_state =
+  | Invalid  (** in memory only *)
+  | Shared of int list  (** clean, cached by these cores *)
+  | Modified of int  (** dirty, exclusively owned by this core *)
+
+val create : ?cache_lines_per_core:int -> Platform.t -> Perfcounter.t -> t
+
+val platform : t -> Platform.t
+
+val line_of_addr : t -> int -> int
+(** [addr / cacheline_bytes]. *)
+
+val set_home : t -> line:int -> node:int -> unit
+(** Pin a line's home (directory) node — NUMA-aware allocation. Without
+    this, the home defaults to the first toucher's package. *)
+
+val set_home_range : t -> first_line:int -> last_line:int -> node:int -> unit
+(** Pin a whole region at once (what the allocator uses). Ranges must be
+    disjoint and arrive in increasing address order. *)
+
+val home_of : t -> line:int -> int option
+
+val load : t -> core:int -> int -> unit
+(** [load t ~core addr]: blocks the calling task for the access latency and
+    updates line state, counters and link traffic. *)
+
+val store : t -> core:int -> int -> unit
+(** Blocking store: waits until ownership is acquired (all remote copies
+    invalidated). *)
+
+val load_async : t -> core:int -> int -> int
+(** State transitions and traffic as {!load}, but does not block: returns
+    the cycles until the data would arrive. Models a prefetched load whose
+    latency is hidden behind other work. *)
+
+val store_posted : t -> core:int -> int -> int
+(** Write-buffer store: charges the calling core only the store-post cost
+    and returns the number of extra cycles until the store is globally
+    visible (remote copies invalidated, line owned). State transitions and
+    traffic are accounted immediately. This is the URPC fast path: the
+    sender streams into its write buffer while invalidation is in flight. *)
+
+val touch_range : t -> core:int -> addr:int -> bytes:int -> write:bool -> unit
+(** Access every line of [addr, addr+bytes): bulk data movement (packet
+    payloads, page zeroing). Blocking. *)
+
+val line_state : t -> line:int -> line_state
+(** For tests and assertions. *)
+
+val store_post_cost : int
+(** Cycles a posted store occupies the issuing core (write-buffer insert). *)

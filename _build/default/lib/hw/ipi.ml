@@ -1,0 +1,38 @@
+open Mk_sim
+
+type t = {
+  plat : Platform.t;
+  cores : Resource.t array;
+  handlers : (int * int, src:int -> unit) Hashtbl.t;  (* (core, vector) *)
+  mutable sent : int;
+}
+
+let apic_write_cost = 100
+
+let create plat ~core_resources =
+  if Array.length core_resources <> Platform.n_cores plat then
+    invalid_arg "Ipi.create: resource array size mismatch";
+  { plat; cores = core_resources; handlers = Hashtbl.create 16; sent = 0 }
+
+let register t ~core ~vector f = Hashtbl.replace t.handlers (core, vector) f
+
+let send t ~src ~dst ~vector =
+  let handler =
+    match Hashtbl.find_opt t.handlers (dst, vector) with
+    | Some f -> f
+    | None ->
+      invalid_arg (Printf.sprintf "Ipi.send: no handler for vector %d on core %d" vector dst)
+  in
+  t.sent <- t.sent + 1;
+  Engine.wait apic_write_cost;
+  let wire =
+    t.plat.Platform.ipi_wire
+    + (t.plat.Platform.hop_one_way * Platform.hops_between t.plat src dst)
+  in
+  Engine.spawn_ ~name:(Printf.sprintf "ipi%d->%d" src dst) (fun () ->
+      Engine.wait wire;
+      (* The target stops what it is doing for trap entry + handler. *)
+      let (_ : int) = Resource.acquire t.cores.(dst) t.plat.Platform.trap in
+      handler ~src)
+
+let sent t = t.sent

@@ -1,0 +1,28 @@
+(** Inter-processor interrupts.
+
+    The mechanism Linux/Windows shootdown is built on (§5.1): the sender
+    writes the local APIC (cheap), the interrupt crosses the interconnect,
+    and the target core takes a trap (≈800 cycles on the paper's hardware)
+    before the registered handler runs in its context. The trap and handler
+    occupy the target's core resource, so IPI storms serialize per core
+    exactly as on real hardware. *)
+
+type t
+
+val create : Platform.t -> core_resources:Mk_sim.Resource.t array -> t
+
+val register : t -> core:int -> vector:int -> (src:int -> unit) -> unit
+(** Install the handler a core runs when it receives [vector]. The handler
+    body runs as a simulation task on the target core, after the trap cost.
+    Re-registering a vector replaces the handler. *)
+
+val send : t -> src:int -> dst:int -> vector:int -> unit
+(** Fire-and-forget: charges the sender the APIC-write cost and schedules
+    delivery after the wire delay. Raises [Invalid_argument] if the target
+    has no handler for [vector]. *)
+
+val apic_write_cost : int
+(** Cycles the sender spends writing the interrupt command register. *)
+
+val sent : t -> int
+(** Total IPIs sent (statistics). *)

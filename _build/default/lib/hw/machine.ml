@@ -1,0 +1,57 @@
+open Mk_sim
+
+type t = {
+  eng : Engine.t;
+  plat : Platform.t;
+  counters : Perfcounter.t;
+  coh : Coherence.t;
+  tlbs : Tlb.t array;
+  cores : Resource.t array;
+  ipi : Ipi.t;
+  mutable brk : int;
+}
+
+let create ?eng ?cache_lines_per_core plat =
+  let eng = match eng with Some e -> e | None -> Engine.create () in
+  let n = Platform.n_cores plat in
+  let counters = Perfcounter.create plat in
+  let coh = Coherence.create ?cache_lines_per_core plat counters in
+  let cores = Array.init n (fun i -> Resource.create ~name:(Printf.sprintf "core%d" i) ()) in
+  {
+    eng;
+    plat;
+    counters;
+    coh;
+    tlbs = Array.init n (fun i -> Tlb.create ~core:i);
+    cores;
+    ipi = Ipi.create plat ~core_resources:cores;
+    brk = 0x1000;
+  }
+
+let n_cores t = Platform.n_cores t.plat
+
+let alloc_bytes t ?node bytes =
+  let cl = t.plat.Platform.cacheline in
+  let bytes = max cl ((bytes + cl - 1) / cl * cl) in
+  let base = t.brk in
+  t.brk <- t.brk + bytes;
+  (match node with
+   | None -> ()
+   | Some node ->
+     Coherence.set_home_range t.coh ~first_line:(base / cl)
+       ~last_line:((base + bytes - 1) / cl) ~node);
+  base
+
+let alloc_lines t ?node n = alloc_bytes t ?node (n * t.plat.Platform.cacheline)
+
+let compute t ~core n =
+  if n > 0 then ignore (Resource.acquire t.cores.(core) n : int)
+
+let spawn_on t ~core ?name f =
+  let name = Option.value name ~default:(Printf.sprintf "core%d-task" core) in
+  Engine.spawn t.eng ~name f
+
+let run t = Engine.run t.eng ()
+let run_until t limit = Engine.run t.eng ~until:limit ()
+let now t = Engine.now t.eng
+let ns_of_cycles t c = Platform.cycles_to_ns t.plat (float_of_int c)

@@ -1,0 +1,46 @@
+(** A complete simulated machine: platform + engine + memory system.
+
+    Bundles the event engine, coherence model, counters, per-core TLBs and
+    execution resources, the IPI controller, and a bump allocator for
+    simulated physical memory. Every higher layer (multikernel OS, baseline
+    OS, devices) hangs off one of these. *)
+
+type t = {
+  eng : Mk_sim.Engine.t;
+  plat : Platform.t;
+  counters : Perfcounter.t;
+  coh : Coherence.t;
+  tlbs : Tlb.t array;
+  cores : Mk_sim.Resource.t array;  (** per-core execution serialization *)
+  ipi : Ipi.t;
+  mutable brk : int;  (** bump-allocator frontier, line-aligned *)
+}
+
+val create : ?eng:Mk_sim.Engine.t -> ?cache_lines_per_core:int -> Platform.t -> t
+(** [cache_lines_per_core] switches the coherence model from infinite to
+    finite LRU caches of that many lines per core. *)
+
+val n_cores : t -> int
+
+val alloc_bytes : t -> ?node:int -> int -> int
+(** Allocate a line-aligned region of simulated physical memory; returns
+    the base address. [node] pins the home (directory/NUMA) node of every
+    line in the region — the knob behind NUMA-aware URPC buffers. *)
+
+val alloc_lines : t -> ?node:int -> int -> int
+(** Same, in units of cache lines. *)
+
+val compute : t -> core:int -> int -> unit
+(** Occupy [core] for [n] cycles of pure computation (FIFO with anything
+    else executing there), blocking the calling task until done. *)
+
+val spawn_on : t -> core:int -> ?name:string -> (unit -> unit) -> unit
+(** Convenience: spawn a task logically bound to a core (naming only — code
+    must use [compute]/coherence calls with the right core id). *)
+
+val run : t -> unit
+(** Drive the engine until no events remain. *)
+
+val run_until : t -> int -> unit
+val now : t -> int
+val ns_of_cycles : t -> int -> float

@@ -1,0 +1,158 @@
+type t = {
+  name : string;
+  ghz : float;
+  n_packages : int;
+  cores_per_package : int;
+  cores_per_share_group : int;
+  topo : Topology.t;
+  l1_hit : int;
+  shared_cache_fetch : int;
+  cc_base : int;
+  hop_one_way : int;
+  dram : int;
+  dir_occupancy : int;
+  syscall : int;
+  context_switch : int;
+  dispatch : int;
+  trap : int;
+  ipi_wire : int;
+  tlb_invlpg : int;
+  cacheline : int;
+}
+
+(* Latency parameters are calibrated against the paper's microbenchmarks
+   (Tables 1-3); see EXPERIMENTS.md for the paper-vs-measured record. *)
+
+let intel_2x4 =
+  {
+    name = "2x4-core Intel";
+    ghz = 2.66;
+    n_packages = 2;
+    cores_per_package = 4;
+    cores_per_share_group = 2 (* 2 dies per package, shared L2 per die *);
+    topo = Topology.create ~n:2 ~links:[ (0, 1) ] (* shared FSB *);
+    l1_hit = 3;
+    shared_cache_fetch = 40 (* shared on-die L2 *);
+    cc_base = 226;
+    hop_one_way = 8 (* FSB arbitration *);
+    dram = 300;
+    dir_occupancy = 70;
+    syscall = 120;
+    context_switch = 500;
+    dispatch = 50;
+    trap = 800;
+    ipi_wire = 400;
+    tlb_invlpg = 120;
+    cacheline = 64;
+  }
+
+let amd_2x2 =
+  {
+    name = "2x2-core AMD";
+    ghz = 2.8;
+    n_packages = 2;
+    cores_per_package = 2;
+    cores_per_share_group = 2 (* no shared LLC, but on-package transfer is cheap *);
+    topo = Topology.create ~n:2 ~links:[ (0, 1) ];
+    l1_hit = 3;
+    shared_cache_fetch = 180;
+    cc_base = 215;
+    hop_one_way = 3;
+    dram = 220;
+    dir_occupancy = 70;
+    syscall = 110;
+    context_switch = 430;
+    dispatch = 70;
+    trap = 800;
+    ipi_wire = 450;
+    tlb_invlpg = 120;
+    cacheline = 64;
+  }
+
+let amd_4x4 =
+  {
+    name = "4x4-core AMD";
+    ghz = 2.5;
+    n_packages = 4;
+    cores_per_package = 4;
+    cores_per_share_group = 4 (* shared 6MB L3 *);
+    (* Square of HT links. *)
+    topo = Topology.create ~n:4 ~links:[ (0, 1); (1, 3); (3, 2); (2, 0) ];
+    l1_hit = 3;
+    shared_cache_fetch = 172;
+    cc_base = 225;
+    hop_one_way = 3;
+    dram = 250;
+    dir_occupancy = 90;
+    syscall = 200;
+    context_switch = 1020;
+    dispatch = 70;
+    trap = 800;
+    ipi_wire = 500;
+    tlb_invlpg = 150;
+    cacheline = 64;
+  }
+
+let amd_8x4 =
+  {
+    name = "8x4-core AMD";
+    ghz = 2.0;
+    n_packages = 8;
+    cores_per_package = 4;
+    cores_per_share_group = 4 (* shared 2MB L3 *);
+    (* The HT ladder of Figure 2: two columns 6-4-2-0 and 7-5-3-1 with rungs
+       and the crossing links in the middle; diameter 3. *)
+    topo =
+      Topology.create ~n:8
+        ~links:
+          [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 7);
+            (0, 1); (6, 7); (2, 3); (4, 5); (2, 5); (3, 4) ];
+    l1_hit = 3;
+    shared_cache_fetch = 228;
+    cc_base = 262;
+    hop_one_way = 3;
+    dram = 240;
+    dir_occupancy = 90;
+    syscall = 210;
+    context_switch = 1080;
+    dispatch = 80;
+    trap = 800;
+    ipi_wire = 550;
+    tlb_invlpg = 150;
+    cacheline = 64;
+  }
+
+let synthetic_mesh ~packages ~cores_per_package =
+  (* Nearly square 2D mesh over the packages. *)
+  let side = int_of_float (ceil (sqrt (float_of_int packages))) in
+  let links = ref [] in
+  for p = 0 to packages - 1 do
+    let x = p mod side and y = p / side in
+    if x + 1 < side && p + 1 < packages then links := (p, p + 1) :: !links;
+    ignore y;
+    if p + side < packages then links := (p, p + side) :: !links
+  done;
+  {
+    amd_8x4 with
+    name = Printf.sprintf "synthetic %dx%d mesh" packages cores_per_package;
+    n_packages = packages;
+    cores_per_package;
+    cores_per_share_group = cores_per_package;
+    topo = Topology.create ~n:packages ~links:!links;
+  }
+
+let all = [ intel_2x4; amd_2x2; amd_4x4; amd_8x4 ]
+
+let n_cores t = t.n_packages * t.cores_per_package
+let package_of t core = core / t.cores_per_package
+let share_group_of t core = core / t.cores_per_share_group
+let shares_cache t a b = share_group_of t a = share_group_of t b
+let hops_between t a b = Topology.hops t.topo (package_of t a) (package_of t b)
+let cycles_to_ns t cycles = cycles /. t.ghz
+
+let core_ids t = List.init (n_cores t) Fun.id
+
+let describe t =
+  Printf.sprintf "%s: %d cores (%d packages x %d), %.2f GHz, diameter %d"
+    t.name (n_cores t) t.n_packages t.cores_per_package t.ghz
+    (Topology.diameter t.topo)

@@ -1,0 +1,73 @@
+(** Descriptions of the simulated test machines.
+
+    The four platforms of §4.1 plus synthetic machines for scaling studies.
+    A platform fixes the core/package layout, the cache-sharing groups, the
+    interconnect topology and the latency parameters of the coherence and
+    kernel cost models. Parameters are calibrated so the microbenchmarks of
+    the paper land in the right regime (see EXPERIMENTS.md); they are not
+    claimed to be exact die measurements. *)
+
+type t = {
+  name : string;
+  ghz : float;  (** core clock, for cycles → ns conversion *)
+  n_packages : int;
+  cores_per_package : int;
+  cores_per_share_group : int;
+      (** cores sharing the last-level cache: 4 for AMD packages with an L3,
+          2 for the Intel dies with a shared L2, 1 when LLC is private *)
+  topo : Topology.t;  (** package-level interconnect *)
+  (* -- memory system latencies, in cycles -- *)
+  l1_hit : int;
+  shared_cache_fetch : int;
+      (** cache-to-cache transfer inside a share group (via shared LLC) *)
+  cc_base : int;  (** base cache-to-cache cost across packages, excl. hops *)
+  hop_one_way : int;  (** added per interconnect hop, one way *)
+  dram : int;  (** local memory fetch *)
+  dir_occupancy : int;
+      (** home-node serialization per coherence transaction; the source of
+          queueing under contention (Fig. 3) *)
+  (* -- kernel-path costs, in cycles -- *)
+  syscall : int;  (** user→kernel→user crossing *)
+  context_switch : int;  (** address-space switch incl. TLB refill drag *)
+  dispatch : int;  (** scheduler activation + user-level dispatch *)
+  trap : int;  (** cost of taking an IPI (≈800 on the paper's x86-64) *)
+  ipi_wire : int;  (** APIC bus/interconnect delivery delay of an IPI *)
+  tlb_invlpg : int;  (** invalidate a single TLB entry *)
+  cacheline : int;  (** bytes; 64 everywhere here *)
+}
+
+val intel_2x4 : t
+(** 2×4-core Intel: 2 packages × 2 dies × 2 cores, shared 4MB L2 per die,
+    single FSB with snoop filter, 2.66 GHz. *)
+
+val amd_2x2 : t
+(** 2×2-core AMD: 2 packages × 2 cores, private L2, 2 HT links, 2.8 GHz. *)
+
+val amd_4x4 : t
+(** 4×4-core AMD: 4 packages × 4 cores, shared 6MB L3, HT square, 2.5 GHz. *)
+
+val amd_8x4 : t
+(** 8×4-core AMD: 8 packages × 4 cores, shared 2MB L3, HT ladder of Fig. 2,
+    2 GHz. *)
+
+val synthetic_mesh : packages:int -> cores_per_package:int -> t
+(** A future-hardware machine: 2D mesh interconnect, shared LLC per package.
+    Used by the scaling-extension benches (§7 directions). *)
+
+val all : t list
+(** The four paper platforms. *)
+
+val n_cores : t -> int
+val package_of : t -> int -> int
+(** Package (HT node) of a core. *)
+
+val share_group_of : t -> int -> int
+(** Globally unique id of the core's LLC sharing group. *)
+
+val shares_cache : t -> int -> int -> bool
+val hops_between : t -> int -> int -> int
+(** Interconnect hops between two cores' packages. *)
+
+val cycles_to_ns : t -> float -> float
+val core_ids : t -> int list
+val describe : t -> string

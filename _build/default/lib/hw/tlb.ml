@@ -1,0 +1,28 @@
+type t = {
+  core_id : int;
+  entries : (int, unit) Hashtbl.t;
+  mutable dropped : int;
+}
+
+let create ~core = { core_id = core; entries = Hashtbl.create 64; dropped = 0 }
+
+let core t = t.core_id
+let fill t ~vpage = Hashtbl.replace t.entries vpage ()
+let mem t ~vpage = Hashtbl.mem t.entries vpage
+
+let invalidate t ~vpage =
+  let present = Hashtbl.mem t.entries vpage in
+  if present then begin
+    Hashtbl.remove t.entries vpage;
+    t.dropped <- t.dropped + 1
+  end;
+  present
+
+let flush t =
+  let n = Hashtbl.length t.entries in
+  Hashtbl.reset t.entries;
+  t.dropped <- t.dropped + n;
+  n
+
+let entry_count t = Hashtbl.length t.entries
+let invalidations t = t.dropped

@@ -1,0 +1,26 @@
+(** Per-core TLB bookkeeping.
+
+    Tracks which virtual pages a core has cached translations for, so the
+    OS layers can assert shootdown correctness ("no stale entry survives an
+    unmap") and charge the invalidation costs of §5.1. Pure bookkeeping:
+    cycle costs are charged by the caller from [Platform] parameters. *)
+
+type t
+
+val create : core:int -> t
+val core : t -> int
+
+val fill : t -> vpage:int -> unit
+(** Record a translation (on first touch of a mapped page). *)
+
+val mem : t -> vpage:int -> bool
+
+val invalidate : t -> vpage:int -> bool
+(** Drop one entry; returns whether it was present ([invlpg]). *)
+
+val flush : t -> int
+(** Drop everything (CR3 reload); returns the number of entries dropped. *)
+
+val entry_count : t -> int
+val invalidations : t -> int
+(** Cumulative count of invalidate/flush-dropped entries (statistics). *)

@@ -1,0 +1,92 @@
+type link = int * int
+
+type t = {
+  n : int;
+  link_arr : link array;
+  adj : int list array;
+  dist : int array array;
+  (* next.(s).(d) = first hop from s towards d (s itself when s = d). *)
+  next : int array array;
+}
+
+let norm (a, b) = if a < b then (a, b) else (b, a)
+
+let create ~n ~links =
+  if n <= 0 then invalid_arg "Topology.create: n must be positive";
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create 16 in
+  let add (a, b) =
+    if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Topology.create: bad endpoint";
+    if a = b then invalid_arg "Topology.create: self-loop";
+    let l = norm (a, b) in
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b)
+    end
+  in
+  List.iter add links;
+  (* Deterministic neighbor order. *)
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
+  let dist = Array.make_matrix n n max_int in
+  let next = Array.make_matrix n n (-1) in
+  (* BFS from every source; neighbors visited in ascending order gives the
+     lowest-id tie-break for routing. *)
+  for s = 0 to n - 1 do
+    dist.(s).(s) <- 0;
+    next.(s).(s) <- s;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      List.iter
+        (fun v ->
+          if dist.(s).(v) = max_int then begin
+            dist.(s).(v) <- dist.(s).(u) + 1;
+            (* First hop: inherit u's first hop, except when u is the source. *)
+            next.(s).(v) <- (if u = s then v else next.(s).(u));
+            Queue.add v q
+          end)
+        adj.(u)
+    done
+  done;
+  if n > 1 then
+    for d = 0 to n - 1 do
+      if dist.(0).(d) = max_int then invalid_arg "Topology.create: disconnected graph"
+    done;
+  let link_arr = Array.of_seq (Hashtbl.to_seq_keys seen) in
+  Array.sort compare link_arr;
+  { n; link_arr; adj; dist; next }
+
+let fully_connected ~n =
+  let links = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      links := (a, b) :: !links
+    done
+  done;
+  create ~n ~links:!links
+
+let n_nodes t = t.n
+let links t = Array.copy t.link_arr
+let hops t s d = t.dist.(s).(d)
+
+let diameter t =
+  let m = ref 0 in
+  for s = 0 to t.n - 1 do
+    for d = 0 to t.n - 1 do
+      if t.dist.(s).(d) > !m then m := t.dist.(s).(d)
+    done
+  done;
+  !m
+
+let path_directed t s d =
+  let rec go u acc = if u = d then List.rev acc else
+      let v = t.next.(u).(d) in
+      go v ((u, v) :: acc)
+  in
+  go s []
+
+let path t s d = List.map norm (path_directed t s d)
+
+let neighbors t u = t.adj.(u)

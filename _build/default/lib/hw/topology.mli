@@ -1,0 +1,34 @@
+(** Interconnect topology at the package (HyperTransport node) level.
+
+    An undirected graph of packages; routing is shortest-path with
+    deterministic tie-breaking (lowest next-hop id), mirroring the static
+    routing tables of HT systems. Used both for latency (hop counts) and
+    for per-link traffic accounting (Table 4). *)
+
+type t
+
+type link = int * int
+(** Normalized: [(a, b)] with [a < b]. *)
+
+val create : n:int -> links:link list -> t
+(** [n] packages, connected by [links]. Raises [Invalid_argument] on
+    out-of-range endpoints, self-loops, or a disconnected graph. *)
+
+val fully_connected : n:int -> t
+(** Convenience: every pair directly linked (small SMPs / single bus). *)
+
+val n_nodes : t -> int
+val links : t -> link array
+val hops : t -> int -> int -> int
+(** Shortest-path distance in links; 0 for [src = dst]. *)
+
+val diameter : t -> int
+
+val path : t -> int -> int -> link list
+(** The links traversed from [src] to [dst], in normalized form (for
+    traffic accounting; empty when [src = dst]). *)
+
+val path_directed : t -> int -> int -> (int * int) list
+(** Same, but each hop keeps its direction of travel. *)
+
+val neighbors : t -> int -> int list

@@ -1,0 +1,1 @@
+lib/net/kernel_loopback.ml: Checksum Coherence Machine Mk_baseline Mk_hw Mk_sim Pbuf Platform Spinlock Stack Sync

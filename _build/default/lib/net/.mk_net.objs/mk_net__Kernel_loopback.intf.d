@@ -1,0 +1,1 @@
+lib/net/kernel_loopback.mli: Mk_hw Pbuf

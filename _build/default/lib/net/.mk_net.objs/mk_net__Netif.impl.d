@@ -1,0 +1,1 @@
+lib/net/netif.ml: Mk_sim Pbuf

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Engine Ethernet Machine Mk_hw Mk_sim Netif Option Pbuf Platform Resource Sync

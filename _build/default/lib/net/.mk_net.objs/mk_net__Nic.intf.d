@@ -1,0 +1,1 @@
+lib/net/nic.mli: Mk_hw Netif Pbuf

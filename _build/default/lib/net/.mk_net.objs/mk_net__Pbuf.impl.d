@@ -1,0 +1,1 @@
+lib/net/pbuf.ml: Bytes Char Coherence Machine Mk_hw String

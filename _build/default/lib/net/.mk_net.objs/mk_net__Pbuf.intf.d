@@ -1,0 +1,1 @@
+lib/net/pbuf.mli: Mk_hw

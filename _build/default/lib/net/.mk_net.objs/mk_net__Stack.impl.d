@@ -1,0 +1,1 @@
+lib/net/stack.ml: Arp Checksum Coherence Engine Ethernet Hashtbl Icmp Ipv4 List Machine Mk Mk_hw Mk_sim Netif Option Pbuf Printf Sync Tcp_lite Udp Urpc

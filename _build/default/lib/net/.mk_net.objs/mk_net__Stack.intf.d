@@ -1,0 +1,1 @@
+lib/net/stack.mli: Mk_hw Netif Pbuf Tcp_lite

@@ -1,0 +1,1 @@
+lib/net/tcp_lite.ml: Hashtbl List Mk_hw Mk_sim Pbuf String Sync

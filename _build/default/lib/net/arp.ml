@@ -1,0 +1,43 @@
+(* ARP (RFC 826, IPv4-over-Ethernet subset): real 28-byte packets.
+   Point-to-point URPC links don't need it, but NIC-attached stacks resolve
+   next-hop MACs with it like any Ethernet host. *)
+
+let ethertype = 0x0806
+let packet_bytes = 28
+let op_request = 1
+let op_reply = 2
+
+type pkt = { op : int; sender_mac : int; sender_ip : int; target_mac : int; target_ip : int }
+
+let encode p ~(a : pkt) =
+  Pbuf.push_header p packet_bytes;
+  Pbuf.set_u16 p 0 1;  (* hardware type: Ethernet *)
+  Pbuf.set_u16 p 2 0x0800;  (* protocol type: IPv4 *)
+  Pbuf.set_u8 p 4 6;  (* hw addr len *)
+  Pbuf.set_u8 p 5 4;  (* proto addr len *)
+  Pbuf.set_u16 p 6 a.op;
+  Pbuf.set_u16 p 8 ((a.sender_mac lsr 32) land 0xffff);
+  Pbuf.set_u32 p 10 (a.sender_mac land 0xffffffff);
+  Pbuf.set_u32 p 14 a.sender_ip;
+  Pbuf.set_u16 p 18 ((a.target_mac lsr 32) land 0xffff);
+  Pbuf.set_u32 p 20 (a.target_mac land 0xffffffff);
+  Pbuf.set_u32 p 24 a.target_ip
+
+let decode p =
+  if Pbuf.len p < packet_bytes then None
+  else if Pbuf.get_u16 p 0 <> 1 || Pbuf.get_u16 p 2 <> 0x0800 then None
+  else begin
+    let a =
+      {
+        op = Pbuf.get_u16 p 6;
+        sender_mac = (Pbuf.get_u16 p 8 lsl 32) lor Pbuf.get_u32 p 10;
+        sender_ip = Pbuf.get_u32 p 14;
+        target_mac = (Pbuf.get_u16 p 18 lsl 32) lor Pbuf.get_u32 p 20;
+        target_ip = Pbuf.get_u32 p 24;
+      }
+    in
+    Pbuf.pull p packet_bytes;
+    Some a
+  end
+
+let broadcast_mac = 0xffffffffffff

@@ -1,0 +1,23 @@
+(* RFC 1071 Internet checksum, computed for real over pbuf contents.
+   The walk's memory traffic is charged by the caller (Pbuf.touch); the
+   ALU cost is [cycles len]. *)
+
+let cycles_per_16_bytes = 4
+
+let cycles len = (len + 15) / 16 * cycles_per_16_bytes
+
+let of_pbuf ?(start = 0) ?len:l p =
+  let n = match l with Some n -> n | None -> Pbuf.len p - start in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + Pbuf.get_u16 p (start + !i);
+    i := !i + 2
+  done;
+  if !i < n then sum := !sum + (Pbuf.get_u8 p (start + !i) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let valid ?start ?len p = of_pbuf ?start ?len p = 0

@@ -1,0 +1,28 @@
+(* Ethernet II framing: real 14-byte headers in the pbuf. MAC addresses are
+   48-bit ints. *)
+
+let header_bytes = 14
+let ethertype_ipv4 = 0x0800
+let mtu = 1500
+
+let mac_of_core core = 0x020000000000 lor core
+
+type hdr = { dst : int; src : int; ethertype : int }
+
+let encode p ~dst ~src ~ethertype =
+  Pbuf.push_header p header_bytes;
+  Pbuf.set_u16 p 0 ((dst lsr 32) land 0xffff);
+  Pbuf.set_u32 p 2 (dst land 0xffffffff);
+  Pbuf.set_u16 p 6 ((src lsr 32) land 0xffff);
+  Pbuf.set_u32 p 8 (src land 0xffffffff);
+  Pbuf.set_u16 p 12 ethertype
+
+let decode p =
+  if Pbuf.len p < header_bytes then None
+  else begin
+    let dst = (Pbuf.get_u16 p 0 lsl 32) lor Pbuf.get_u32 p 2 in
+    let src = (Pbuf.get_u16 p 6 lsl 32) lor Pbuf.get_u32 p 8 in
+    let ethertype = Pbuf.get_u16 p 12 in
+    Pbuf.pull p header_bytes;
+    Some { dst; src; ethertype }
+  end

@@ -1,0 +1,29 @@
+(* ICMP echo (ping): real 8-byte headers with a real checksum over header
+   and payload. Enough protocol for reachability probing and the RTT
+   measurement the stack exposes. *)
+
+let protocol = 1
+let header_bytes = 8
+let type_echo_reply = 0
+let type_echo_request = 8
+
+type msg = { icmp_type : int; ident : int; seq : int }
+
+let encode p ~icmp_type ~ident ~seq =
+  Pbuf.push_header p header_bytes;
+  Pbuf.set_u8 p 0 icmp_type;
+  Pbuf.set_u8 p 1 0;  (* code *)
+  Pbuf.set_u16 p 2 0;  (* checksum placeholder *)
+  Pbuf.set_u16 p 4 ident;
+  Pbuf.set_u16 p 6 seq;
+  let csum = Checksum.of_pbuf p in
+  Pbuf.set_u16 p 2 csum
+
+let decode p =
+  if Pbuf.len p < header_bytes then None
+  else if not (Checksum.valid p) then None
+  else begin
+    let m = { icmp_type = Pbuf.get_u8 p 0; ident = Pbuf.get_u16 p 4; seq = Pbuf.get_u16 p 6 } in
+    Pbuf.pull p header_bytes;
+    Some m
+  end

@@ -1,0 +1,74 @@
+open Mk_hw
+
+type t = {
+  data : Bytes.t;
+  mutable off : int;
+  mutable length : int;
+  base_addr : int;  (* simulated address of data[0] *)
+}
+
+let alloc m ?node ?(headroom = 64) ~size () =
+  let total = headroom + size in
+  let base_addr = Machine.alloc_bytes m ?node total in
+  { data = Bytes.make total '\000'; off = headroom; length = size; base_addr }
+
+let of_string m ?node s =
+  let p = alloc m ?node ~size:(String.length s) () in
+  Bytes.blit_string s 0 p.data p.off (String.length s);
+  p
+
+let len t = t.length
+let addr t = t.base_addr + t.off
+
+let push_header t n =
+  if n > t.off then invalid_arg "Pbuf.push_header: not enough headroom";
+  t.off <- t.off - n;
+  t.length <- t.length + n
+
+let pull t n =
+  if n > t.length then invalid_arg "Pbuf.pull: beyond end of data";
+  t.off <- t.off + n;
+  t.length <- t.length - n
+
+let check t i = if i < 0 || i >= t.length then invalid_arg "Pbuf: offset out of range"
+
+let get_u8 t i =
+  check t i;
+  Char.code (Bytes.get t.data (t.off + i))
+
+let set_u8 t i v =
+  check t i;
+  Bytes.set t.data (t.off + i) (Char.chr (v land 0xff))
+
+let get_u16 t i = (get_u8 t i lsl 8) lor get_u8 t (i + 1)
+
+let set_u16 t i v =
+  set_u8 t i (v lsr 8);
+  set_u8 t (i + 1) v
+
+let get_u32 t i = (get_u16 t i lsl 16) lor get_u16 t (i + 2)
+
+let set_u32 t i v =
+  set_u16 t i (v lsr 16);
+  set_u16 t (i + 2) v
+
+let blit_string s t i =
+  check t i;
+  if i + String.length s > t.length then invalid_arg "Pbuf.blit_string: too long";
+  Bytes.blit_string s 0 t.data (t.off + i) (String.length s)
+
+let sub_string t i n =
+  check t i;
+  Bytes.sub_string t.data (t.off + i) n
+
+let contents t = Bytes.sub_string t.data t.off t.length
+
+let touch t m ~core ~write =
+  Coherence.touch_range m.Machine.coh ~core ~addr:(addr t) ~bytes:t.length ~write
+
+let copy ?node t m ~core =
+  let dst = alloc m ?node ~size:t.length () in
+  Bytes.blit t.data t.off dst.data dst.off t.length;
+  touch t m ~core ~write:false;
+  touch dst m ~core ~write:true;
+  dst

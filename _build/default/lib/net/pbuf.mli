@@ -1,0 +1,47 @@
+(** Packet buffers (lwIP-style pbufs).
+
+    A pbuf owns real bytes (headers are actually serialized and parsed) and
+    a region of simulated physical memory, so that building, copying and
+    reading packets produces the cache/coherence behaviour Table 4
+    measures. Headroom lets protocol layers push headers without copying. *)
+
+type t
+
+val alloc : Mk_hw.Machine.t -> ?node:int -> ?headroom:int -> size:int -> unit -> t
+(** A buffer with [size] payload bytes available after [headroom] (default
+    64, enough for eth+ip+udp/tcp headers). *)
+
+val of_string : Mk_hw.Machine.t -> ?node:int -> string -> t
+(** Payload buffer initialized from a string. *)
+
+val len : t -> int
+val addr : t -> int
+(** Simulated physical address of the first valid byte. *)
+
+val push_header : t -> int -> unit
+(** Extend the valid region [n] bytes downward into the headroom. *)
+
+val pull : t -> int -> unit
+(** Drop [n] bytes from the front (consume a parsed header). *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+(** Big-endian, offset relative to the current front. *)
+
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+
+val blit_string : string -> t -> int -> unit
+val sub_string : t -> int -> int -> string
+val contents : t -> string
+(** The whole valid region. *)
+
+val touch : t -> Mk_hw.Machine.t -> core:int -> write:bool -> unit
+(** Charge a full pass over the valid region's cache lines (packet copy,
+    checksum walk, DMA). *)
+
+val copy : ?node:int -> t -> Mk_hw.Machine.t -> core:int -> t
+(** Allocate a new simulated region and copy (charging reads of the source
+    and writes of the destination) — an skb copy / copy_to_user. *)

@@ -1,0 +1,117 @@
+(* Discrete-event simulation engine.
+
+   Tasks are one-shot-continuation coroutines over OCaml effects
+   (Effect.Deep). The engine owns a min-heap of (time, seq) -> thunk; a
+   thunk either starts a task or resumes a captured continuation. All
+   blocking abstractions (Sync, Resource, ...) are built from E_suspend. *)
+
+type waker = ?delay:int -> unit -> unit
+
+type _ Effect.t +=
+  | E_wait : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_suspend : (waker -> unit) -> unit Effect.t
+  | E_spawn : (string option * (unit -> unit)) -> unit Effect.t
+  | E_name : string Effect.t
+
+exception Stalled of string
+exception Halted
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  mutable live : int;
+  mutable executed : int;
+}
+
+let create () = { now = 0; seq = 0; heap = Heap.create (); live = 0; executed = 0 }
+
+let now t = t.now
+let events_executed t = t.executed
+let live_tasks t = t.live
+
+let schedule t ~at thunk =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time:at ~seq:t.seq thunk
+
+(* Run [f] as a task body under the scheduling-effect handler. *)
+let rec exec t (name : string) f =
+  t.live <- t.live + 1;
+  let open Effect.Deep in
+  match_with f ()
+    { retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          match e with
+          | Halted -> ()
+          | e ->
+            (* A crashing task aborts the whole simulation: surface it. *)
+            raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_wait n ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                schedule t ~at:(t.now + max 0 n) (fun () -> continue k ()))
+          | E_now -> Some (fun (k : (a, _) continuation) -> continue k t.now)
+          | E_name -> Some (fun (k : (a, _) continuation) -> continue k name)
+          | E_suspend register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let fired = ref false in
+                let wake ?(delay = 0) () =
+                  if not !fired then begin
+                    fired := true;
+                    schedule t ~at:(t.now + max 0 delay) (fun () -> continue k ())
+                  end
+                in
+                register wake)
+          | E_spawn (nm, body) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let nm = Option.value nm ~default:(name ^ ".child") in
+                schedule t ~at:t.now (fun () -> exec t nm body);
+                continue k ())
+          | _ -> None) }
+
+let spawn t ?(name = "task") f = schedule t ~at:t.now (fun () -> exec t name f)
+
+let run t ?until ?(allow_stall = true) () =
+  let limit = until in
+  let rec loop () =
+    match Heap.peek t.heap with
+    | None ->
+      if t.live > 0 && not allow_stall then
+        raise (Stalled (Printf.sprintf "%d task(s) suspended forever at t=%d" t.live t.now))
+    | Some e ->
+      (match limit with
+       | Some lim when e.Heap.time > lim -> t.now <- lim
+       | _ ->
+         (match Heap.pop t.heap with
+          | None -> assert false
+          | Some e ->
+            t.now <- e.Heap.time;
+            t.executed <- t.executed + 1;
+            e.Heap.payload ();
+            loop ()))
+  in
+  loop ()
+
+(* Task-level API. *)
+
+let now_ () = Effect.perform E_now
+let wait n = Effect.perform (E_wait n)
+
+let wait_until at =
+  let n = at - now_ () in
+  if n > 0 then wait n
+
+let yield () = wait 0
+let suspend register = Effect.perform (E_suspend register)
+let spawn_ ?name f = Effect.perform (E_spawn (name, f))
+let task_name () = Effect.perform E_name
+let halt () = raise Halted

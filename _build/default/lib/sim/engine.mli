@@ -1,0 +1,74 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated entities ("tasks") are cooperative coroutines implemented with
+    OCaml effects. A task runs until it performs one of the scheduling
+    effects ({!wait}, {!suspend}, ...), at which point control returns to the
+    engine, which advances the simulated clock to the next pending event.
+
+    Time is a dimensionless integer; the hardware layer interprets it as CPU
+    cycles of the simulated platform. The engine is fully deterministic:
+    events at the same time fire in the order they were scheduled. *)
+
+type t
+(** A simulation engine instance: clock + pending-event heap. *)
+
+exception Stalled of string
+(** Raised by {!run} when live tasks remain but no event is pending
+    (every remaining task is suspended forever) and [allow_stall] is false. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time. *)
+
+val events_executed : t -> int
+(** Total number of events dispatched so far (debugging / perf metric). *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn eng f] schedules task [f] to start at the current simulated time.
+    Usable both from outside [run] (setup) and from within a task. *)
+
+val run : t -> ?until:int -> ?allow_stall:bool -> unit -> unit
+(** Execute events until the heap is empty, or until the clock would pass
+    [until]. If tasks remain suspended when the heap drains, raises
+    {!Stalled} unless [allow_stall] is true (default: true, because
+    long-lived server tasks legitimately out-live a run). *)
+
+val live_tasks : t -> int
+(** Number of spawned tasks that have not yet terminated. *)
+
+(** {1 Task-level operations}
+
+    These must be called from inside a task (they perform effects handled by
+    {!run}); calling them elsewhere raises [Effect.Unhandled]. *)
+
+type waker = ?delay:int -> unit -> unit
+(** A one-shot resumption callback handed to {!suspend}. Calling it more than
+    once is harmless (subsequent calls are ignored). [delay] adds simulated
+    time between the wake decision and the task actually resuming. *)
+
+val now_ : unit -> int
+(** Current simulated time, from inside a task. *)
+
+val wait : int -> unit
+(** Advance this task's local time by [n >= 0] cycles. *)
+
+val wait_until : int -> unit
+(** Sleep until the given absolute time (no-op if already past). *)
+
+val yield : unit -> unit
+(** Reschedule after all other events already pending at the current time. *)
+
+val suspend : (waker -> unit) -> unit
+(** [suspend register] blocks the task; [register] receives the waker and
+    typically stores it in some wait queue. The task resumes when (and if)
+    the waker is invoked. *)
+
+val spawn_ : ?name:string -> (unit -> unit) -> unit
+(** Spawn a sibling task from inside a task. *)
+
+val task_name : unit -> string
+(** Name of the running task (for tracing). *)
+
+val halt : unit -> 'a
+(** Terminate the current task immediately. *)

@@ -1,0 +1,76 @@
+(* Binary min-heap of simulation events, ordered by (time, seq).
+   The sequence number makes the ordering total and the whole engine
+   deterministic: events scheduled earlier (in program order) at the same
+   simulated time run first. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { arr = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Only called with a non-empty backing array (push seeds the first one). *)
+let grow h =
+  let cap = Array.length h.arr in
+  assert (cap > 0);
+  let narr = Array.make (cap * 2) h.arr.(0) in
+  Array.blit h.arr 0 narr 0 h.size;
+  h.arr <- narr
+
+let push h ~time ~seq payload =
+  if h.size = Array.length h.arr then begin
+    if h.size = 0 then h.arr <- Array.make 64 { time; seq; payload }
+    else grow h
+  end;
+  let e = { time; seq; payload } in
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.arr.(!i) <- e;
+  (* Sift up. *)
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if precedes e h.arr.(parent) then begin
+      h.arr.(!i) <- h.arr.(parent);
+      h.arr.(parent) <- e;
+      i := parent
+    end else continue_ := false
+  done
+
+let peek h = if h.size = 0 then None else Some h.arr.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      let e = h.arr.(h.size) in
+      h.arr.(0) <- e;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && precedes h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && precedes h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!i) in
+          h.arr.(!i) <- h.arr.(!smallest);
+          h.arr.(!smallest) <- tmp;
+          i := !smallest
+        end else continue_ := false
+      done
+    end;
+    Some top
+  end

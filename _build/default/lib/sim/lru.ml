@@ -1,0 +1,65 @@
+(* Classic doubly-linked list + hashtable LRU. *)
+
+type node = {
+  key : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  tbl : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recent *)
+  mutable tail : node option;  (* least recent *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { cap = capacity; tbl = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let unlink t n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> t.head <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    None
+  | None ->
+    let n = { key; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    if Hashtbl.length t.tbl > t.cap then begin
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.tbl victim.key;
+        Some victim.key
+      | None -> None
+    end
+    else None
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl key
+  | None -> ()
+
+let mem t key = Hashtbl.mem t.tbl key
+let size t = Hashtbl.length t.tbl
+let capacity t = t.cap

@@ -1,0 +1,20 @@
+(** O(1) least-recently-used tracking (for finite-capacity cache models).
+
+    A set of integer keys with recency order; inserting past capacity
+    reports the evicted key. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity > 0]. *)
+
+val touch : t -> int -> int option
+(** Insert or refresh a key as most-recently-used. Returns [Some victim]
+    when the insertion pushed the least-recently-used key out. *)
+
+val remove : t -> int -> unit
+(** Forget a key (external invalidation); no-op if absent. *)
+
+val mem : t -> int -> bool
+val size : t -> int
+val capacity : t -> int

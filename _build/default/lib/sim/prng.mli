@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic element of the simulation draws from an explicitly
+    seeded stream so that runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent stream (for giving each task its own source). *)
+
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample (for arrival processes). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,31 @@
+type t = {
+  rname : string;
+  mutable busy_until : int;
+  mutable busy_cycles : int;
+}
+
+let create ?(name = "resource") () = { rname = name; busy_until = 0; busy_cycles = 0 }
+
+let name t = t.rname
+let busy_until t = t.busy_until
+
+let reserve t n =
+  let n = max 0 n in
+  let start = max (Engine.now_ ()) t.busy_until in
+  t.busy_until <- start + n;
+  t.busy_cycles <- t.busy_cycles + n;
+  start + n
+
+let acquire t n =
+  let finish = reserve t n in
+  Engine.wait_until finish;
+  finish - max 0 n
+
+let utilization t ~since ~now =
+  if now <= since then 0.0
+  else
+    let busy = min t.busy_cycles (now - since) in
+    float_of_int busy /. float_of_int (now - since)
+
+let reset_accounting t = t.busy_cycles <- 0
+let busy_cycles t = t.busy_cycles

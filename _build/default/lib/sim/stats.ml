@@ -1,0 +1,56 @@
+type t = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { data = [||]; n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  if t.n = Array.length t.data then begin
+    let cap = if t.n = 0 then 64 else t.n * 2 in
+    let narr = Array.make cap 0.0 in
+    Array.blit t.data 0 narr 0 t.n;
+    t.data <- narr
+  end;
+  t.data.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let add_int t x = add t (float_of_int x)
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    if var <= 0.0 then 0.0 else sqrt var
+
+let min t = t.mn
+let max t = t.mx
+let total t = t.sum
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.sub t.data 0 t.n in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
+  let rank = Stdlib.max 0 (Stdlib.min (t.n - 1) rank) in
+  sorted.(rank)
+
+let samples t = Array.sub t.data 0 t.n
+
+let summary t =
+  Printf.sprintf "mean=%.1f sd=%.1f min=%.1f max=%.1f n=%d" (mean t) (stddev t)
+    (if t.n = 0 then 0.0 else t.mn)
+    (if t.n = 0 then 0.0 else t.mx)
+    t.n

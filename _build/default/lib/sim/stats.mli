@@ -1,0 +1,26 @@
+(** Sample accumulators for benchmark reporting.
+
+    Retains all samples (benchmarks are bounded) so percentiles are exact. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); 0 when n < 2. *)
+
+val min : t -> float
+val max : t -> float
+val total : t -> float
+val percentile : t -> float -> float
+(** [percentile t 0.5] is the median (nearest-rank on sorted samples).
+    Raises [Invalid_argument] on an empty accumulator. *)
+
+val samples : t -> float array
+(** Copy of the samples in insertion order. *)
+
+val summary : t -> string
+(** ["mean=… sd=… min=… max=… n=…"] for quick printing. *)

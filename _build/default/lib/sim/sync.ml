@@ -1,0 +1,127 @@
+(* Blocking primitives built on Engine.suspend. Wakers are one-shot, so a
+   woken task never races with a second wake-up. All queues are FIFO, which
+   keeps the whole simulation deterministic. *)
+
+let wake (w : Engine.waker) = w ()
+
+module Ivar = struct
+  type 'a state = Empty of Engine.waker Queue.t | Full of 'a
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty (Queue.create ()) }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter wake waiters
+
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty waiters ->
+      Engine.suspend (fun w -> Queue.add w waiters);
+      (match t.state with
+       | Full v -> v
+       | Empty _ -> assert false)
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; waiters : Engine.waker Queue.t }
+
+  let create () = { items = Queue.create (); waiters = Queue.create () }
+
+  let send t v =
+    Queue.add v t.items;
+    match Queue.take_opt t.waiters with None -> () | Some w -> wake w
+
+  let rec recv t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None ->
+      Engine.suspend (fun w -> Queue.add w t.waiters);
+      recv t
+
+  let try_recv t = Queue.take_opt t.items
+  let length t = Queue.length t.items
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; waiters : Engine.waker Queue.t }
+
+  let create n =
+    if n < 0 then invalid_arg "Semaphore.create";
+    { count = n; waiters = Queue.create () }
+
+  let rec acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else begin
+      Engine.suspend (fun w -> Queue.add w t.waiters);
+      acquire t
+    end
+
+  let release t =
+    t.count <- t.count + 1;
+    match Queue.take_opt t.waiters with None -> () | Some w -> wake w
+
+  let available t = t.count
+end
+
+module Mutex = struct
+  type t = Semaphore.t
+
+  let create () = Semaphore.create 1
+  let lock = Semaphore.acquire
+  let unlock t =
+    if Semaphore.available t > 0 then invalid_arg "Mutex.unlock: not locked";
+    Semaphore.release t
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v -> unlock t; v
+    | exception e -> unlock t; raise e
+end
+
+module Condition = struct
+  type t = { waiters : Engine.waker Queue.t }
+
+  let create () = { waiters = Queue.create () }
+
+  let wait t mutex =
+    (* Atomic in simulation terms: no other task runs between unlock and
+       suspend because tasks only switch at scheduling points. *)
+    Mutex.unlock mutex;
+    Engine.suspend (fun w -> Queue.add w t.waiters);
+    Mutex.lock mutex
+
+  let signal t =
+    match Queue.take_opt t.waiters with None -> () | Some w -> wake w
+
+  let broadcast t =
+    let ws = Queue.create () in
+    Queue.transfer t.waiters ws;
+    Queue.iter wake ws
+end
+
+module Barrier = struct
+  type t = { parties : int; mutable arrived : int; mutable waiters : Engine.waker list }
+
+  let create parties =
+    if parties <= 0 then invalid_arg "Barrier.create";
+    { parties; arrived = 0; waiters = [] }
+
+  let await t =
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      let ws = List.rev t.waiters in
+      t.arrived <- 0;
+      t.waiters <- [];
+      List.iter wake ws
+    end
+    else Engine.suspend (fun w -> t.waiters <- w :: t.waiters)
+end

@@ -1,0 +1,70 @@
+(** Blocking synchronization primitives for simulation tasks.
+
+    These are {e simulation-level} primitives (zero simulated-time cost
+    unless stated); they do not model hardware synchronization. The OS
+    layers charge hardware costs explicitly via [Mk_hw] before using them. *)
+
+(** Write-once cell; readers block until it is filled. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+  val read : 'a t -> 'a
+  (** Blocks the calling task until filled. *)
+end
+
+(** Unbounded FIFO mailbox; [recv] blocks when empty. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+(** Counting semaphore. *)
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+end
+
+(** Mutual exclusion between simulation tasks (FIFO handoff). *)
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+(** Condition variable used with {!Mutex}. *)
+module Condition : sig
+  type t
+
+  val create : unit -> t
+  val wait : t -> Mutex.t -> unit
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+(** Reusable n-party barrier. *)
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  val await : t -> unit
+  (** Blocks until [n] tasks have called [await]; then all are released and
+      the barrier resets for the next round. *)
+end

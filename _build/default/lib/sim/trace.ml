@@ -1,0 +1,24 @@
+type src = Logs.src
+
+let all : src list ref = ref []
+
+let make name =
+  let s = Logs.Src.create ("mk." ^ name) ~doc:("multikernel " ^ name ^ " tracing") in
+  Logs.Src.set_level s None;
+  all := s :: !all;
+  s
+
+let enable () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level ~all:true (Some Logs.Debug);
+  List.iter (fun s -> Logs.Src.set_level s (Some Logs.Debug)) !all
+
+let logf level src fmt =
+  Format.kasprintf
+    (fun s ->
+      let module L = (val Logs.src_log src : Logs.LOG) in
+      L.msg level (fun m -> m "%s" s))
+    fmt
+
+let debugf src fmt = logf Logs.Debug src fmt
+let infof src fmt = logf Logs.Info src fmt

@@ -1,0 +1,15 @@
+(** Lightweight per-subsystem tracing built on [Logs].
+
+    Each subsystem creates its own source once; tracing is off by default
+    and enabled globally (e.g. by the CLI's [-v] flag). *)
+
+type src
+
+val make : string -> src
+(** [make "urpc"] registers a log source named ["mk.urpc"]. *)
+
+val enable : unit -> unit
+(** Turn on Debug-level reporting to stderr for all mk sources. *)
+
+val debugf : src -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val infof : src -> ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Engine Fun Http List Machine Mk Mk_apps Mk_baseline Mk_hw Mk_net Mk_sim Nas Platform Printf Prng Runtime Splash Sqldb Stack String Test_util

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Array Engine Fun Ipi Ipi_shootdown L4_ipc List Machine Mk_baseline Mk_hw Mk_sim Monolithic Perfcounter Platform Spinlock Sync Test_util Tlb

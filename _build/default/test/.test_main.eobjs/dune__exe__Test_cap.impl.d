@@ -1,0 +1,1 @@
+test/test_cap.ml: Alcotest Cap List Mk QCheck2 Result Test_util Types

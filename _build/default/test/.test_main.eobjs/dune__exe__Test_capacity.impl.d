@@ -1,0 +1,1 @@
+test/test_capacity.ml: Array Coherence Engine List Lru Machine Mk_hw Mk_sim Perfcounter Platform Prng QCheck2 Test_util

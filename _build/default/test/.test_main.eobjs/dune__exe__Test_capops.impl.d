@@ -1,0 +1,1 @@
+test/test_capops.ml: Alcotest Cap Capops Cpu_driver List Mk Monitor Os Test_util Types

@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Array Coherence Engine List Machine Mk_hw Mk_sim Perfcounter Platform Prng Sync Test_util

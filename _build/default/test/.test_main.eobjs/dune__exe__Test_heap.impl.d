@@ -1,0 +1,1 @@
+test/test_heap.ml: Heap List Mk_sim Option Printf QCheck2 Test_util

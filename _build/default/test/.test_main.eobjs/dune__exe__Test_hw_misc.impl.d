@@ -1,0 +1,1 @@
+test/test_hw_misc.ml: Array Engine Ipi Machine Mk_hw Mk_sim Perfcounter Platform Sync Test_util Tlb

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Cap Cpu_driver Dispatcher List Lrpc Machine Mk Mk_hw Mk_sim Platform Test_util Types

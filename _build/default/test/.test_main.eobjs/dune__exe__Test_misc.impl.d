@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Engine Format List Mk Mk_apps Mk_hw Mk_net Mk_sim Platform Printexc Stats String Sync Test_util Trace

@@ -1,0 +1,1 @@
+test/test_mm_vspace.ml: Alcotest Array Cap Cpu_driver Dom List Machine Mk Mk_hw Mm Os Platform Result Test_util Tlb Types Vspace

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Cap Cpu_driver Engine List Machine Mk Mk_hw Mk_sim Monitor Os Printf Result Sync Test_util Tlb Types

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Checksum Engine Ethernet Ipv4 Kernel_loopback Mk_hw Mk_net Mk_sim Netif Nic Pbuf Platform QCheck2 Stack String Tcp_lite Test_util Udp

@@ -1,0 +1,1 @@
+test/test_net_arp.ml: Alcotest Arp Array Engine Icmp List Machine Mk Mk_hw Mk_net Mk_sim Netif Pbuf Perfcounter Stack Test_util

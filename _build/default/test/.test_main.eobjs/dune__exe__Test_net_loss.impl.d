@@ -1,0 +1,1 @@
+test/test_net_loss.ml: Buffer Char Engine Mk_hw Mk_net Mk_sim Netif Stack String Tcp_lite Test_util Timer

@@ -1,0 +1,1 @@
+test/test_platform.ml: List Mk_hw Platform String Test_util Topology

@@ -1,0 +1,1 @@
+test/test_prng.ml: Array List Mk_sim Prng QCheck2 Test_util

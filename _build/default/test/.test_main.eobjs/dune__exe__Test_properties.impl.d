@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Coherence Engine Fun List Machine Mk Mk_apps Mk_hw Mk_net Mk_sim Platform Printf QCheck2 Resource Sync Test_util

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Array Dom Engine Fun List Machine Mk Mk_baseline Mk_hw Mk_sim Monitor Os Platform Routing Shootdown Stats Sync Test_util Tlb Types Urpc Vspace

@@ -1,0 +1,1 @@
+test/test_resource.ml: Engine List Mk_sim Resource Sync Test_util

@@ -1,0 +1,1 @@
+test/test_routing.ml: Fun List Mk Mk_hw Platform QCheck2 Routing Test_util

@@ -1,0 +1,1 @@
+test/test_skb.ml: Alcotest List Mk Mk_hw Platform Skb Test_util

@@ -1,0 +1,1 @@
+test/test_stats.ml: List Mk_sim QCheck2 Stats Test_util

@@ -1,0 +1,1 @@
+test/test_sync.ml: Array Engine List Mk_sim Printf QCheck2 Sync Test_util

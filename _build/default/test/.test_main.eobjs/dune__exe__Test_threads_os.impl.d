@@ -1,0 +1,1 @@
+test/test_threads_os.ml: Alcotest Cpu_driver Dom Engine Flounder List Mk Mk_sim Monitor Name_service Os Printf Skb Sync Test_util Threads

@@ -1,0 +1,1 @@
+test/test_topology.ml: Array List Mk_hw Platform QCheck2 Test_util Topology

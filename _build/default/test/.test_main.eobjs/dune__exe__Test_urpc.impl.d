@@ -1,0 +1,1 @@
+test/test_urpc.ml: Engine List Mk Mk_hw Mk_sim Platform Sync Test_util Urpc

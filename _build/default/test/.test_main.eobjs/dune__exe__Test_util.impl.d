@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Engine Machine Mk Mk_hw Mk_sim Platform QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vspace_modes.ml: Array Dom Engine Fun List Machine Mk Mk_hw Mk_sim Os Platform Printf Test_util Tlb Types Vspace

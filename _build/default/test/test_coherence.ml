@@ -1,0 +1,200 @@
+open Mk_sim
+open Mk_hw
+open Test_util
+
+(* Cores 0,1 share a package on the 2x2 AMD; core 2 is on the other one. *)
+
+let test_cold_then_hot () =
+  run_machine (fun m ->
+      let a = Machine.alloc_lines m 1 in
+      let t0 = Engine.now_ () in
+      Coherence.load m.Machine.coh ~core:0 a;
+      let cold = Engine.now_ () - t0 in
+      let t1 = Engine.now_ () in
+      Coherence.load m.Machine.coh ~core:0 a;
+      let hot = Engine.now_ () - t1 in
+      check_bool "cold miss much slower" true (cold > 10 * hot);
+      check_int "hot = l1" m.Machine.plat.Platform.l1_hit hot)
+
+let test_states () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m 1 in
+      let line = Coherence.line_of_addr coh a in
+      check_bool "untouched invalid" true (Coherence.line_state coh ~line = Coherence.Invalid);
+      Coherence.load coh ~core:0 a;
+      (match Coherence.line_state coh ~line with
+       | Coherence.Shared [ 0 ] -> ()
+       | _ -> Alcotest.fail "expected Shared [0]");
+      Coherence.store coh ~core:0 a;
+      check_bool "modified after store" true
+        (Coherence.line_state coh ~line = Coherence.Modified 0);
+      Coherence.load coh ~core:2 a;
+      (match Coherence.line_state coh ~line with
+       | Coherence.Shared cs ->
+         check_bool "both share" true (List.mem 0 cs && List.mem 2 cs)
+       | _ -> Alcotest.fail "expected Shared");
+      Coherence.store coh ~core:2 a;
+      check_bool "ownership moved" true
+        (Coherence.line_state coh ~line = Coherence.Modified 2))
+
+let test_invariant_single_owner () =
+  (* Random op sequences never leave two Modified owners. *)
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let lines = Array.init 4 (fun _ -> Machine.alloc_lines m 1) in
+      let rng = Prng.create ~seed:99 in
+      for _ = 1 to 500 do
+        let core = Prng.int rng 4 in
+        let a = lines.(Prng.int rng 4) in
+        if Prng.bool rng then Coherence.store coh ~core a
+        else Coherence.load coh ~core a;
+        Array.iter
+          (fun addr ->
+            match Coherence.line_state coh ~line:(Coherence.line_of_addr coh addr) with
+            | Coherence.Modified _ | Coherence.Invalid -> ()
+            | Coherence.Shared cs ->
+              check_bool "no dup sharers" true
+                (List.length (List.sort_uniq compare cs) = List.length cs))
+          lines
+      done)
+
+let test_latency_ordering () =
+  (* local hit < shared-cache fetch < cross-package fetch. *)
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let time f = let t0 = Engine.now_ () in f (); Engine.now_ () - t0 in
+      let mk_dirty core = let a = Machine.alloc_lines m 1 in Coherence.store coh ~core a; a in
+      let a1 = mk_dirty 1 in
+      let local = time (fun () -> Coherence.load coh ~core:0 a1) in
+      let a2 = mk_dirty 2 in
+      let remote = time (fun () -> Coherence.load coh ~core:0 a2) in
+      let a0 = mk_dirty 0 in
+      let hit = time (fun () -> Coherence.load coh ~core:0 a0) in
+      check_bool "hit < local" true (hit < local);
+      check_bool "local < remote" true (local < remote))
+
+let test_store_invalidates_everywhere () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m 1 in
+      List.iter (fun c -> Coherence.load coh ~core:c a) [ 0; 1; 2; 3 ];
+      Coherence.store coh ~core:3 a;
+      check_bool "only writer caches it" true
+        (Coherence.line_state coh ~line:(Coherence.line_of_addr coh a)
+        = Coherence.Modified 3))
+
+let test_posted_store_delay () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m 1 in
+      Coherence.load coh ~core:2 a;
+      let t0 = Engine.now_ () in
+      let delay = Coherence.store_posted coh ~core:0 a in
+      let posted_cost = Engine.now_ () - t0 in
+      check_int "post cost" Coherence.store_post_cost posted_cost;
+      check_bool "invalidation still in flight" true (delay > 0))
+
+let test_home_pinning () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m ~node:1 1 in
+      let line = Coherence.line_of_addr coh a in
+      check_bool "home pinned before touch" true (Coherence.home_of coh ~line = Some 1);
+      Coherence.load coh ~core:0 a;
+      check_bool "home survives touch" true (Coherence.home_of coh ~line = Some 1))
+
+let test_home_defaults_to_first_toucher () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m 1 in
+      Coherence.load coh ~core:2 a;
+      let line = Coherence.line_of_addr coh a in
+      check_bool "home = package of first toucher" true
+        (Coherence.home_of coh ~line = Some 1))
+
+let test_traffic_counted () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m ~node:0 1 in
+      Coherence.store coh ~core:0 a;
+      let before = Perfcounter.snapshot m.Machine.counters in
+      Coherence.load coh ~core:2 a;
+      let d = Perfcounter.diff (Perfcounter.snapshot m.Machine.counters) before in
+      check_bool "cross-package fetch moved dwords" true (Perfcounter.total_dwords d > 0);
+      check_int "one miss" 1 d.Perfcounter.dcache_miss.(2);
+      check_int "one c2c" 1 d.Perfcounter.c2c_fetch.(2))
+
+let test_local_traffic_free () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let a = Machine.alloc_lines m ~node:0 1 in
+      Coherence.store coh ~core:0 a;
+      let before = Perfcounter.snapshot m.Machine.counters in
+      Coherence.load coh ~core:1 a (* same package *);
+      let d = Perfcounter.diff (Perfcounter.snapshot m.Machine.counters) before in
+      check_int "no interconnect dwords" 0 (Perfcounter.total_dwords d))
+
+let test_read_storm_serializes () =
+  (* N readers of one dirty line take ~N * slot; readers of distinct dirty
+     lines overlap. This is the Figure 6 Broadcast-vs-Unicast mechanism. *)
+  let storm =
+    run_machine ~plat:Platform.amd_8x4 (fun m ->
+        let coh = m.Machine.coh in
+        let a = Machine.alloc_lines m ~node:0 1 in
+        Coherence.store coh ~core:0 a;
+        let done_ = Sync.Semaphore.create 0 in
+        let t0 = Engine.now_ () in
+        List.iter
+          (fun c ->
+            Engine.spawn_ (fun () ->
+                Coherence.load coh ~core:c a;
+                Sync.Semaphore.release done_))
+          [ 4; 8; 12; 16; 20; 24 ];
+        for _ = 1 to 6 do Sync.Semaphore.acquire done_ done;
+        Engine.now_ () - t0)
+  in
+  let spread =
+    run_machine ~plat:Platform.amd_8x4 (fun m ->
+        let coh = m.Machine.coh in
+        let lines = List.init 6 (fun _ -> Machine.alloc_lines m ~node:0 1) in
+        List.iter (fun a -> Coherence.store coh ~core:0 a) lines;
+        let done_ = Sync.Semaphore.create 0 in
+        let t0 = Engine.now_ () in
+        List.iteri
+          (fun i a ->
+            Engine.spawn_ (fun () ->
+                Coherence.load coh ~core:(4 * (i + 1)) a;
+                Sync.Semaphore.release done_))
+          lines;
+        for _ = 1 to 6 do Sync.Semaphore.acquire done_ done;
+        Engine.now_ () - t0)
+  in
+  check_bool "same-line storm at least 2x slower" true (storm > 2 * spread)
+
+let test_touch_range () =
+  run_machine (fun m ->
+      let coh = m.Machine.coh in
+      let bytes = 1000 in
+      let a = Machine.alloc_bytes m bytes in
+      let before = Perfcounter.snapshot m.Machine.counters in
+      Coherence.touch_range coh ~core:0 ~addr:a ~bytes ~write:true;
+      let d = Perfcounter.diff (Perfcounter.snapshot m.Machine.counters) before in
+      check_int "16 lines written" 16 d.Perfcounter.stores.(0))
+
+let suite =
+  ( "coherence",
+    [
+      tc "cold then hot" test_cold_then_hot;
+      tc "MESI states" test_states;
+      tc "single-owner invariant" test_invariant_single_owner;
+      tc "latency ordering" test_latency_ordering;
+      tc "store invalidates" test_store_invalidates_everywhere;
+      tc "posted store" test_posted_store_delay;
+      tc "home pinning" test_home_pinning;
+      tc "home default" test_home_defaults_to_first_toucher;
+      tc "traffic counted" test_traffic_counted;
+      tc "local traffic free" test_local_traffic_free;
+      tc "read storm serializes" test_read_storm_serializes;
+      tc "touch range" test_touch_range;
+    ] )

@@ -1,0 +1,161 @@
+open Mk_sim
+open Test_util
+
+let test_wait_advances_time () =
+  let t =
+    run_sim (fun () ->
+        check_int "starts at 0" 0 (Engine.now_ ());
+        Engine.wait 100;
+        Engine.wait 23;
+        Engine.now_ ())
+  in
+  check_int "total" 123 t
+
+let test_negative_wait_is_zero () =
+  let t = run_sim (fun () -> Engine.wait (-5); Engine.now_ ()) in
+  check_int "clamped" 0 t
+
+let test_spawn_ordering () =
+  (* Tasks spawned at the same time run in spawn order. *)
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn eng (fun () -> log := i :: !log)
+  done;
+  Engine.run eng ();
+  check_bool "order" true (List.rev !log = [ 1; 2; 3; 4; 5 ])
+
+let test_determinism () =
+  (* Two identical runs produce identical event interleavings. *)
+  let trace () =
+    let eng = Engine.create () in
+    let log = ref [] in
+    for i = 0 to 9 do
+      Engine.spawn eng (fun () ->
+          Engine.wait ((i * 7) mod 5);
+          log := (i, Engine.now_ ()) :: !log;
+          Engine.wait i;
+          log := (i, Engine.now_ ()) :: !log)
+    done;
+    Engine.run eng ();
+    !log
+  in
+  check_bool "same trace" true (trace () = trace ())
+
+let test_suspend_wake () =
+  let woke_at =
+    run_sim (fun () ->
+        let waker = ref None in
+        Engine.spawn_ (fun () ->
+            Engine.wait 50;
+            match !waker with Some (w : Engine.waker) -> w () | None -> ());
+        Engine.suspend (fun w -> waker := Some w);
+        Engine.now_ ())
+  in
+  check_int "woken at 50" 50 woke_at
+
+let test_waker_is_one_shot () =
+  let count =
+    run_sim (fun () ->
+        let n = ref 0 in
+        let waker = ref None in
+        Engine.spawn_ (fun () ->
+            Engine.wait 10;
+            match !waker with
+            | Some (w : Engine.waker) ->
+              w ();
+              w ();
+              w ()
+            | None -> ());
+        Engine.suspend (fun w -> waker := Some w);
+        incr n;
+        Engine.wait 100;
+        !n)
+  in
+  check_int "resumed once" 1 count
+
+let test_wake_with_delay () =
+  let t =
+    run_sim (fun () ->
+        let waker = ref None in
+        Engine.spawn_ (fun () ->
+            match !waker with Some (w : Engine.waker) -> w ~delay:70 () | None -> ());
+        Engine.suspend (fun w -> waker := Some w);
+        Engine.now_ ())
+  in
+  check_int "delayed wake" 70 t
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 10 do
+        Engine.wait 10;
+        incr hits
+      done);
+  Engine.run eng ~until:35 ();
+  check_int "partial" 3 !hits;
+  check_int "clock clamped" 35 (Engine.now eng);
+  Engine.run eng ();
+  check_int "rest" 10 !hits
+
+let test_stall_detection () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.suspend (fun _ -> ()));
+  (match Engine.run eng ~allow_stall:false () with
+   | () -> Alcotest.fail "expected Stalled"
+   | exception Engine.Stalled _ -> ());
+  let eng2 = Engine.create () in
+  Engine.spawn eng2 (fun () -> Engine.suspend (fun _ -> ()));
+  Engine.run eng2 ()  (* default tolerates blocked server tasks *)
+
+let test_halt () =
+  let reached = ref false in
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      ignore (Engine.halt () : unit);
+      reached := true);
+  Engine.run eng ();
+  check_bool "code after halt unreachable" false !reached;
+  check_int "task accounted dead" 0 (Engine.live_tasks eng)
+
+let test_live_tasks () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.wait 10);
+  Engine.spawn eng (fun () -> Engine.suspend (fun _ -> ()));
+  Engine.run eng ();
+  check_int "one suspended forever" 1 (Engine.live_tasks eng)
+
+let test_task_name () =
+  let name = run_sim (fun () -> Engine.task_name ()) in
+  check_string "name" "test" name
+
+let test_nested_spawn () =
+  let sum =
+    run_sim (fun () ->
+        let acc = ref 0 in
+        Engine.spawn_ (fun () ->
+            Engine.spawn_ (fun () -> acc := !acc + 1);
+            acc := !acc + 10);
+        Engine.wait 1;
+        !acc)
+  in
+  check_int "both ran" 11 sum
+
+let suite =
+  ( "engine",
+    [
+      tc "wait advances time" test_wait_advances_time;
+      tc "negative wait" test_negative_wait_is_zero;
+      tc "spawn ordering" test_spawn_ordering;
+      tc "determinism" test_determinism;
+      tc "suspend/wake" test_suspend_wake;
+      tc "waker one-shot" test_waker_is_one_shot;
+      tc "wake with delay" test_wake_with_delay;
+      tc "run until" test_run_until;
+      tc "stall detection" test_stall_detection;
+      tc "halt" test_halt;
+      tc "live tasks" test_live_tasks;
+      tc "task name" test_task_name;
+      tc "nested spawn" test_nested_spawn;
+    ] )

@@ -1,0 +1,71 @@
+open Mk_sim
+open Test_util
+
+let test_empty () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  check_int "length" 0 (Heap.length h);
+  check_bool "pop none" true (Heap.pop h = None);
+  check_bool "peek none" true (Heap.peek h = None)
+
+let test_order () =
+  let h = Heap.create () in
+  Heap.push h ~time:30 ~seq:1 "c";
+  Heap.push h ~time:10 ~seq:2 "a";
+  Heap.push h ~time:20 ~seq:3 "b";
+  let pop () = (Option.get (Heap.pop h)).Heap.payload in
+  check_string "first" "a" (pop ());
+  check_string "second" "b" (pop ());
+  check_string "third" "c" (pop ())
+
+let test_seq_tiebreak () =
+  let h = Heap.create () in
+  Heap.push h ~time:5 ~seq:2 "second";
+  Heap.push h ~time:5 ~seq:1 "first";
+  Heap.push h ~time:5 ~seq:3 "third";
+  let pop () = (Option.get (Heap.pop h)).Heap.payload in
+  check_string "seq 1" "first" (pop ());
+  check_string "seq 2" "second" (pop ());
+  check_string "seq 3" "third" (pop ())
+
+let test_growth () =
+  let h = Heap.create () in
+  for i = 999 downto 0 do
+    Heap.push h ~time:i ~seq:i ()
+  done;
+  check_int "length" 1000 (Heap.length h);
+  for i = 0 to 999 do
+    let e = Option.get (Heap.pop h) in
+    check_int (Printf.sprintf "pop %d" i) i e.Heap.time
+  done
+
+let test_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~time:1 ~seq:1 ();
+  ignore (Heap.peek h);
+  check_int "still there" 1 (Heap.length h)
+
+let qcheck_sorted =
+  qtest "heap pops in (time, seq) order"
+    QCheck2.Gen.(list (pair (int_bound 1000) (int_bound 1000)))
+    (fun pairs ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.push h ~time:t ~seq:i ()) pairs;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain ((e.Heap.time, e.Heap.seq) :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare out)
+
+let suite =
+  ( "heap",
+    [
+      tc "empty" test_empty;
+      tc "order" test_order;
+      tc "seq tiebreak" test_seq_tiebreak;
+      tc "growth" test_growth;
+      tc "peek" test_peek_does_not_remove;
+      qcheck_sorted;
+    ] )

@@ -1,0 +1,140 @@
+open Mk_hw
+open Mk
+open Test_util
+
+(* ---- Memory server ---- *)
+
+let test_alloc_local () =
+  run_os (fun os ->
+      let mm = Os.mm os ~core:1 in
+      check_int "core" 1 (Mm.core mm);
+      let before = Mm.free_bytes mm in
+      match Mm.alloc_ram mm ~bytes:8192 with
+      | Ok c ->
+        check_bool "RAM cap" true (c.Cap.otype = Cap.RAM);
+        check_int "accounted" (before - 8192) (Mm.free_bytes mm)
+      | Error e -> Alcotest.fail (Types.error_to_string e))
+
+let test_alloc_frame () =
+  run_os (fun os ->
+      match Mm.alloc_frame (Os.mm os ~core:0) ~bytes:4096 with
+      | Ok f -> check_bool "frame" true (f.Cap.otype = Cap.Frame)
+      | Error e -> Alcotest.fail (Types.error_to_string e))
+
+let test_borrowing () =
+  (* Exhaust core 0's pool; the next allocation borrows from a peer. *)
+  let os = Os.boot ~measure_latencies:false ~mem_per_core:65536 Platform.amd_2x2 in
+  Os.run os (fun () ->
+      let mm0 = Os.mm os ~core:0 in
+      (match Mm.alloc_ram mm0 ~bytes:65536 with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      check_int "pool dry" 0 (Mm.free_bytes mm0);
+      match Mm.alloc_ram mm0 ~bytes:4096 with
+      | Ok c ->
+        check_bool "borrowed cap present locally" true
+          (Cap.Db.mem (Cpu_driver.capdb (Os.driver os ~core:0)) c)
+      | Error e -> Alcotest.fail ("borrow failed: " ^ Types.error_to_string e))
+
+let test_bad_alloc () =
+  run_os (fun os ->
+      match Mm.alloc_ram (Os.mm os ~core:0) ~bytes:0 with
+      | Error (Types.Err_invalid_args _) -> ()
+      | _ -> Alcotest.fail "zero alloc should fail")
+
+(* ---- Vspace ---- *)
+
+let test_map_touch_unmap () =
+  run_os (fun os ->
+      let m = Os.machine os in
+      let dom = Os.spawn_domain os ~name:"vtest" ~cores:[ 0; 1; 2; 3 ] in
+      let vs = Dom.vspace dom in
+      let vaddr = 0x40000 in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr ~bytes:Types.page_size with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      check_bool "mapped" true (Vspace.is_mapped vs ~vaddr);
+      check_bool "writable" true (Vspace.writable vs ~vaddr);
+      (* Touching fills the TLB; second touch is a TLB hit (free). *)
+      (match Vspace.touch vs ~core:2 ~vaddr with Ok () -> () | Error _ -> Alcotest.fail "touch");
+      check_bool "tlb filled" true
+        (Tlb.mem m.Machine.tlbs.(2) ~vpage:(Types.vpage_of_vaddr vaddr));
+      (* Unmap shoots down every core. *)
+      List.iter (fun c -> ignore (Vspace.touch vs ~core:c ~vaddr)) [ 0; 1; 3 ];
+      (match Os.unmap os dom ~core:0 ~vaddr ~bytes:Types.page_size with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      check_bool "unmapped" false (Vspace.is_mapped vs ~vaddr);
+      Array.iter
+        (fun tlb ->
+          check_bool "no stale TLB entry" false
+            (Tlb.mem tlb ~vpage:(Types.vpage_of_vaddr vaddr)))
+        m.Machine.tlbs;
+      match Vspace.touch vs ~core:0 ~vaddr with
+      | Error Types.Err_not_mapped -> ()
+      | _ -> Alcotest.fail "touch after unmap should fault")
+
+let test_protect_clears_tlbs () =
+  run_os (fun os ->
+      let m = Os.machine os in
+      let dom = Os.spawn_domain os ~name:"ptest" ~cores:[ 0; 1; 2; 3 ] in
+      let vs = Dom.vspace dom in
+      let vaddr = 0x50000 in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr ~bytes:Types.page_size with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      List.iter (fun c -> ignore (Vspace.touch vs ~core:c ~vaddr)) [ 0; 1; 2; 3 ];
+      (match Os.protect os dom ~core:1 ~vaddr ~bytes:Types.page_size ~writable:false with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      check_bool "still mapped" true (Vspace.is_mapped vs ~vaddr);
+      check_bool "read only now" false (Vspace.writable vs ~vaddr);
+      Array.iter
+        (fun tlb ->
+          check_bool "stale rights flushed" false
+            (Tlb.mem tlb ~vpage:(Types.vpage_of_vaddr vaddr)))
+        m.Machine.tlbs)
+
+let test_double_map_rejected () =
+  run_os (fun os ->
+      let dom = Os.spawn_domain os ~name:"dtest" ~cores:[ 0 ] in
+      let vaddr = 0x60000 in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr ~bytes:Types.page_size with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      match Os.alloc_map_frame os dom ~core:0 ~vaddr ~bytes:Types.page_size with
+      | Error Types.Err_already_mapped -> ()
+      | _ -> Alcotest.fail "double map should be rejected")
+
+let test_map_requires_frame () =
+  run_os (fun os ->
+      let dom = Os.spawn_domain os ~name:"ftest" ~cores:[ 0 ] in
+      let mm = Os.mm os ~core:0 in
+      let ram = Result.get_ok (Mm.alloc_ram mm ~bytes:Types.page_size) in
+      match
+        Vspace.map (Dom.vspace dom) ~driver:(Os.driver os ~core:0) ~vaddr:0x70000
+          ~frame:ram ~writable:true
+      with
+      | Error (Types.Err_cap_type _) -> ()
+      | _ -> Alcotest.fail "mapping raw RAM should be rejected")
+
+let test_unmap_unmapped () =
+  run_os (fun os ->
+      let dom = Os.spawn_domain os ~name:"utest" ~cores:[ 0 ] in
+      match Os.unmap os dom ~core:0 ~vaddr:0xdead000 ~bytes:Types.page_size with
+      | Error Types.Err_not_mapped -> ()
+      | _ -> Alcotest.fail "unmapping nothing should fail")
+
+let suite =
+  ( "mm-vspace",
+    [
+      tc "mm alloc local" test_alloc_local;
+      tc "mm alloc frame" test_alloc_frame;
+      tc "mm borrowing" test_borrowing;
+      tc "mm bad alloc" test_bad_alloc;
+      tc "map/touch/unmap" test_map_touch_unmap;
+      tc "protect clears tlbs" test_protect_clears_tlbs;
+      tc "double map rejected" test_double_map_rejected;
+      tc "map requires frame" test_map_requires_frame;
+      tc "unmap unmapped" test_unmap_unmapped;
+    ] )

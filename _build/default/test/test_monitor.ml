@@ -1,0 +1,133 @@
+open Mk_sim
+open Mk_hw
+open Mk
+open Test_util
+
+let test_ping () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let rtt = Monitor.ping mon 3 in
+      check_bool "positive round trip" true (rtt > 0);
+      (* Two pings cost about the same (deterministic steady state). *)
+      let rtt2 = Monitor.ping mon 3 in
+      check_bool "steady" true (abs (rtt - rtt2) < rtt))
+
+let test_fan_noop_all_ack () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+      let t0 = Engine.now_ () in
+      Monitor.run_fan mon ~plan ~op:Monitor.Op_noop;
+      check_bool "took time" true (Engine.now_ () - t0 > 0))
+
+let test_fan_tlb_invalidate () =
+  run_os (fun os ->
+      let m = Os.machine os in
+      let vpage = 77 in
+      Array.iter (fun tlb -> Tlb.fill tlb ~vpage) m.Machine.tlbs;
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+      Monitor.run_fan mon ~plan ~op:(Monitor.Op_tlb_invalidate { vpages = [ vpage ] });
+      Array.iter
+        (fun tlb ->
+          check_bool
+            (Printf.sprintf "core %d clean" (Tlb.core tlb))
+            false (Tlb.mem tlb ~vpage))
+        m.Machine.tlbs)
+
+let test_fan_replica_update () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+      Monitor.run_fan mon ~plan ~op:(Monitor.Op_set_replica { key = "quantum"; value = 42 });
+      for c = 0 to 3 do
+        check_bool
+          (Printf.sprintf "replica on %d" c)
+          true
+          (Monitor.get_replica (Os.monitor os ~core:c) "quantum" = Some 42)
+      done)
+
+let test_agree_commit () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+      check_bool "noop commits" true (Monitor.agree mon ~plan ~op:Monitor.Ag_noop))
+
+let test_agree_abort_on_stale_vote () =
+  run_os (fun os ->
+      let mon0 = Os.monitor os ~core:0 in
+      let db0 = Cpu_driver.capdb (Monitor.driver mon0) in
+      let ram = Cap.Db.mint_ram db0 ~base:0x9000000 ~bytes:65536 in
+      (* Replicate to core 2, then advance the replica out from under an
+         agreement that expects frontier 0. *)
+      (match Monitor.send_cap mon0 ~dst:2 ram with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      let db2 = Cpu_driver.capdb (Os.driver os ~core:2) in
+      (match Cap.Db.advance_frontier db2 ram ~bytes:4096 with
+       | Ok () -> ()
+       | Error _ -> Alcotest.fail "advance");
+      let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+      let committed =
+        Monitor.agree mon0 ~plan
+          ~op:(Monitor.Ag_retype { cap = ram; expected_frontier = 0; bytes = 4096 })
+      in
+      check_bool "stale view aborts" false committed)
+
+let test_pipelined_agrees () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
+      let ivs = List.init 8 (fun _ -> Monitor.agree_async mon ~plan ~op:Monitor.Ag_noop) in
+      List.iter (fun iv -> check_bool "all commit" true (Sync.Ivar.read iv)) ivs)
+
+let test_cap_transfer () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let db0 = Cpu_driver.capdb (Monitor.driver mon) in
+      let ram = Cap.Db.mint_ram db0 ~base:0xa000000 ~bytes:4096 in
+      (match Monitor.send_cap mon ~dst:1 ram with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Types.error_to_string e));
+      check_bool "present remotely" true (Cap.Db.mem (Cpu_driver.capdb (Os.driver os ~core:1)) ram);
+      (* Page tables must not cross cores. *)
+      let pt =
+        Result.get_ok (Cap.Db.retype db0 ram ~to_:(Cap.Page_table 1) ~count:1 ~bytes_each:4096)
+        |> List.hd
+      in
+      match Monitor.send_cap mon ~dst:1 pt with
+      | Error (Types.Err_cap_type _) -> ()
+      | _ -> Alcotest.fail "page table transfer should be refused")
+
+let test_wake () =
+  run_os (fun os ->
+      let mon0 = Os.monitor os ~core:0 in
+      let mon3 = Os.monitor os ~core:3 in
+      let woken = ref false in
+      Monitor.register_wake mon3 7 (fun () -> woken := true);
+      Monitor.wake_remote mon0 ~core:3 7;
+      Engine.wait 100_000;
+      check_bool "wake delivered" true !woken)
+
+let test_messages_handled_counted () =
+  run_os (fun os ->
+      let mon = Os.monitor os ~core:0 in
+      let before = Monitor.messages_handled (Os.monitor os ~core:2) in
+      ignore (Monitor.ping mon 2 : int);
+      check_bool "peer handled our ping" true
+        (Monitor.messages_handled (Os.monitor os ~core:2) > before))
+
+let suite =
+  ( "monitor",
+    [
+      tc "ping" test_ping;
+      tc "fan noop" test_fan_noop_all_ack;
+      tc "fan tlb invalidate" test_fan_tlb_invalidate;
+      tc "fan replica update" test_fan_replica_update;
+      tc "agree commit" test_agree_commit;
+      tc "agree abort on stale vote" test_agree_abort_on_stale_vote;
+      tc "pipelined agrees" test_pipelined_agrees;
+      tc "cap transfer" test_cap_transfer;
+      tc "wake" test_wake;
+      tc "messages handled" test_messages_handled_counted;
+    ] )

@@ -1,0 +1,145 @@
+(* ARP resolution, ICMP echo, thread migration and monitor core-sleep. *)
+
+open Mk_sim
+open Mk_hw
+open Mk_net
+open Test_util
+
+let with_arp_stacks f =
+  run_machine (fun m ->
+      let nif_a, nif_b = Stack.connect_urpc m ~core_a:0 ~core_b:2 () in
+      let sa = Stack.create m ~core:0 ~arp:true nif_a in
+      let sb = Stack.create m ~core:2 ~arp:true nif_b in
+      f m sa sb)
+
+let test_arp_resolves_and_delivers () =
+  with_arp_stacks (fun m sa sb ->
+      let sock_a = Stack.udp_bind sa ~port:1000 in
+      let sock_b = Stack.udp_bind sb ~port:2000 in
+      check_bool "table empty" true (Stack.arp_lookup sa ~ip:(Stack.ip sb) = None);
+      (* First datagram triggers resolution; it must still arrive. *)
+      Stack.udp_sendto sock_a ~dst_ip:(Stack.ip sb) ~dst_port:2000
+        (Pbuf.of_string m "first");
+      let p, _ = Stack.udp_recvfrom sock_b in
+      check_string "queued behind ARP, then delivered" "first" (Pbuf.contents p);
+      check_bool "resolved" true (Stack.arp_lookup sa ~ip:(Stack.ip sb) <> None);
+      (* Peer learned us from the request. *)
+      check_bool "gratuitous learning" true (Stack.arp_lookup sb ~ip:(Stack.ip sa) <> None);
+      (* Reply path now uses the cache directly. *)
+      Stack.udp_sendto sock_b ~dst_ip:(Stack.ip sa) ~dst_port:1000
+        (Pbuf.of_string m "second");
+      let p2, _ = Stack.udp_recvfrom sock_a in
+      check_string "cached path" "second" (Pbuf.contents p2))
+
+let test_arp_codec_roundtrip () =
+  run_machine (fun m ->
+      let p = Pbuf.alloc m ~size:0 () in
+      Arp.encode p
+        ~a:{ Arp.op = Arp.op_request; sender_mac = 0xaabbccddeeff; sender_ip = 0x0a000001;
+             target_mac = 0; target_ip = 0x0a000002 };
+      match Arp.decode p with
+      | Some a ->
+        check_int "op" Arp.op_request a.Arp.op;
+        check_bool "mac" true (a.Arp.sender_mac = 0xaabbccddeeff);
+        check_int "ip" 0x0a000001 a.Arp.sender_ip
+      | None -> Alcotest.fail "decode failed")
+
+let test_icmp_ping () =
+  with_arp_stacks (fun _m sa sb ->
+      match Stack.ping sa ~dst_ip:(Stack.ip sb) ~timeout:10_000_000 with
+      | Some rtt -> check_bool "positive rtt" true (rtt > 0)
+      | None -> Alcotest.fail "ping timed out")
+
+let test_icmp_ping_timeout () =
+  run_machine (fun m ->
+      let nif = Netif.create ~name:"void" ~mac:2 ~send:(fun _ -> ()) in
+      let s = Stack.create m ~core:0 nif in
+      check_bool "no reply -> None" true
+        (Stack.ping s ~dst_ip:0x0a0000ee ~timeout:1_000_000 = None))
+
+let test_icmp_checksum_guard () =
+  run_machine (fun m ->
+      let p = Pbuf.of_string m "payload" in
+      Icmp.encode p ~icmp_type:Icmp.type_echo_request ~ident:3 ~seq:9;
+      (match Icmp.decode (Pbuf.of_string m (Pbuf.contents p)) with
+       | Some msg ->
+         check_int "ident" 3 msg.Icmp.ident;
+         check_int "seq" 9 msg.Icmp.seq
+       | None -> Alcotest.fail "valid packet rejected");
+      Pbuf.set_u8 p 4 0xff;
+      check_bool "corruption rejected" true (Icmp.decode p = None))
+
+(* ---- thread migration ---- *)
+
+let test_thread_migration () =
+  run_os (fun os ->
+      let m = Mk.Os.machine os in
+      let dom = Mk.Os.spawn_domain os ~name:"mig" ~cores:[ 0; 3 ] in
+      let cores_seen = ref [] in
+      let th =
+        Mk.Threads.spawn_ctx m ~disp:(Mk.Dom.dispatcher_on dom 0) (fun ctx ->
+            cores_seen := Mk.Threads.current_core ctx :: !cores_seen;
+            Machine.compute m ~core:(Mk.Threads.current_core ctx) 1000;
+            Mk.Threads.migrate ctx ~to_disp:(Mk.Dom.dispatcher_on dom 3);
+            cores_seen := Mk.Threads.current_core ctx :: !cores_seen;
+            Machine.compute m ~core:(Mk.Threads.current_core ctx) 1000;
+            (* Migrating to where we already are is a no-op. *)
+            Mk.Threads.migrate ctx ~to_disp:(Mk.Dom.dispatcher_on dom 3);
+            cores_seen := Mk.Threads.current_core ctx :: !cores_seen)
+      in
+      Mk.Threads.join th;
+      check_bool "placement history" true (List.rev !cores_seen = [ 0; 3; 3 ]))
+
+let test_migration_moves_tcb_lines () =
+  run_os (fun os ->
+      let m = Mk.Os.machine os in
+      let dom = Mk.Os.spawn_domain os ~name:"mig2" ~cores:[ 0; 2 ] in
+      let before = Perfcounter.snapshot m.Machine.counters in
+      let th =
+        Mk.Threads.spawn_ctx m ~disp:(Mk.Dom.dispatcher_on dom 0) (fun ctx ->
+            Mk.Threads.migrate ctx ~to_disp:(Mk.Dom.dispatcher_on dom 2))
+      in
+      Mk.Threads.join th;
+      let d = Perfcounter.diff (Perfcounter.snapshot m.Machine.counters) before in
+      (* The destination pulled the TCB across packages. *)
+      check_bool "tcb fetched" true (d.Perfcounter.c2c_fetch.(2) >= 2))
+
+(* ---- monitor core sleep ---- *)
+
+let test_monitor_sleeps_when_idle () =
+  run_os (fun os ->
+      let mon3 = Mk.Os.monitor os ~core:3 in
+      let s0, _ = Mk.Monitor.sleep_stats mon3 in
+      (* A long quiet period, then one message: the monitor must have gone
+         to sleep and paid the wake-up. *)
+      Engine.wait 1_000_000;
+      ignore (Mk.Monitor.ping (Mk.Os.monitor os ~core:0) 3 : int);
+      let s1, slept = Mk.Monitor.sleep_stats mon3 in
+      check_bool "slept at least once" true (s1 > s0);
+      check_bool "accounted idle cycles" true (slept > 0))
+
+let test_busy_monitor_does_not_sleep () =
+  run_os (fun os ->
+      let mon0 = Mk.Os.monitor os ~core:0 in
+      let mon1 = Mk.Os.monitor os ~core:1 in
+      (* Stream of back-to-back pings: no gap exceeds the poll window. *)
+      let before, _ = Mk.Monitor.sleep_stats mon1 in
+      for _ = 1 to 20 do
+        ignore (Mk.Monitor.ping mon0 1 : int)
+      done;
+      let after, _ = Mk.Monitor.sleep_stats mon1 in
+      check_int "no sleeps under load" before after)
+
+let suite =
+  ( "arp-icmp-misc",
+    [
+      tc "arp resolves" test_arp_resolves_and_delivers;
+      tc "arp codec" test_arp_codec_roundtrip;
+      tc "icmp ping" test_icmp_ping;
+      tc "icmp ping timeout" test_icmp_ping_timeout;
+      tc "icmp checksum" test_icmp_checksum_guard;
+      tc "thread migration" test_thread_migration;
+      tc "migration moves tcb" test_migration_moves_tcb_lines;
+      tc "monitor sleeps" test_monitor_sleeps_when_idle;
+      tc "busy monitor awake" test_busy_monitor_does_not_sleep;
+    ] )

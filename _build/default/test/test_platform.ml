@@ -1,0 +1,67 @@
+open Mk_hw
+open Test_util
+
+let test_core_counts () =
+  check_int "intel" 8 (Platform.n_cores Platform.intel_2x4);
+  check_int "2x2" 4 (Platform.n_cores Platform.amd_2x2);
+  check_int "4x4" 16 (Platform.n_cores Platform.amd_4x4);
+  check_int "8x4" 32 (Platform.n_cores Platform.amd_8x4)
+
+let test_package_map () =
+  let p = Platform.amd_4x4 in
+  check_int "core 0" 0 (Platform.package_of p 0);
+  check_int "core 3" 0 (Platform.package_of p 3);
+  check_int "core 4" 1 (Platform.package_of p 4);
+  check_int "core 15" 3 (Platform.package_of p 15)
+
+let test_share_groups () =
+  (* Intel: 2-core dies share an L2; AMD 4x4: whole package shares L3. *)
+  let i = Platform.intel_2x4 in
+  check_bool "intel 0-1 share" true (Platform.shares_cache i 0 1);
+  check_bool "intel 1-2 don't" false (Platform.shares_cache i 1 2);
+  let a = Platform.amd_4x4 in
+  check_bool "amd 0-3 share" true (Platform.shares_cache a 0 3);
+  check_bool "amd 3-4 don't" false (Platform.shares_cache a 3 4)
+
+let test_hops () =
+  let p = Platform.amd_8x4 in
+  check_int "same package" 0 (Platform.hops_between p 0 3);
+  check_int "adjacent" 1 (Platform.hops_between p 0 4 (* pkg 0 -> pkg 1 *));
+  check_bool "diameter 3" true (Topology.diameter p.Platform.topo = 3)
+
+let test_cycles_to_ns () =
+  let p = Platform.amd_8x4 (* 2 GHz *) in
+  check_bool "2 cycles = 1 ns" true
+    (abs_float (Platform.cycles_to_ns p 2.0 -. 1.0) < 1e-9)
+
+let test_synthetic_mesh () =
+  let p = Platform.synthetic_mesh ~packages:16 ~cores_per_package:4 in
+  check_int "cores" 64 (Platform.n_cores p);
+  (* 4x4 mesh: opposite corners are 6 hops apart. *)
+  check_int "mesh diameter" 6 (Topology.diameter p.Platform.topo)
+
+let test_all_platforms_valid () =
+  List.iter
+    (fun p ->
+      check_bool "positive cores" true (Platform.n_cores p > 0);
+      check_bool "core ids" true (List.length (Platform.core_ids p) = Platform.n_cores p);
+      check_bool "describe" true (String.length (Platform.describe p) > 0);
+      (* Every core maps to a valid package. *)
+      List.iter
+        (fun c ->
+          let pkg = Platform.package_of p c in
+          check_bool "package in range" true (pkg >= 0 && pkg < p.Platform.n_packages))
+        (Platform.core_ids p))
+    Platform.all
+
+let suite =
+  ( "platform",
+    [
+      tc "core counts" test_core_counts;
+      tc "package map" test_package_map;
+      tc "share groups" test_share_groups;
+      tc "hops" test_hops;
+      tc "cycles to ns" test_cycles_to_ns;
+      tc "synthetic mesh" test_synthetic_mesh;
+      tc "all platforms valid" test_all_platforms_valid;
+    ] )

@@ -1,0 +1,71 @@
+open Mk_sim
+open Test_util
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.int64 a = Prng.int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  check_int "streams disagree" 0 !same
+
+let test_split_independent () =
+  let a = Prng.create ~seed:3 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  check_int "independent" 0 !same
+
+let test_int_bounds () =
+  let r = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  check_bool "bad bound" true
+    (match Prng.int r 0 with _ -> false | exception Invalid_argument _ -> true)
+
+let test_float_bounds () =
+  let r = Prng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_exponential_positive () =
+  let r = Prng.create ~seed:17 in
+  let sum = ref 0.0 in
+  for _ = 1 to 1000 do
+    let v = Prng.exponential r ~mean:100.0 in
+    check_bool "positive" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. 1000.0 in
+  check_bool "mean near 100" true (mean > 80.0 && mean < 120.0)
+
+let qcheck_shuffle_permutes =
+  qtest "shuffle is a permutation" QCheck2.Gen.(pair int (list small_int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      Prng.shuffle (Prng.create ~seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let suite =
+  ( "prng",
+    [
+      tc "determinism" test_determinism;
+      tc "seeds differ" test_seeds_differ;
+      tc "split independent" test_split_independent;
+      tc "int bounds" test_int_bounds;
+      tc "float bounds" test_float_bounds;
+      tc "exponential" test_exponential_positive;
+      qcheck_shuffle_permutes;
+    ] )

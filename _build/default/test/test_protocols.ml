@@ -1,0 +1,113 @@
+(* End-to-end protocol comparisons: the properties behind Figures 6-8,
+   checked as tests (orderings, not absolute numbers). *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+open Test_util
+
+let shootdown_cost proto ~ncores =
+  run_machine ~plat:Platform.amd_8x4 (fun m ->
+      let h = Shootdown.setup m ~proto ~root:0 ~cores:(List.init ncores Fun.id) () in
+      (* Warmup round, then measure. *)
+      ignore (Shootdown.round h : int);
+      let s = Stats.create () in
+      for _ = 1 to 5 do
+        Stats.add_int s (Shootdown.round h)
+      done;
+      Stats.mean s)
+
+let test_fig6_orderings () =
+  let b = shootdown_cost Routing.Broadcast ~ncores:32 in
+  let u = shootdown_cost Routing.Unicast ~ncores:32 in
+  let mc = shootdown_cost Routing.Multicast ~ncores:32 in
+  let nm = shootdown_cost Routing.Numa_multicast ~ncores:32 in
+  check_bool "broadcast worst" true (b > u);
+  check_bool "multicast beats unicast at 32" true (mc < u);
+  check_bool "numa no worse than multicast" true (nm <= mc +. 100.0)
+
+let test_fig6_broadcast_linear () =
+  let c8 = shootdown_cost Routing.Broadcast ~ncores:8 in
+  let c32 = shootdown_cost Routing.Broadcast ~ncores:32 in
+  check_bool "grows superlinearly vs tree" true (c32 > 2.5 *. c8)
+
+let test_fig6_multicast_flat () =
+  let c16 = shootdown_cost Routing.Multicast ~ncores:16 in
+  let c32 = shootdown_cost Routing.Multicast ~ncores:32 in
+  check_bool "tree scales gently" true (c32 < 1.6 *. c16)
+
+let unmap_cost_mk ~ncores =
+  let os = Os.boot ~measure_latencies:false Platform.amd_8x4 in
+  Os.run os (fun () ->
+      let cores = List.init ncores Fun.id in
+      let dom = Os.spawn_domain os ~name:"u" ~cores in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr:0x90000 ~bytes:4096 with
+       | Ok _ -> ()
+       | Error e -> Types.fail e);
+      List.iter (fun c -> ignore (Vspace.touch (Dom.vspace dom) ~core:c ~vaddr:0x90000)) cores;
+      let t0 = Engine.now_ () in
+      (match Os.protect os dom ~core:0 ~vaddr:0x90000 ~bytes:4096 ~writable:false with
+       | Ok () -> ()
+       | Error e -> Types.fail e);
+      Engine.now_ () - t0)
+
+let unmap_cost_ipi style ~ncores =
+  run_machine ~plat:Platform.amd_8x4 (fun m ->
+      let cores = List.init ncores Fun.id in
+      let ctx = Mk_baseline.Ipi_shootdown.setup m style ~cores in
+      List.iter (fun c -> Tlb.fill m.Machine.tlbs.(c) ~vpage:1) cores;
+      Mk_baseline.Ipi_shootdown.unmap ctx ~initiator:0 ~vpages:[ 1 ])
+
+let test_fig7_crossover () =
+  (* Messages win at scale; IPIs are competitive on few cores. *)
+  let mk32 = unmap_cost_mk ~ncores:32 in
+  let linux32 = unmap_cost_ipi Mk_baseline.Ipi_shootdown.Linux ~ncores:32 in
+  let windows32 = unmap_cost_ipi Mk_baseline.Ipi_shootdown.Windows ~ncores:32 in
+  check_bool "multikernel beats linux at 32" true (mk32 < linux32);
+  check_bool "linux beats windows at 32" true (linux32 < windows32);
+  let mk2 = unmap_cost_mk ~ncores:2 in
+  let linux2 = unmap_cost_ipi Mk_baseline.Ipi_shootdown.Linux ~ncores:2 in
+  check_bool "ipis competitive at 2 cores" true (linux2 < 2 * mk2)
+
+let test_fig8_pipelining_amortizes () =
+  let os = Os.boot ~measure_latencies:false Platform.amd_8x4 in
+  Os.run os (fun () ->
+      let mon = Os.monitor os ~core:0 in
+      let plan = Os.default_plan os ~root:0 ~members:(List.init 16 Fun.id) in
+      let t0 = Engine.now_ () in
+      let (_ : bool) = Monitor.agree mon ~plan ~op:Monitor.Ag_noop in
+      let single = Engine.now_ () - t0 in
+      let t1 = Engine.now_ () in
+      let ivs = List.init 16 (fun _ -> Monitor.agree_async mon ~plan ~op:Monitor.Ag_noop) in
+      List.iter (fun iv -> ignore (Sync.Ivar.read iv : bool)) ivs;
+      let per_op = (Engine.now_ () - t1) / 16 in
+      check_bool "pipelining cheaper per op" true (per_op < single))
+
+let test_polling_model_bounds () =
+  (* §5.2: overhead never exceeds P + C once past the poll window. *)
+  let overhead ~arrival =
+    run_machine ~plat:Platform.amd_4x4 (fun m ->
+        let ch = Urpc.create m ~sender:1 ~receiver:0 () in
+        Engine.spawn_ (fun () ->
+            Engine.wait arrival;
+            Urpc.send ch ());
+        let t0 = Engine.now_ () in
+        Urpc.recv_blocking ch ~poll_cycles:6000 ~wakeup_cost:6000;
+        Engine.now_ () - t0 - arrival)
+  in
+  let early = overhead ~arrival:0 in
+  let late = overhead ~arrival:50_000 in
+  check_bool "early cheap" true (early < 6000);
+  check_bool "late pays the wakeup" true (late > 6000);
+  check_bool "bounded by 2C + transfer" true (late < 14_000)
+
+let suite =
+  ( "protocols",
+    [
+      tc "fig6 orderings" test_fig6_orderings;
+      tc "fig6 broadcast linear" test_fig6_broadcast_linear;
+      tc "fig6 multicast flat" test_fig6_multicast_flat;
+      tc "fig7 crossover" test_fig7_crossover;
+      tc "fig8 pipelining" test_fig8_pipelining_amortizes;
+      tc "polling model bounds" test_polling_model_bounds;
+    ] )

@@ -1,0 +1,82 @@
+open Mk
+open Mk_hw
+open Test_util
+
+let plat = Platform.amd_8x4
+let members n = List.init n Fun.id
+
+let covers_exactly plan ~root ~n =
+  let reached = Routing.plan_cores plan in
+  let expected = List.filter (fun c -> c <> root) (members n) in
+  List.sort compare reached = expected
+
+let test_unicast () =
+  let plan = Routing.unicast ~root:0 ~members:(members 8) in
+  check_bool "covers all" true (covers_exactly plan ~root:0 ~n:8);
+  check_bool "no forwarding" true
+    (List.for_all (fun b -> b.Routing.leaves = []) plan.Routing.branches);
+  check_bool "not numa" false plan.Routing.numa_aware
+
+let test_multicast_structure () =
+  let plan = Routing.multicast plat ~root:0 ~members:(members 16) in
+  check_bool "covers all" true (covers_exactly plan ~root:0 ~n:16);
+  (* Root's own package (cores 1-3) are direct leaves; remote packages have
+     one aggregator forwarding to its packagemates. *)
+  List.iter
+    (fun b ->
+      let agg_pkg = Platform.package_of plat b.Routing.aggregator in
+      if agg_pkg = 0 then check_bool "local leaf alone" true (b.Routing.leaves = [])
+      else begin
+        check_int "leaves with aggregator" 3 (List.length b.Routing.leaves);
+        List.iter
+          (fun l -> check_int "same package" agg_pkg (Platform.package_of plat l))
+          b.Routing.leaves
+      end)
+    plan.Routing.branches
+
+let test_root_not_reached () =
+  let plan = Routing.multicast plat ~root:5 ~members:(members 32) in
+  check_bool "root excluded" false (List.mem 5 (Routing.plan_cores plan));
+  check_bool "covers the rest" true (covers_exactly plan ~root:5 ~n:32)
+
+let test_numa_ordering () =
+  (* With a latency function that makes higher packages slower, the plan
+     must send to them first. *)
+  let latency ~src:_ ~dst = dst in
+  let plan = Routing.numa_multicast plat ~latency ~root:0 ~members:(members 32) in
+  check_bool "numa flag" true plan.Routing.numa_aware;
+  let remote_aggs =
+    List.filter_map
+      (fun b ->
+        if Platform.package_of plat b.Routing.aggregator <> 0 then Some b.Routing.aggregator
+        else None)
+      plan.Routing.branches
+  in
+  let sorted_desc = List.sort (fun a b -> compare b a) remote_aggs in
+  check_bool "farthest first" true (remote_aggs = sorted_desc)
+
+let test_dedup_and_singleton () =
+  let plan = Routing.unicast ~root:0 ~members:[ 0; 1; 1; 2; 0 ] in
+  check_bool "deduped" true (Routing.plan_cores plan = [ 1; 2 ]);
+  let solo = Routing.multicast plat ~root:0 ~members:[ 0 ] in
+  check_int "empty plan" 0 (Routing.branch_count solo)
+
+let qcheck_multicast_partition =
+  qtest "multicast reaches every member exactly once" ~count:50
+    QCheck2.Gen.(pair (int_bound 31) (int_range 2 32))
+    (fun (root, n) ->
+      let root = root mod n in
+      let plan = Routing.multicast plat ~root ~members:(members n) in
+      let reached = List.sort compare (Routing.plan_cores plan) in
+      reached = List.filter (fun c -> c <> root) (members n))
+
+let suite =
+  ( "routing",
+    [
+      tc "unicast" test_unicast;
+      tc "multicast structure" test_multicast_structure;
+      tc "root not reached" test_root_not_reached;
+      tc "numa ordering" test_numa_ordering;
+      tc "dedup and singleton" test_dedup_and_singleton;
+      qcheck_multicast_partition;
+    ] )

@@ -1,0 +1,86 @@
+open Mk
+open Mk_hw
+open Test_util
+
+let test_assert_query () =
+  let skb = Skb.create () in
+  Skb.assert_fact skb (Skb.fact "likes" [ Skb.Atom "a"; Skb.Atom "b" ]);
+  Skb.assert_fact skb (Skb.fact "likes" [ Skb.Atom "a"; Skb.Atom "c" ]);
+  Skb.assert_fact skb (Skb.fact "likes" [ Skb.Atom "d"; Skb.Atom "b" ]);
+  let subs = Skb.query skb (Skb.fact "likes" [ Skb.Atom "a"; Skb.Var "X" ]) in
+  check_int "two matches" 2 (List.length subs);
+  check_bool "holds" true (Skb.holds skb (Skb.fact "likes" [ Skb.Atom "d"; Skb.Var "_" ]));
+  check_bool "no match" false (Skb.holds skb (Skb.fact "likes" [ Skb.Atom "z"; Skb.Var "_" ]))
+
+let test_repeated_variable () =
+  let skb = Skb.create () in
+  Skb.assert_fact skb (Skb.fact "edge" [ Skb.Int 1; Skb.Int 1 ]);
+  Skb.assert_fact skb (Skb.fact "edge" [ Skb.Int 1; Skb.Int 2 ]);
+  (* X must bind consistently: only the self-loop matches edge(X, X). *)
+  let subs = Skb.query skb (Skb.fact "edge" [ Skb.Var "X"; Skb.Var "X" ]) in
+  check_int "one self loop" 1 (List.length subs);
+  check_int "bound to 1" 1 (Skb.lookup_int (List.hd subs) "X")
+
+let test_ground_facts_only () =
+  let skb = Skb.create () in
+  check_bool "vars rejected" true
+    (match Skb.assert_fact skb (Skb.fact "p" [ Skb.Var "X" ]) with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_retract () =
+  let skb = Skb.create () in
+  Skb.assert_fact skb (Skb.fact "p" [ Skb.Int 1 ]);
+  Skb.assert_fact skb (Skb.fact "p" [ Skb.Int 2 ]);
+  Skb.retract skb (Skb.fact "p" [ Skb.Int 1 ]);
+  check_bool "1 gone" false (Skb.holds skb (Skb.fact "p" [ Skb.Int 1 ]));
+  check_bool "2 stays" true (Skb.holds skb (Skb.fact "p" [ Skb.Int 2 ]));
+  check_int "size" 1 (Skb.size skb)
+
+let test_compound_args () =
+  let skb = Skb.create () in
+  Skb.assert_fact skb
+    (Skb.fact "route" [ Skb.Int 0; Skb.Compound ("via", [ Skb.Int 1; Skb.Int 2 ]) ]);
+  let sub =
+    Skb.query_one skb
+      (Skb.fact "route" [ Skb.Int 0; Skb.Compound ("via", [ Skb.Var "A"; Skb.Var "B" ]) ])
+  in
+  match sub with
+  | Some s ->
+    check_int "A" 1 (Skb.lookup_int s "A");
+    check_int "B" 2 (Skb.lookup_int s "B")
+  | None -> Alcotest.fail "nested unification failed"
+
+let test_platform_facts () =
+  let skb = Skb.create () in
+  Skb.populate_platform skb Platform.amd_4x4;
+  (match Skb.query_one skb (Skb.fact "num_cores" [ Skb.Var "N" ]) with
+   | Some s -> check_int "16 cores" 16 (Skb.lookup_int s "N")
+   | None -> Alcotest.fail "num_cores missing");
+  check_int "one package fact per core" 16
+    (List.length (Skb.query skb (Skb.fact "core_package" [ Skb.Var "C"; Skb.Var "P" ])));
+  check_bool "links asserted" true
+    (Skb.holds skb (Skb.fact "ht_link" [ Skb.Var "A"; Skb.Var "B" ]))
+
+let test_latency_facts () =
+  let skb = Skb.create () in
+  Skb.assert_urpc_latency skb ~src:0 ~dst:1 ~cycles:500;
+  check_bool "read back" true (Skb.urpc_latency skb ~src:0 ~dst:1 = Some 500);
+  check_bool "missing pair" true (Skb.urpc_latency skb ~src:1 ~dst:0 = None);
+  (* Re-measurement replaces, not duplicates. *)
+  Skb.assert_urpc_latency skb ~src:0 ~dst:1 ~cycles:480;
+  check_bool "updated" true (Skb.urpc_latency skb ~src:0 ~dst:1 = Some 480);
+  check_int "single fact" 1
+    (List.length (Skb.query skb (Skb.fact "urpc_latency" [ Skb.Int 0; Skb.Int 1; Skb.Var "L" ])))
+
+let suite =
+  ( "skb",
+    [
+      tc "assert/query" test_assert_query;
+      tc "repeated variable" test_repeated_variable;
+      tc "ground facts only" test_ground_facts_only;
+      tc "retract" test_retract;
+      tc "compound args" test_compound_args;
+      tc "platform facts" test_platform_facts;
+      tc "latency facts" test_latency_facts;
+    ] )

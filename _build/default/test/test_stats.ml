@@ -1,0 +1,67 @@
+open Mk_sim
+open Test_util
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.count s);
+  check_bool "mean" true (feq (Stats.mean s) 2.5);
+  check_bool "min" true (feq (Stats.min s) 1.0);
+  check_bool "max" true (feq (Stats.max s) 4.0);
+  check_bool "total" true (feq (Stats.total s) 10.0);
+  (* Sample stddev of 1..4 is sqrt(5/3). *)
+  check_bool "stddev" true (feq ~eps:1e-6 (Stats.stddev s) (sqrt (5.0 /. 3.0)))
+
+let test_empty () =
+  let s = Stats.create () in
+  check_bool "mean 0" true (feq (Stats.mean s) 0.0);
+  check_bool "stddev 0" true (feq (Stats.stddev s) 0.0);
+  check_bool "percentile raises" true
+    (match Stats.percentile s 0.5 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add_int s i
+  done;
+  check_bool "median" true (feq (Stats.percentile s 0.5) 50.0);
+  check_bool "p99" true (feq (Stats.percentile s 0.99) 99.0);
+  check_bool "p0 is min" true (feq (Stats.percentile s 0.0) 1.0);
+  check_bool "p100 is max" true (feq (Stats.percentile s 1.0) 100.0)
+
+let test_samples_order () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 3.0; 1.0; 2.0 ];
+  check_bool "insertion order" true (Stats.samples s = [| 3.0; 1.0; 2.0 |])
+
+let qcheck_mean_oracle =
+  qtest "mean matches the naive oracle"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let oracle = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      feq ~eps:1e-6 (Stats.mean s) oracle)
+
+let qcheck_minmax =
+  qtest "min/max bound every sample"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      List.for_all (fun x -> x >= Stats.min s && x <= Stats.max s) xs)
+
+let suite =
+  ( "stats",
+    [
+      tc "basic" test_basic;
+      tc "empty" test_empty;
+      tc "percentiles" test_percentiles;
+      tc "samples order" test_samples_order;
+      qcheck_mean_oracle;
+      qcheck_minmax;
+    ] )

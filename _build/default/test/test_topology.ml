@@ -1,0 +1,81 @@
+open Mk_hw
+open Test_util
+
+let ring n = Topology.create ~n ~links:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let test_basics () =
+  let t = ring 6 in
+  check_int "nodes" 6 (Topology.n_nodes t);
+  check_int "self distance" 0 (Topology.hops t 2 2);
+  check_int "neighbor" 1 (Topology.hops t 0 1);
+  check_int "across" 3 (Topology.hops t 0 3);
+  check_int "diameter" 3 (Topology.diameter t)
+
+let test_symmetry () =
+  let t = ring 7 in
+  for a = 0 to 6 do
+    for b = 0 to 6 do
+      check_int "symmetric" (Topology.hops t a b) (Topology.hops t b a)
+    done
+  done
+
+let test_path_validity () =
+  let t = Platform.amd_8x4.Platform.topo in
+  for s = 0 to 7 do
+    for d = 0 to 7 do
+      let p = Topology.path_directed t s d in
+      check_int "length = hops" (Topology.hops t s d) (List.length p);
+      (* Consecutive hops chain from s to d. *)
+      let rec walk cur = function
+        | [] -> check_int "ends at destination" d cur
+        | (u, v) :: rest ->
+          check_int "chains" cur u;
+          walk v rest
+      in
+      walk s p
+    done
+  done
+
+let test_fully_connected () =
+  let t = Topology.fully_connected ~n:5 in
+  check_int "links" 10 (Array.length (Topology.links t));
+  check_int "diameter 1" 1 (Topology.diameter t)
+
+let test_rejects_bad_input () =
+  let fails f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check_bool "self loop" true (fails (fun () -> Topology.create ~n:2 ~links:[ (0, 0) ]));
+  check_bool "out of range" true (fails (fun () -> Topology.create ~n:2 ~links:[ (0, 5) ]));
+  check_bool "disconnected" true (fails (fun () -> Topology.create ~n:4 ~links:[ (0, 1); (2, 3) ]));
+  check_bool "zero nodes" true (fails (fun () -> Topology.create ~n:0 ~links:[]))
+
+let test_duplicate_links_ignored () =
+  let t = Topology.create ~n:2 ~links:[ (0, 1); (1, 0); (0, 1) ] in
+  check_int "one link" 1 (Array.length (Topology.links t))
+
+let qcheck_triangle_inequality =
+  qtest "hop counts obey the triangle inequality" ~count:50
+    QCheck2.Gen.(int_range 3 8)
+    (fun n ->
+      let t = ring n in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if Topology.hops t a c > Topology.hops t a b + Topology.hops t b c then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  ( "topology",
+    [
+      tc "basics" test_basics;
+      tc "symmetry" test_symmetry;
+      tc "path validity" test_path_validity;
+      tc "fully connected" test_fully_connected;
+      tc "rejects bad input" test_rejects_bad_input;
+      tc "duplicate links" test_duplicate_links_ignored;
+      qcheck_triangle_inequality;
+    ] )

@@ -1,0 +1,38 @@
+(* Shared helpers for the test suites. *)
+
+open Mk_sim
+open Mk_hw
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Run [f] as a simulation task on a fresh engine and return its result. *)
+let run_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn eng ~name:"test" (fun () -> result := Some (f ()));
+  Engine.run eng ();
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation task did not complete"
+
+(* Same, on a machine of the given platform. *)
+let run_machine ?(plat = Platform.amd_2x2) f =
+  let m = Machine.create plat in
+  let result = ref None in
+  Engine.spawn m.Machine.eng ~name:"test" (fun () -> result := Some (f m));
+  Machine.run m;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation task did not complete"
+
+(* Run [f] against a booted OS. *)
+let run_os ?(plat = Platform.amd_2x2) ?(measure_latencies = false) f =
+  let os = Mk.Os.boot ~measure_latencies plat in
+  Mk.Os.run os (fun () -> f os)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
