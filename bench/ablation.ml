@@ -40,14 +40,14 @@ let unmap_with_mode pt_mode ~touchers =
 
 let page_tables () =
   Common.sub "(a) unmap on a 32-core domain vs cores actually using the page";
-  Printf.printf "%9s %14s %22s\n" "touchers" "shared table" "replicated+tracked";
+  Common.printf "%9s %14s %22s\n" "touchers" "shared table" "replicated+tracked";
   List.iter
     (fun k ->
       let shared = unmap_with_mode Vspace.Shared_table ~touchers:k in
       let tracked =
         unmap_with_mode (Vspace.Replicated { track_tlb_fills = true }) ~touchers:k
       in
-      Printf.printf "%9d %14.0f %22.0f\n%!" k shared tracked)
+      Common.printf "%9d %14.0f %22.0f\n%!" k shared tracked)
     [ 1; 2; 4; 8; 16; 32 ]
 
 (* -- (b) barriers -- *)
@@ -106,10 +106,10 @@ let futex_round ~ncores =
 
 let barriers () =
   Common.sub "(b) barrier round cost (4x4-core AMD, cycles)";
-  Printf.printf "%5s %12s %12s %12s\n" "cores" "spin (user)" "msg (user)" "futex (kernel)";
+  Common.printf "%5s %12s %12s %12s\n" "cores" "spin (user)" "msg (user)" "futex (kernel)";
   List.iter
     (fun n ->
-      Printf.printf "%5d %12d %12d %12d\n%!" n
+      Common.printf "%5d %12d %12d %12d\n%!" n
         (barrier_round `Spin ~ncores:n)
         (barrier_round `Msg ~ncores:n)
         (futex_round ~ncores:n))
@@ -162,11 +162,11 @@ let urpc_numbers ~prefetch =
 
 let prefetch () =
   Common.sub "(c) URPC prefetch variant (4x4-core AMD, one-hop pair)";
-  Printf.printf "%10s %12s %14s\n" "variant" "latency" "msgs/kcycle";
+  Common.printf "%10s %12s %14s\n" "variant" "latency" "msgs/kcycle";
   let l0, t0 = urpc_numbers ~prefetch:false in
-  Printf.printf "%10s %12.0f %14.2f\n" "plain" l0 t0;
+  Common.printf "%10s %12.0f %14.2f\n" "plain" l0 t0;
   let l1, t1 = urpc_numbers ~prefetch:true in
-  Printf.printf "%10s %12.0f %14.2f\n%!" "prefetch" l1 t1
+  Common.printf "%10s %12.0f %14.2f\n%!" "prefetch" l1 t1
 
 let run () =
   Common.hr "Ablations (page tables, barriers, prefetch)";

@@ -2,34 +2,35 @@
 
 open Mk_hw
 
-let hr title =
-  Printf.printf "\n==== %s ====\n%!" title
+(* All bench output funnels through [printf] so the parallel runner can
+   capture a bench's output into a per-domain buffer and replay it in
+   deterministic order. Single-threaded runs write straight to stdout. *)
+let out_key : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let sub title = Printf.printf "-- %s --\n%!" title
+let redirect_to buf f =
+  Domain.DLS.set out_key (Some buf);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set out_key None) f
+
+let printf fmt =
+  Printf.ksprintf
+    (fun s ->
+      match Domain.DLS.get out_key with
+      | None ->
+        print_string s;
+        flush stdout
+      | Some buf -> Buffer.add_string buf s)
+    fmt
+
+let hr title = printf "\n==== %s ====\n%!" title
+
+let sub title = printf "-- %s --\n%!" title
 
 let ns_of plat cycles = Platform.cycles_to_ns plat (float_of_int cycles)
 
 (* Fixed-width row printing for paper-style tables. *)
-let row fmt = Printf.printf fmt
+let row fmt = printf fmt
 
 let core_counts ~max_cores =
   (* The paper's x axes step by 2 from 2 up to the machine size. *)
   let rec go n acc = if n > max_cores then List.rev acc else go (n + 2) (n :: acc) in
   go 2 []
-
-let mean_int l =
-  match l with
-  | [] -> 0.0
-  | _ -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
-
-let stddev_int l =
-  let m = mean_int l in
-  match l with
-  | [] | [ _ ] -> 0.0
-  | _ ->
-    let n = float_of_int (List.length l) in
-    let var =
-      List.fold_left (fun acc x -> acc +. ((float_of_int x -. m) ** 2.0)) 0.0 l
-      /. (n -. 1.0)
-    in
-    sqrt var

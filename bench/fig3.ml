@@ -123,7 +123,7 @@ let run () =
   Common.hr "Figure 3: shared memory vs message passing (4x4-core AMD)";
   let plat = Platform.amd_4x4 in
   let cores = Common.core_counts ~max_cores:(Platform.n_cores plat) in
-  Printf.printf
+  Common.printf
     "%5s  %9s %9s %9s %9s  %9s %9s %9s\n" "cores" "SHM1" "SHM2" "SHM4" "SHM8" "MSG1"
     "MSG8" "Server";
   List.iter
@@ -132,6 +132,6 @@ let run () =
       let s1 = shm 1 and s2 = shm 2 and s4 = shm 4 and s8 = shm 8 in
       let m1, _ = msg_case (Machine.create plat) ~ncores:n ~klines:1 in
       let m8, srv = msg_case (Machine.create plat) ~ncores:n ~klines:8 in
-      Printf.printf "%5d  %9.0f %9.0f %9.0f %9.0f  %9.0f %9.0f %9.0f\n%!" n s1 s2 s4 s8
+      Common.printf "%5d  %9.0f %9.0f %9.0f %9.0f  %9.0f %9.0f %9.0f\n%!" n s1 s2 s4 s8
         m1 m8 srv)
     cores

@@ -26,11 +26,11 @@ let run () =
   Common.hr "Figure 6: TLB shootdown protocols (8x4-core AMD)";
   let plat = Platform.amd_8x4 in
   let counts = Common.core_counts ~max_cores:(Platform.n_cores plat) in
-  Printf.printf "%5s %12s %12s %12s %12s\n" "cores" "Broadcast" "Unicast" "Multicast"
+  Common.printf "%5s %12s %12s %12s %12s\n" "cores" "Broadcast" "Unicast" "Multicast"
     "NUMA-Mcast";
   List.iter
     (fun n ->
       let v proto = one_point plat proto ~ncores:n in
-      Printf.printf "%5d %12.0f %12.0f %12.0f %12.0f\n%!" n (v Routing.Broadcast)
+      Common.printf "%5d %12.0f %12.0f %12.0f %12.0f\n%!" n (v Routing.Broadcast)
         (v Routing.Unicast) (v Routing.Multicast) (v Routing.Numa_multicast))
     counts

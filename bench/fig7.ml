@@ -54,11 +54,11 @@ let run () =
   Common.hr "Figure 7: unmap latency (8x4-core AMD)";
   let plat = Platform.amd_8x4 in
   let counts = Common.core_counts ~max_cores:(Platform.n_cores plat) in
-  Printf.printf "%5s %12s %12s %12s\n" "cores" "Windows" "Linux" "Barrelfish";
+  Common.printf "%5s %12s %12s %12s\n" "cores" "Windows" "Linux" "Barrelfish";
   List.iter
     (fun n ->
       let w = ipi_point plat Ipi_shootdown.Windows ~ncores:n in
       let l = ipi_point plat Ipi_shootdown.Linux ~ncores:n in
       let b = barrelfish_point plat ~ncores:n in
-      Printf.printf "%5d %12.0f %12.0f %12.0f\n%!" n w l b)
+      Common.printf "%5d %12.0f %12.0f %12.0f\n%!" n w l b)
     counts

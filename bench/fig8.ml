@@ -39,9 +39,9 @@ let run () =
   Common.hr "Figure 8: two-phase commit (8x4-core AMD)";
   let plat = Platform.amd_8x4 in
   let counts = Common.core_counts ~max_cores:(Platform.n_cores plat) in
-  Printf.printf "%5s %16s %18s\n" "cores" "single-op" "cost-pipelined";
+  Common.printf "%5s %16s %18s\n" "cores" "single-op" "cost-pipelined";
   List.iter
     (fun n ->
       let single, piped = points plat ~ncores:n in
-      Printf.printf "%5d %16.0f %18.0f\n%!" n single piped)
+      Common.printf "%5d %16.0f %18.0f\n%!" n single piped)
     counts

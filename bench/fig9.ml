@@ -35,12 +35,12 @@ let run () =
   List.iter
     (fun (name, app) ->
       Common.sub name;
-      Printf.printf "%5s %14s %14s\n" "cores" "Barrelfish" "Linux";
+      Common.printf "%5s %14s %14s\n" "cores" "Barrelfish" "Linux";
       List.iter
         (fun n ->
           let b = barrelfish_cycles app ~ncores:n in
           let l = linux_cycles app ~ncores:n in
-          Printf.printf "%5d %14.2f %14.2f\n%!" n
+          Common.printf "%5d %14.2f %14.2f\n%!" n
             (float_of_int b /. 1e8)
             (float_of_int l /. 1e8))
         counts)

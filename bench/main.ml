@@ -1,6 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 5). Run all with `dune exec bench/main.exe`, or a
-   subset: `dune exec bench/main.exe -- fig6 table2`. *)
+   subset: `dune exec bench/main.exe -- fig6 table2`. `-j N` runs the
+   selected benches on N parallel domains — each bench is an independent
+   deterministic world, so simulated results are identical in any mode and
+   output is replayed in program order.
+
+   Every run also reports host-side performance (wall-clock and simulated
+   events/sec per bench) and writes it to BENCH_sim.json so the perf
+   trajectory of the simulator itself is tracked across commits. *)
+
+open Mk_sim
+open Mk_benches
 
 let all : (string * string * (unit -> unit)) list =
   [
@@ -20,17 +30,143 @@ let all : (string * string * (unit -> unit)) list =
     ("micro", "bechamel simulator micro-benches", Micro.run);
   ]
 
+type timing = { name : string; wall_s : float; events : int }
+
+(* Run one bench, capturing wall-clock and the simulated events it cost.
+   [Engine.domain_events_executed] is per-domain, so the delta is this
+   bench's own even when siblings run on other domains. *)
+let instrumented name f () =
+  let ev0 = Engine.domain_events_executed () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { name; wall_s; events = Engine.domain_events_executed () - ev0 }
+
+let run_serial selected =
+  List.map (fun (name, _, f) -> instrumented name f ()) selected
+
+(* Benches that must not share the process with other running domains:
+   bechamel's measurement loop waits for the major heap to quiesce, which
+   never happens while sibling domains allocate. These run on the main
+   domain after the pool has joined. *)
+let serial_only = [ "micro" ]
+
+(* Worker pool over domains: each worker claims the next un-run bench,
+   runs it with output buffered, and parks the transcript; the main domain
+   then replays transcripts in program order so -j output is byte-identical
+   to the serial run (modulo the timing table). *)
+let run_parallel jobs selected =
+  let benches = Array.of_list selected in
+  let n = Array.length benches in
+  let next = Atomic.make 0 in
+  let results : (Buffer.t * timing) option array = Array.make n None in
+  let run_buffered i =
+    let name, _, f = benches.(i) in
+    let buf = Buffer.create 4096 in
+    let timing = Common.redirect_to buf (instrumented name f) in
+    results.(i) <- Some (buf, timing)
+  in
+  let parallel_ok i =
+    let name, _, _ = benches.(i) in
+    not (List.mem name serial_only)
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        if parallel_ok i then run_buffered i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains =
+    List.init (min jobs (max 1 n)) (fun _ -> Domain.spawn worker)
+  in
+  List.iter Domain.join domains;
+  for i = 0 to n - 1 do
+    if not (parallel_ok i) then run_buffered i
+  done;
+  Array.to_list results
+  |> List.map (fun r ->
+         let buf, timing = Option.get r in
+         print_string (Buffer.contents buf);
+         timing)
+
+let rate events wall_s = if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
+
+let write_json path ~jobs ~timings ~harness_wall =
+  let oc = open_out path in
+  let total_events = List.fold_left (fun a t -> a + t.events) 0 timings in
+  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v1\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"benches\": [\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}%s\n"
+        t.name t.wall_s t.events
+        (rate t.events t.wall_s)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"total\": {\"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}\n"
+    harness_wall total_events (rate total_events harness_wall);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let report ~jobs ~timings ~harness_wall =
+  Printf.printf "\n==== Simulator performance (host side) ====\n";
+  Printf.printf "%-10s %9s %12s %12s\n" "bench" "wall(s)" "events" "events/s";
+  List.iter
+    (fun t ->
+      Printf.printf "%-10s %9.3f %12d %12.2e\n" t.name t.wall_s t.events
+        (rate t.events t.wall_s))
+    timings;
+  let total_events = List.fold_left (fun a t -> a + t.events) 0 timings in
+  Printf.printf "%-10s %9.3f %12d %12.2e  (%d job%s)\n" "total" harness_wall
+    total_events
+    (rate total_events harness_wall)
+    jobs
+    (if jobs = 1 then "" else "s");
+  write_json "BENCH_sim.json" ~jobs ~timings ~harness_wall;
+  Printf.printf "written to BENCH_sim.json\n%!"
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [-j N] [list | all | <bench>...]\n       benches: %s\n"
+    (String.concat " " (List.map (fun (n, _, _) -> n) all));
+  exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let jobs, args =
+    match args with
+    | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> (j, rest)
+       | _ -> usage ())
+    | _ -> (1, args)
+  in
   match args with
-  | [] | [ "all" ] -> List.iter (fun (_, _, f) -> f ()) all
-  | [ "list" ] -> List.iter (fun (name, doc, _) -> Printf.printf "%-8s %s\n" name doc) all
+  | [ "list" ] ->
+    List.iter (fun (name, doc, _) -> Printf.printf "%-8s %s\n" name doc) all
   | names ->
-    List.iter
-      (fun name ->
-        match List.find_opt (fun (n, _, _) -> n = name) all with
-        | Some (_, _, f) -> f ()
-        | None ->
-          Printf.eprintf "unknown bench %S (try `list`)\n" name;
-          exit 1)
-      names
+    let selected =
+      match names with
+      | [] | [ "all" ] -> all
+      | names ->
+        List.map
+          (fun name ->
+            match List.find_opt (fun (n, _, _) -> n = name) all with
+            | Some b -> b
+            | None ->
+              Printf.eprintf "unknown bench %S (try `list`)\n" name;
+              exit 1)
+          names
+    in
+    let t0 = Unix.gettimeofday () in
+    let timings =
+      if jobs = 1 then run_serial selected else run_parallel jobs selected
+    in
+    report ~jobs ~timings ~harness_wall:(Unix.gettimeofday () -. t0)

@@ -69,6 +69,6 @@ let run () =
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> Printf.printf "%-40s %12.0f ns/run\n%!" name est
-      | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+      | Some [ est ] -> Common.printf "%-40s %12.0f ns/run\n%!" name est
+      | _ -> Common.printf "%-40s (no estimate)\n%!" name)
     results

@@ -12,7 +12,7 @@ open Mk_apps
 
 let echo () =
   Common.sub "UDP echo throughput (2x4-core Intel, e1000 model)";
-  Printf.printf "%14s %16s %10s\n" "offered Mbit/s" "achieved Mbit/s" "drops";
+  Common.printf "%14s %16s %10s\n" "offered Mbit/s" "achieved Mbit/s" "drops";
   List.iter
     (fun offered ->
       let m = Machine.create Platform.intel_2x4 in
@@ -35,7 +35,7 @@ let echo () =
       Machine.run m;
       match !result with
       | Some r ->
-        Printf.printf "%14.0f %16.1f %10d\n%!" offered r.Echo.achieved_mbps
+        Common.printf "%14.0f %16.1f %10d\n%!" offered r.Echo.achieved_mbps
           r.Echo.dropped
       | None -> ())
     [ 200.0; 400.0; 600.0; 800.0; 950.0; 1000.0 ]
@@ -109,13 +109,13 @@ let web () =
   let m = Machine.create Platform.amd_2x2 in
   let nic, web_stack = web_server_setup m ~db_handler:None in
   let rps = run_web_load m nic web_stack ~path:"/" in
-  Printf.printf "Barrelfish (user stack + URPC): %.0f requests/s (%.0f Mbit/s)\n%!"
+  Common.printf "Barrelfish (user stack + URPC): %.0f requests/s (%.0f Mbit/s)\n%!"
     rps
     (rps *. float_of_int (String.length page) *. 8.0 /. 1e6);
   let m2 = Machine.create Platform.amd_2x2 in
   let nic2, web2 = linux_web_setup m2 in
   let rps2 = run_web_load m2 nic2 web2 ~path:"/" in
-  Printf.printf "lighttpd/Linux (in-kernel stack): %.0f requests/s (%.0f Mbit/s)\n%!"
+  Common.printf "lighttpd/Linux (in-kernel stack): %.0f requests/s (%.0f Mbit/s)\n%!"
     rps2
     (rps2 *. float_of_int (String.length page) *. 8.0 /. 1e6)
 
@@ -147,7 +147,7 @@ let web_sql () =
   in
   let nic, web_stack = web_server_setup m ~db_handler:(Some db_handler) in
   let rps = run_web_load m nic web_stack ~path:"/db" in
-  Printf.printf "requests/s: %.0f (bottleneck: database core)\n%!" rps
+  Common.printf "requests/s: %.0f (bottleneck: database core)\n%!" rps
 
 let run () =
   Common.hr "Section 5.4: IO workloads";

@@ -31,12 +31,12 @@ let simulate_arrival plat ~arrival_delay =
 
 let run () =
   Common.hr "Section 5.2: the cost of polling (P = C = 6000 cycles)";
-  Printf.printf "%12s %16s %18s\n" "arrival t" "model overhead" "simulated overhead";
+  Common.printf "%12s %16s %18s\n" "arrival t" "model overhead" "simulated overhead";
   List.iter
     (fun t ->
       let model = model_overhead ~p:c_cost ~c:c_cost ~t in
       let sim = simulate_arrival Platform.amd_4x4 ~arrival_delay:t in
-      Printf.printf "%12d %16d %18d\n%!" t model sim)
+      Common.printf "%12d %16d %18d\n%!" t model sim)
     [ 0; 1000; 3000; 5999; 6001; 9000; 20000 ];
-  Printf.printf "Model bounds: overhead <= 2C = %d; latency <= C = %d\n%!" (2 * c_cost)
+  Common.printf "Model bounds: overhead <= 2C = %d; latency <= C = %d\n%!" (2 * c_cost)
     c_cost

@@ -60,9 +60,9 @@ let ipi plat ~ncores =
 
 let run () =
   Common.hr "Scaling extension: synthetic mesh machines up to 128 cores";
-  Printf.printf "%6s %14s %14s %18s\n" "cores" "mk unmap" "mk 2PC" "Linux-IPI unmap";
+  Common.printf "%6s %14s %14s %18s\n" "cores" "mk unmap" "mk 2PC" "Linux-IPI unmap";
   List.iter
     (fun (ncores, plat) ->
-      Printf.printf "%6d %14.0f %14.0f %18.0f\n%!" ncores
+      Common.printf "%6d %14.0f %14.0f %18.0f\n%!" ncores
         (unmap_all plat ~ncores) (twopc plat ~ncores) (ipi plat ~ncores))
     machines

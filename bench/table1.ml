@@ -24,11 +24,11 @@ let measure plat =
 
 let run () =
   Common.hr "Table 1: LRPC one-way latency";
-  Printf.printf "%-18s %10s %6s %8s\n" "System" "cycles" "(sd)" "ns";
+  Common.printf "%-18s %10s %6s %8s\n" "System" "cycles" "(sd)" "ns";
   List.iter
     (fun plat ->
       let lat = measure plat in
-      Printf.printf "%-18s %10.0f %6.0f %8.0f\n%!" plat.Platform.name (Stats.mean lat)
+      Common.printf "%-18s %10.0f %6.0f %8.0f\n%!" plat.Platform.name (Stats.mean lat)
         (Stats.stddev lat)
         (Common.ns_of plat (int_of_float (Stats.mean lat))))
     Platform.all

@@ -86,7 +86,7 @@ let throughput m ~src ~dst =
 
 let run () =
   Common.hr "Table 2: URPC performance";
-  Printf.printf "%-18s %-11s %9s %6s %8s %12s\n" "System" "Cache" "Latency" "(sd)" "ns"
+  Common.printf "%-18s %-11s %9s %6s %8s %12s\n" "System" "Cache" "Latency" "(sd)" "ns"
     "msgs/kcycle";
   List.iter
     (fun plat ->
@@ -97,7 +97,7 @@ let run () =
           | Some (src, dst) ->
             let lat = ping_pong (Machine.create plat) ~src ~dst in
             let tput = throughput (Machine.create plat) ~src ~dst in
-            Printf.printf "%-18s %-11s %9.0f %6.0f %8.0f %12.2f\n%!" plat.Platform.name
+            Common.printf "%-18s %-11s %9.0f %6.0f %8.0f %12.2f\n%!" plat.Platform.name
               label (Stats.mean lat) (Stats.stddev lat)
               (Common.ns_of plat (int_of_float (Stats.mean lat)))
               tput)

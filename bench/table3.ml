@@ -71,8 +71,8 @@ let l4_numbers () =
 
 let run () =
   Common.hr "Table 3: messaging costs on 2x2-core AMD";
-  Printf.printf "%-8s %9s %12s %8s %8s\n" "" "Latency" "msgs/kcycle" "Icache" "Dcache";
+  Common.printf "%-8s %9s %12s %8s %8s\n" "" "Latency" "msgs/kcycle" "Icache" "Dcache";
   let ul, ut, ui, ud = urpc_numbers () in
-  Printf.printf "%-8s %9.0f %12.2f %8d %8d\n" "URPC" ul ut ui ud;
+  Common.printf "%-8s %9.0f %12.2f %8d %8d\n" "URPC" ul ut ui ud;
   let ll, lt, li, ld = l4_numbers () in
-  Printf.printf "%-8s %9.0f %12.2f %8d %8d\n%!" "L4 IPC" ll lt li ld
+  Common.printf "%-8s %9.0f %12.2f %8d %8d\n%!" "L4 IPC" ll lt li ld

@@ -107,15 +107,15 @@ let run () =
   Common.hr "Table 4: IP loopback (2x2-core AMD)";
   let b = barrelfish () in
   let l = linux () in
-  Printf.printf "%-38s %12s %12s\n" "" "Barrelfish" "Linux";
-  Printf.printf "%-38s %12.0f %12.0f\n" "Throughput (Mbit/s)" b.mbps l.mbps;
-  Printf.printf "%-38s %12.1f %12.1f\n" "Dcache misses per packet" b.dmiss_per_pkt
+  Common.printf "%-38s %12s %12s\n" "" "Barrelfish" "Linux";
+  Common.printf "%-38s %12.0f %12.0f\n" "Throughput (Mbit/s)" b.mbps l.mbps;
+  Common.printf "%-38s %12.1f %12.1f\n" "Dcache misses per packet" b.dmiss_per_pkt
     l.dmiss_per_pkt;
-  Printf.printf "%-38s %12.0f %12.0f\n" "source->sink HT traffic (dwords/pkt)"
+  Common.printf "%-38s %12.0f %12.0f\n" "source->sink HT traffic (dwords/pkt)"
     b.fwd_dwords l.fwd_dwords;
-  Printf.printf "%-38s %12.0f %12.0f\n" "sink->source HT traffic (dwords/pkt)"
+  Common.printf "%-38s %12.0f %12.0f\n" "sink->source HT traffic (dwords/pkt)"
     b.rev_dwords l.rev_dwords;
-  Printf.printf "%-38s %11.1f%% %11.1f%%\n" "source->sink HT link utilization"
+  Common.printf "%-38s %11.1f%% %11.1f%%\n" "source->sink HT link utilization"
     (100.0 *. b.fwd_util) (100.0 *. l.fwd_util);
-  Printf.printf "%-38s %11.1f%% %11.1f%%\n%!" "sink->source HT link utilization"
+  Common.printf "%-38s %11.1f%% %11.1f%%\n%!" "sink->source HT link utilization"
     (100.0 *. b.rev_util) (100.0 *. l.rev_util)

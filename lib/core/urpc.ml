@@ -20,6 +20,7 @@ type 'a t = {
   box : 'a delivery Sync.Mailbox.t;
   prefetch : bool;
   chan_name : string;
+  wire_name : string;  (* precomputed: [send] spawns one wire task per message *)
   mutable last_visible : int;
   mutable sent : int;
   mutable received : int;
@@ -34,18 +35,20 @@ let create (type a) m ~sender ~receiver ?(slots = 16) ?node ?(prefetch = false)
     match node with Some n -> n | None -> Platform.package_of plat sender
   in
   (* Each slot gets its own line; message payloads larger than one line
-     spill into lines allocated right after the ring (same home). *)
-  let slot_addrs =
-    Array.init slots (fun _ -> Machine.alloc_lines m ~node 1)
+     spill into lines allocated right after the ring (same home). The ring
+     and each control block are allocated as one contiguous region so a
+     channel pins three home ranges, not one per line. *)
+  let cl = plat.Platform.cacheline in
+  let slot_base = Machine.alloc_lines m ~node slots in
+  let slot_addrs = Array.init slots (fun i -> slot_base + (i * cl)) in
+  let send_base =
+    Machine.alloc_lines m ~node:(Platform.package_of plat sender) 2
   in
-  let send_ctrl =
-    Array.init 2 (fun _ ->
-        Machine.alloc_lines m ~node:(Platform.package_of plat sender) 1)
+  let send_ctrl = Array.init 2 (fun i -> send_base + (i * cl)) in
+  let recv_base =
+    Machine.alloc_lines m ~node:(Platform.package_of plat receiver) 3
   in
-  let recv_ctrl =
-    Array.init 3 (fun _ ->
-        Machine.alloc_lines m ~node:(Platform.package_of plat receiver) 1)
-  in
+  let recv_ctrl = Array.init 3 (fun i -> recv_base + (i * cl)) in
   {
     m;
     src = sender;
@@ -58,6 +61,7 @@ let create (type a) m ~sender ~receiver ?(slots = 16) ?node ?(prefetch = false)
     box = Sync.Mailbox.create ();
     prefetch;
     chan_name = name;
+    wire_name = name ^ ".wire";
     last_visible = 0;
     sent = 0;
     received = 0;
@@ -97,7 +101,7 @@ let send t ?(lines = 1) payload =
   let visible_at = max (Engine.now_ () + delay) t.last_visible in
   t.last_visible <- visible_at;
   t.sent <- t.sent + 1;
-  Engine.spawn_ ~name:(t.chan_name ^ ".wire") (fun () ->
+  Engine.spawn_ ~name:t.wire_name (fun () ->
       Engine.wait_until visible_at;
       Sync.Mailbox.send t.box { payload; slot_addr; lines };
       match t.notify with Some f -> f () | None -> ())

@@ -2,12 +2,25 @@ open Mk_sim
 
 type line_state = Invalid | Shared of int list | Modified of int
 
+(* Internal line state is a small-int tag plus a reusable sharer bitset:
+   no list allocation or O(sharers) scan on the access path, and state
+   transitions recycle the same bitset. The public {!line_state} view
+   converts on demand (tests only). *)
+let tag_invalid = 0
+
+let tag_shared = 1
+let tag_modified = 2
+
 type line = {
-  mutable st : line_state;
+  mutable tag : int;
+  (* Exclusive owner core when [tag = tag_modified]. *)
+  mutable excl : int;
+  (* Sharer set when [tag = tag_shared]. *)
+  sharers : Bitset.t;
   mutable home : int;
-  (* MOESI owner: the last writer keeps sourcing data to readers until the
-     line is written again. *)
-  mutable owner : int option;
+  (* MOESI owner (-1 = none): the last writer keeps sourcing data to
+     readers until the line is written again. *)
+  mutable owner : int;
   (* End of the last owner-sourced transfer of this line: successive reads
      of one dirty line are serviced one at a time (a single line has a
      single set of MSHR/response buffers at its owner), which is Figure 6's
@@ -22,13 +35,29 @@ type t = {
   (* Optional finite capacity per core (in lines): evictions write dirty
      victims back to their home and drop clean ones. None = infinite. *)
   lrus : Lru.t option array;
-  (* Home-node pinning as sorted, non-overlapping (first, last, node)
+  (* Home-node pinning as sorted, non-overlapping [first, last] -> node
      ranges: the bump allocator pins whole regions, so per-line entries
-     would be wastefully huge. *)
-  mutable home_ranges : (int * int * int) array;
+     would be wastefully huge. Stored as parallel int arrays so the binary
+     search in [pinned_home_of] touches flat memory, and adjacent
+     same-node ranges are merged on insert — the URPC mesh alone would
+     otherwise pin hundreds of thousands of one-line ranges. *)
+  mutable range_first : int array;
+  mutable range_last : int array;
+  mutable range_node : int array;
   mutable n_ranges : int;
   dirs : Resource.t array;  (* one directory/home-node resource per package *)
   ports : Resource.t array;  (* per-core cache port: serializes c2c sourcing *)
+  n_cores : int;
+  (* -- precomputed hot-path lookups (everything below is derivable from
+        [plat]; hoisted here because the access path runs per event) -- *)
+  pkg : int array;  (* core -> package *)
+  sgrp : int array;  (* core -> LLC share group *)
+  xfer : int array array;  (* (src core).(dst core) -> transfer latency *)
+  dram_lat : int array array;  (* (src pkg).(home pkg) -> DRAM fetch latency *)
+  (* (src pkg).(dst pkg) -> dword counters of the directed links en route,
+     pre-resolved so charging traffic is a few stores, not a path walk. *)
+  path_refs : int ref array array array;
+  probe_refs : int ref array;  (* every link, both directions *)
 }
 
 (* Dword accounting per the HT convention the paper uses for Table 4:
@@ -41,6 +70,40 @@ let port_occupancy = 70
 
 let create ?cache_lines_per_core plat counters =
   let n = Platform.n_cores plat in
+  let npkg = plat.Platform.n_packages in
+  let topo = plat.Platform.topo in
+  let pkg = Array.init n (fun c -> Platform.package_of plat c) in
+  let sgrp = Array.init n (fun c -> Platform.share_group_of plat c) in
+  let xfer =
+    Array.init n (fun src ->
+        Array.init n (fun dst ->
+            if sgrp.(src) = sgrp.(dst) then plat.Platform.shared_cache_fetch
+            else
+              plat.Platform.cc_base
+              + (2 * plat.Platform.hop_one_way * Topology.hops topo pkg.(src) pkg.(dst))))
+  in
+  let dram_lat =
+    Array.init npkg (fun src ->
+        Array.init npkg (fun home ->
+            plat.Platform.dram
+            + (2 * plat.Platform.hop_one_way * Topology.hops topo src home)))
+  in
+  let path_refs =
+    Array.init npkg (fun src ->
+        Array.init npkg (fun dst ->
+            Topology.path_directed topo src dst
+            |> List.map (Perfcounter.link_counter counters)
+            |> Array.of_list))
+  in
+  let probe_refs =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (a, b) ->
+              [| Perfcounter.link_counter counters (a, b);
+                 Perfcounter.link_counter counters (b, a) |])
+            (Topology.links topo)))
+  in
   {
     plat;
     counters;
@@ -49,33 +112,52 @@ let create ?cache_lines_per_core plat counters =
       (match cache_lines_per_core with
        | None -> Array.make n None
        | Some cap -> Array.init n (fun _ -> Some (Lru.create ~capacity:cap)));
-    home_ranges = Array.make 64 (0, 0, 0);
+    range_first = Array.make 64 0;
+    range_last = Array.make 64 0;
+    range_node = Array.make 64 0;
     n_ranges = 0;
     dirs =
-      Array.init plat.Platform.n_packages (fun i ->
-          Resource.create ~name:(Printf.sprintf "dir%d" i) ());
+      Array.init npkg (fun i -> Resource.create ~name:(Printf.sprintf "dir%d" i) ());
     ports =
-      Array.init (Platform.n_cores plat) (fun i ->
-          Resource.create ~name:(Printf.sprintf "cacheport%d" i) ());
+      Array.init n (fun i -> Resource.create ~name:(Printf.sprintf "cacheport%d" i) ());
+    n_cores = n;
+    pkg;
+    sgrp;
+    xfer;
+    dram_lat;
+    path_refs;
+    probe_refs;
   }
 
 let platform t = t.plat
 let line_of_addr t addr = addr / t.plat.Platform.cacheline
 
 let set_home_range t ~first_line ~last_line ~node =
-  if t.n_ranges = Array.length t.home_ranges then begin
-    let bigger = Array.make (t.n_ranges * 2) (0, 0, 0) in
-    Array.blit t.home_ranges 0 bigger 0 t.n_ranges;
-    t.home_ranges <- bigger
-  end;
   (* The allocator hands out monotonically increasing addresses, so ranges
      arrive sorted; enforce it to keep the binary search valid. *)
-  (if t.n_ranges > 0 then
-     let _, prev_last, _ = t.home_ranges.(t.n_ranges - 1) in
-     if first_line <= prev_last then
-       invalid_arg "Coherence.set_home_range: ranges must be increasing");
-  t.home_ranges.(t.n_ranges) <- (first_line, last_line, node);
-  t.n_ranges <- t.n_ranges + 1
+  if t.n_ranges > 0 && first_line <= t.range_last.(t.n_ranges - 1) then
+    invalid_arg "Coherence.set_home_range: ranges must be increasing";
+  if
+    t.n_ranges > 0
+    && t.range_node.(t.n_ranges - 1) = node
+    && t.range_last.(t.n_ranges - 1) = first_line - 1
+  then t.range_last.(t.n_ranges - 1) <- last_line
+  else begin
+    if t.n_ranges = Array.length t.range_first then begin
+      let grow a =
+        let bigger = Array.make (t.n_ranges * 2) 0 in
+        Array.blit a 0 bigger 0 t.n_ranges;
+        bigger
+      in
+      t.range_first <- grow t.range_first;
+      t.range_last <- grow t.range_last;
+      t.range_node <- grow t.range_node
+    end;
+    t.range_first.(t.n_ranges) <- first_line;
+    t.range_last.(t.n_ranges) <- last_line;
+    t.range_node.(t.n_ranges) <- node;
+    t.n_ranges <- t.n_ranges + 1
+  end
 
 let set_home t ~line ~node = set_home_range t ~first_line:line ~last_line:line ~node
 
@@ -84,10 +166,9 @@ let pinned_home_of t line =
     if lo > hi then None
     else begin
       let mid = (lo + hi) / 2 in
-      let first, last, node = t.home_ranges.(mid) in
-      if line < first then search lo (mid - 1)
-      else if line > last then search (mid + 1) hi
-      else Some node
+      if line < t.range_first.(mid) then search lo (mid - 1)
+      else if line > t.range_last.(mid) then search (mid + 1) hi
+      else Some t.range_node.(mid)
     end
   in
   search 0 (t.n_ranges - 1)
@@ -98,42 +179,45 @@ let home_of t ~line =
   | None -> pinned_home_of t line
 
 let get_line t ~core line =
-  match Hashtbl.find_opt t.lines line with
-  | Some l -> l
-  | None ->
+  match Hashtbl.find t.lines line with
+  | l -> l
+  | exception Not_found ->
     let home =
-      match pinned_home_of t line with
-      | Some n -> n
-      | None -> Platform.package_of t.plat core
+      match pinned_home_of t line with Some n -> n | None -> t.pkg.(core)
     in
-    let l = { st = Invalid; home; owner = None; line_busy_until = 0 } in
+    let l =
+      {
+        tag = tag_invalid;
+        excl = -1;
+        sharers = Bitset.create ~n:t.n_cores;
+        home;
+        owner = -1;
+        line_busy_until = 0;
+      }
+    in
     Hashtbl.replace t.lines line l;
     l
 
 (* Charge dword traffic along the route between two packages, keeping the
    direction of travel (Table 4 reports per-direction link utilization). *)
 let charge_path t src_pkg dst_pkg dwords =
-  if src_pkg <> dst_pkg then
-    List.iter
-      (fun (u, v) -> Perfcounter.add_link_dwords t.counters (u, v) dwords)
-      (Topology.path_directed t.plat.Platform.topo src_pkg dst_pkg)
+  if src_pkg <> dst_pkg then begin
+    let refs = t.path_refs.(src_pkg).(dst_pkg) in
+    for i = 0 to Array.length refs - 1 do
+      let r = Array.unsafe_get refs i in
+      r := !r + dwords
+    done
+  end
 
 (* Broadcast probe traffic: HT probes fan out on every link, both ways. *)
 let charge_probe_broadcast t =
-  Array.iter
-    (fun (a, b) ->
-      Perfcounter.add_link_dwords t.counters (a, b) cmd_dwords;
-      Perfcounter.add_link_dwords t.counters (b, a) cmd_dwords)
-    (Topology.links t.plat.Platform.topo)
+  let refs = t.probe_refs in
+  for i = 0 to Array.length refs - 1 do
+    let r = Array.unsafe_get refs i in
+    r := !r + cmd_dwords
+  done
 
-(* Latency of moving a line from core [src]'s cache to core [dst]'s. *)
-let transfer_latency t ~src ~dst =
-  let p = t.plat in
-  if Platform.shares_cache p src dst then p.Platform.shared_cache_fetch
-  else
-    p.Platform.cc_base + (2 * p.Platform.hop_one_way * Platform.hops_between p src dst)
-
-let is_local_group t a b = Platform.shares_cache t.plat a b
+let is_local_group t a b = t.sgrp.(a) = t.sgrp.(b)
 
 (* Capacity: a core dropping a line (eviction or remote invalidation). *)
 let forget t ~core lid =
@@ -143,17 +227,17 @@ let evict t ~core victim_lid =
   match Hashtbl.find_opt t.lines victim_lid with
   | None -> ()
   | Some v ->
-    (match v.st with
-     | Modified o when o = core ->
-       (* Dirty eviction: write the line back to its home. *)
-       charge_path t (Platform.package_of t.plat core) v.home data_dwords;
-       v.st <- Invalid;
-       v.owner <- None
-     | Shared cs ->
-       let rest = List.filter (fun c -> c <> core) cs in
-       v.st <- (if rest = [] then Invalid else Shared rest);
-       if v.owner = Some core then v.owner <- None
-     | Modified _ | Invalid -> ())
+    if v.tag = tag_modified && v.excl = core then begin
+      (* Dirty eviction: write the line back to its home. *)
+      charge_path t t.pkg.(core) v.home data_dwords;
+      v.tag <- tag_invalid;
+      v.owner <- -1
+    end
+    else if v.tag = tag_shared then begin
+      Bitset.remove v.sharers core;
+      if Bitset.is_empty v.sharers then v.tag <- tag_invalid;
+      if v.owner = core then v.owner <- -1
+    end
 
 (* Record that [core] now caches [lid]; handle any capacity eviction. *)
 let note_presence t ~core lid =
@@ -173,8 +257,6 @@ type outcome =
   | Txn of { home : int; lat : int; source_port : int option; ln : line option }
       (* [ln]: serialize this transaction per line (owner-sourced data) *)
 
-let in_sharers core = List.exists (fun c -> c = core)
-
 let prepare_load t ~core addr =
   let p = t.plat in
   let lid = line_of_addr t addr in
@@ -182,50 +264,61 @@ let prepare_load t ~core addr =
   Perfcounter.count_load t.counters ~core;
   Perfcounter.touch_line t.counters ~core ~line:lid;
   note_presence t ~core lid;
-  match l.st with
-  | Modified o when o = core -> Hit
-  | Shared cs when in_sharers core cs -> Hit
-  | Modified o ->
-    Perfcounter.count_miss t.counters ~core;
-    Perfcounter.count_c2c t.counters ~core;
-    l.st <- Shared [ core; o ];
-    if is_local_group t core o then Local p.Platform.shared_cache_fetch
+  if l.tag = tag_modified then begin
+    let o = l.excl in
+    if o = core then Hit
     else begin
-      let lat = transfer_latency t ~src:o ~dst:core in
-      charge_path t (Platform.package_of p core) l.home cmd_dwords;
-      charge_path t (Platform.package_of p o) (Platform.package_of p core) data_dwords;
-      Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+      Perfcounter.count_miss t.counters ~core;
+      Perfcounter.count_c2c t.counters ~core;
+      l.tag <- tag_shared;
+      Bitset.clear l.sharers;
+      Bitset.add l.sharers core;
+      Bitset.add l.sharers o;
+      if is_local_group t core o then Local p.Platform.shared_cache_fetch
+      else begin
+        let lat = t.xfer.(o).(core) in
+        charge_path t t.pkg.(core) l.home cmd_dwords;
+        charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
+        Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+      end
     end
-  | Shared cs ->
-    Perfcounter.count_miss t.counters ~core;
-    l.st <- Shared (core :: cs);
-    (match l.owner with
-     | Some o when o <> core && not (is_local_group t core o) ->
-       (* Owned line: the last writer's cache sources the data. *)
-       Perfcounter.count_c2c t.counters ~core;
-       let lat = transfer_latency t ~src:o ~dst:core in
-       charge_path t (Platform.package_of p core) l.home cmd_dwords;
-       charge_path t (Platform.package_of p o) (Platform.package_of p core) data_dwords;
-       Txn { home = l.home; lat; source_port = Some o; ln = Some l }
-     | Some o when o <> core ->
-       Perfcounter.count_c2c t.counters ~core;
-       Local p.Platform.shared_cache_fetch
-     | _ ->
-       Perfcounter.count_dram t.counters ~core;
-       let home_dist =
-         Topology.hops p.Platform.topo (Platform.package_of p core) l.home
-       in
-       let lat = p.Platform.dram + (2 * p.Platform.hop_one_way * home_dist) in
-       charge_path t (Platform.package_of p core) l.home (cmd_dwords + data_dwords);
-       Txn { home = l.home; lat; source_port = None; ln = None })
-  | Invalid ->
+  end
+  else if l.tag = tag_shared then begin
+    if Bitset.mem l.sharers core then Hit
+    else begin
+      Perfcounter.count_miss t.counters ~core;
+      Bitset.add l.sharers core;
+      let o = l.owner in
+      if o >= 0 && o <> core && not (is_local_group t core o) then begin
+        (* Owned line: the last writer's cache sources the data. *)
+        Perfcounter.count_c2c t.counters ~core;
+        let lat = t.xfer.(o).(core) in
+        charge_path t t.pkg.(core) l.home cmd_dwords;
+        charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
+        Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+      end
+      else if o >= 0 && o <> core then begin
+        Perfcounter.count_c2c t.counters ~core;
+        Local p.Platform.shared_cache_fetch
+      end
+      else begin
+        Perfcounter.count_dram t.counters ~core;
+        let lat = t.dram_lat.(t.pkg.(core)).(l.home) in
+        charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
+        Txn { home = l.home; lat; source_port = None; ln = None }
+      end
+    end
+  end
+  else begin
     Perfcounter.count_miss t.counters ~core;
     Perfcounter.count_dram t.counters ~core;
-    l.st <- Shared [ core ];
-    let home_dist = Topology.hops p.Platform.topo (Platform.package_of p core) l.home in
-    let lat = p.Platform.dram + (2 * p.Platform.hop_one_way * home_dist) in
-    charge_path t (Platform.package_of p core) l.home (cmd_dwords + data_dwords);
+    l.tag <- tag_shared;
+    Bitset.clear l.sharers;
+    Bitset.add l.sharers core;
+    let lat = t.dram_lat.(t.pkg.(core)).(l.home) in
+    charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
     Txn { home = l.home; lat; source_port = None; ln = None }
+  end
 
 let prepare_store t ~core addr =
   let p = t.plat in
@@ -234,51 +327,69 @@ let prepare_store t ~core addr =
   Perfcounter.count_store t.counters ~core;
   Perfcounter.touch_line t.counters ~core ~line:lid;
   note_presence t ~core lid;
-  l.owner <- Some core;
-  match l.st with
-  | Modified o when o = core -> Hit
-  | Shared [ c ] when c = core ->
-    (* Silent E->M upgrade. *)
-    l.st <- Modified core;
-    Hit
-  | Shared cs ->
-    Perfcounter.count_miss t.counters ~core;
-    Perfcounter.count_inval t.counters ~core;
-    List.iter (fun c -> if c <> core then forget t ~core:c lid) cs;
-    let remote = List.filter (fun c -> c <> core && not (is_local_group t core c)) cs in
-    l.st <- Modified core;
-    if remote = [] then Local p.Platform.shared_cache_fetch
+  l.owner <- core;
+  if l.tag = tag_modified then begin
+    let o = l.excl in
+    if o = core then Hit
     else begin
-      (* Invalidation probes broadcast across the fabric; latency bounded by
-         the farthest sharer. *)
-      charge_probe_broadcast t;
-      let far =
-        List.fold_left (fun acc c -> max acc (transfer_latency t ~src:c ~dst:core)) 0 remote
-      in
-      Txn { home = l.home; lat = far; source_port = None; ln = None }
+      Perfcounter.count_miss t.counters ~core;
+      Perfcounter.count_c2c t.counters ~core;
+      forget t ~core:o lid;
+      l.excl <- core;
+      if is_local_group t core o then Local p.Platform.shared_cache_fetch
+      else begin
+        let lat = t.xfer.(o).(core) in
+        charge_path t t.pkg.(core) l.home cmd_dwords;
+        charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
+        (* Migratory write: ownership moves between different cores, so
+           successive transfers pipeline (no per-line storm slot). *)
+        Txn { home = l.home; lat; source_port = Some o; ln = None }
+      end
     end
-  | Modified o ->
-    Perfcounter.count_miss t.counters ~core;
-    Perfcounter.count_c2c t.counters ~core;
-    forget t ~core:o lid;
-    l.st <- Modified core;
-    if is_local_group t core o then Local p.Platform.shared_cache_fetch
+  end
+  else if l.tag = tag_shared then begin
+    if Bitset.mem l.sharers core && Bitset.cardinal l.sharers = 1 then begin
+      (* Silent E->M upgrade. *)
+      l.tag <- tag_modified;
+      l.excl <- core;
+      Hit
+    end
     else begin
-      let lat = transfer_latency t ~src:o ~dst:core in
-      charge_path t (Platform.package_of p core) l.home cmd_dwords;
-      charge_path t (Platform.package_of p o) (Platform.package_of p core) data_dwords;
-      (* Migratory write: ownership moves between different cores, so
-         successive transfers pipeline (no per-line storm slot). *)
-      Txn { home = l.home; lat; source_port = Some o; ln = None }
+      Perfcounter.count_miss t.counters ~core;
+      Perfcounter.count_inval t.counters ~core;
+      (* Single pass over the sharers: drop each remote copy and track the
+         farthest one (invalidation latency is bounded by it). *)
+      let far = ref 0 in
+      Bitset.iter
+        (fun c ->
+          if c <> core then begin
+            forget t ~core:c lid;
+            if not (is_local_group t core c) then begin
+              let lat = t.xfer.(c).(core) in
+              if lat > !far then far := lat
+            end
+          end)
+        l.sharers;
+      l.tag <- tag_modified;
+      l.excl <- core;
+      if !far = 0 then Local p.Platform.shared_cache_fetch
+      else begin
+        (* Invalidation probes broadcast across the fabric; latency bounded
+           by the farthest sharer. *)
+        charge_probe_broadcast t;
+        Txn { home = l.home; lat = !far; source_port = None; ln = None }
+      end
     end
-  | Invalid ->
+  end
+  else begin
     Perfcounter.count_miss t.counters ~core;
     Perfcounter.count_dram t.counters ~core;
-    l.st <- Modified core;
-    let home_dist = Topology.hops p.Platform.topo (Platform.package_of p core) l.home in
-    let lat = p.Platform.dram + (2 * p.Platform.hop_one_way * home_dist) in
-    charge_path t (Platform.package_of p core) l.home (cmd_dwords + data_dwords);
+    l.tag <- tag_modified;
+    l.excl <- core;
+    let lat = t.dram_lat.(t.pkg.(core)).(l.home) in
+    charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
     Txn { home = l.home; lat; source_port = None; ln = None }
+  end
 
 (* Realize an outcome without blocking: reserve the serialized resources
    and return the delay (relative to now) until the access completes.
@@ -289,16 +400,16 @@ let prepare_store t ~core addr =
    latency itself. *)
 let realize_posted t outcome =
   let p = t.plat in
-  let now = Engine.now_ () in
   match outcome with
   | Hit -> p.Platform.l1_hit
   | Local lat -> lat
   | Txn { home; lat; source_port; ln } ->
+    let now = Engine.now_ () in
     let occ = p.Platform.dir_occupancy in
-    let dir_done = Resource.reserve t.dirs.(home) occ in
+    let dir_done = Resource.reserve_at t.dirs.(home) ~now occ in
     let port_done =
       match source_port with
-      | Some src -> Resource.reserve t.ports.(src) port_occupancy
+      | Some src -> Resource.reserve_at t.ports.(src) ~now port_occupancy
       | None -> dir_done
     in
     (match ln with
@@ -340,4 +451,9 @@ let touch_range t ~core ~addr ~bytes ~write =
   end
 
 let line_state t ~line =
-  match Hashtbl.find_opt t.lines line with Some l -> l.st | None -> Invalid
+  match Hashtbl.find_opt t.lines line with
+  | None -> Invalid
+  | Some l ->
+    if l.tag = tag_modified then Modified l.excl
+    else if l.tag = tag_shared then Shared (Bitset.to_list l.sharers)
+    else Invalid

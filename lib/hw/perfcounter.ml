@@ -42,10 +42,17 @@ let count_c2c (t : t) = bump t.c2c_fetch
 let count_dram (t : t) = bump t.dram_fetch
 let count_inval (t : t) = bump t.invalidations
 
-let add_link_dwords (t : t) link n =
+let link_counter (t : t) link =
   match Hashtbl.find_opt t.link_dwords link with
-  | Some r -> r := !r + n
-  | None -> Hashtbl.replace t.link_dwords link (ref n)
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.link_dwords link r;
+    r
+
+let add_link_dwords (t : t) link n =
+  let r = link_counter t link in
+  r := !r + n
 
 let touch_line (t : t) ~core ~line =
   if t.track_footprint then Hashtbl.replace t.footprint.(core) line ()
@@ -64,8 +71,11 @@ let snapshot (t : t) : snap =
     c2c_fetch = Array.copy t.c2c_fetch;
     dram_fetch = Array.copy t.dram_fetch;
     invalidations = Array.copy t.invalidations;
+    (* Links with a pre-registered but never-charged counter are omitted,
+       so pre-registration (Coherence's precomputed paths) is invisible. *)
     link_dwords =
-      Hashtbl.fold (fun l r acc -> (l, !r) :: acc) t.link_dwords []
+      Hashtbl.fold (fun l r acc -> if !r = 0 then acc else (l, !r) :: acc)
+        t.link_dwords []
       |> List.sort compare;
   }
 

@@ -29,6 +29,12 @@ val count_dram : t -> core:int -> unit
 val count_inval : t -> core:int -> unit
 val add_link_dwords : t -> Topology.link -> int -> unit
 
+val link_counter : t -> Topology.link -> int ref
+(** The mutable dword counter behind a (directed) link, created on first
+    use. Lets hot paths pre-resolve the counters along a route once and
+    bump them with plain stores instead of per-charge hashtable lookups.
+    Never-charged counters are invisible to {!snapshot}. *)
+
 val touch_line : t -> core:int -> line:int -> unit
 (** Footprint tracking (Table 3): records a distinct-line touch when
     enabled. *)

@@ -3,7 +3,15 @@
    Tasks are one-shot-continuation coroutines over OCaml effects
    (Effect.Deep). The engine owns a min-heap of (time, seq) -> thunk; a
    thunk either starts a task or resumes a captured continuation. All
-   blocking abstractions (Sync, Resource, ...) are built from E_suspend. *)
+   blocking abstractions (Sync, Resource, ...) are built from E_suspend.
+
+   Hot-path note: events scheduled at the *current* simulated time
+   (yield, E_wait 0, same-cycle wakes, spawns) dominate most workloads, and
+   they never need heap ordering — they run before the clock next advances,
+   in seq order, and seq is monotonic. They go to a ring-buffer FIFO
+   instead of the heap. The run loop merges the FIFO front with the heap
+   minimum by (time, seq), so the schedule is bit-for-bit identical to the
+   all-heap engine while the common case costs O(1) with no sift. *)
 
 type waker = ?delay:int -> unit -> unit
 
@@ -21,20 +29,88 @@ type t = {
   mutable now : int;
   mutable seq : int;
   heap : (unit -> unit) Heap.t;
+  (* FIFO of events due at the current time: parallel seq/thunk rings. *)
+  mutable fq_seq : int array;
+  mutable fq_thunk : (unit -> unit) array;
+  mutable fq_head : int;
+  mutable fq_len : int;
   mutable live : int;
   mutable executed : int;
 }
 
-let create () = { now = 0; seq = 0; heap = Heap.create (); live = 0; executed = 0 }
+let nop () = ()
+
+let create () =
+  {
+    now = 0;
+    seq = 0;
+    heap = Heap.create ();
+    fq_seq = Array.make 64 0;
+    fq_thunk = Array.make 64 nop;
+    fq_head = 0;
+    fq_len = 0;
+    live = 0;
+    executed = 0;
+  }
 
 let now t = t.now
 let events_executed t = t.executed
 let live_tasks t = t.live
 
+(* Events executed by every engine on this domain: lets the bench harness
+   attribute events/sec to a bench without threading engine handles out,
+   and stays correct when benches run on parallel domains. *)
+let domain_executed : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let domain_events_executed () = !(Domain.DLS.get domain_executed)
+
+let fifo_grow t =
+  let cap = Array.length t.fq_seq in
+  let nseq = Array.make (cap * 2) 0 in
+  let nthunk = Array.make (cap * 2) nop in
+  for i = 0 to t.fq_len - 1 do
+    nseq.(i) <- t.fq_seq.((t.fq_head + i) land (cap - 1));
+    nthunk.(i) <- t.fq_thunk.((t.fq_head + i) land (cap - 1))
+  done;
+  t.fq_seq <- nseq;
+  t.fq_thunk <- nthunk;
+  t.fq_head <- 0
+
+let fifo_push t seq thunk =
+  if t.fq_len = Array.length t.fq_seq then fifo_grow t;
+  let slot = (t.fq_head + t.fq_len) land (Array.length t.fq_seq - 1) in
+  t.fq_seq.(slot) <- seq;
+  t.fq_thunk.(slot) <- thunk;
+  t.fq_len <- t.fq_len + 1
+
+let fifo_pop t =
+  let thunk = t.fq_thunk.(t.fq_head) in
+  t.fq_thunk.(t.fq_head) <- nop;  (* drop the closure for the GC *)
+  t.fq_head <- (t.fq_head + 1) land (Array.length t.fq_seq - 1);
+  t.fq_len <- t.fq_len - 1;
+  thunk
+
+(* All FIFO entries are due at [t.now]: entries are only enqueued for the
+   current time, and the clock cannot advance past them (they always beat
+   any strictly-later heap entry). *)
+let fifo_front_seq t = t.fq_seq.(t.fq_head)
+
+(* Spill the FIFO back into the heap (at the current time, preserving seq).
+   Only needed on the cold path where [run ~until] stops the clock while
+   same-time events are still queued. *)
+let fifo_spill t =
+  while t.fq_len > 0 do
+    let seq = fifo_front_seq t in
+    let thunk = fifo_pop t in
+    Heap.push t.heap ~time:t.now ~seq thunk
+  done
+
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
-  Heap.push t.heap ~time:at ~seq:t.seq thunk
+  if at = t.now then fifo_push t t.seq thunk
+  else Heap.push t.heap ~time:at ~seq:t.seq thunk
 
 (* Run [f] as a task body under the scheduling-effect handler. *)
 let rec exec t (name : string) f =
@@ -82,22 +158,38 @@ let spawn t ?(name = "task") f = schedule t ~at:t.now (fun () -> exec t name f)
 
 let run t ?until ?(allow_stall = true) () =
   let limit = until in
+  let dom_counter = Domain.DLS.get domain_executed in
   let rec loop () =
-    match Heap.peek t.heap with
-    | None ->
+    let have_f = t.fq_len > 0 in
+    let have_h = not (Heap.is_empty t.heap) in
+    if not have_f && not have_h then begin
       if t.live > 0 && not allow_stall then
         raise (Stalled (Printf.sprintf "%d task(s) suspended forever at t=%d" t.live t.now))
-    | Some e ->
-      (match limit with
-       | Some lim when e.Heap.time > lim -> t.now <- lim
-       | _ ->
-         (match Heap.pop t.heap with
-          | None -> assert false
-          | Some e ->
-            t.now <- e.Heap.time;
-            t.executed <- t.executed + 1;
-            e.Heap.payload ();
-            loop ()))
+    end
+    else begin
+      (* Next event by (time, seq): FIFO entries are at t.now, so they win
+         against any later heap entry; at equal time, lower seq wins. *)
+      let next_is_fifo =
+        have_f
+        && ((not have_h)
+           || Heap.min_time t.heap > t.now
+           || (Heap.min_time t.heap = t.now && Heap.min_seq t.heap > fifo_front_seq t))
+      in
+      let ntime = if next_is_fifo then t.now else Heap.min_time t.heap in
+      match limit with
+      | Some lim when ntime > lim ->
+        (* Stopped early: keep any still-queued same-time events heap-held
+           so the clock can be moved without losing their (time, seq). *)
+        fifo_spill t;
+        t.now <- lim
+      | _ ->
+        let thunk = if next_is_fifo then fifo_pop t else Heap.pop_exn t.heap in
+        t.now <- ntime;
+        t.executed <- t.executed + 1;
+        incr dom_counter;
+        thunk ();
+        loop ()
+    end
   in
   loop ()
 

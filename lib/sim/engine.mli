@@ -24,6 +24,12 @@ val now : t -> int
 val events_executed : t -> int
 (** Total number of events dispatched so far (debugging / perf metric). *)
 
+val domain_events_executed : unit -> int
+(** Events dispatched by every engine on the *current domain* since it
+    started. The bench harness snapshots this around a bench run to report
+    events/sec; per-domain (not global) so parallel bench workers don't
+    see each other's events. *)
+
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn eng f] schedules task [f] to start at the current simulated time.
     Usable both from outside [run] (setup) and from within a task. *)

@@ -1,76 +1,124 @@
 (* Binary min-heap of simulation events, ordered by (time, seq).
    The sequence number makes the ordering total and the whole engine
    deterministic: events scheduled earlier (in program order) at the same
-   simulated time run first. *)
+   simulated time run first.
 
-type 'a entry = { time : int; seq : int; payload : 'a }
+   Struct-of-arrays layout: instead of one record per entry (a heap
+   allocation on every push, and pointer-chasing on every comparison), the
+   heap keeps three parallel arrays [times]/[seqs]/[payloads]. Push and pop
+   then touch only flat int arrays plus one payload slot — zero allocation
+   on the hot path, which matters because the engine pushes one entry per
+   scheduled event. *)
 
 type 'a t = {
-  mutable arr : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable size : int;
 }
 
-let create () = { arr = [||]; size = 0 }
+(* Kept for compatibility with [peek]/[pop] consumers (tests); the engine
+   itself uses the zero-allocation primitives below. *)
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+let create () = { times = [||]; seqs = [||]; payloads = [||]; size = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-(* Only called with a non-empty backing array (push seeds the first one). *)
+(* Only called with non-empty backing arrays (push seeds the first ones). *)
 let grow h =
-  let cap = Array.length h.arr in
+  let cap = Array.length h.times in
   assert (cap > 0);
-  let narr = Array.make (cap * 2) h.arr.(0) in
-  Array.blit h.arr 0 narr 0 h.size;
-  h.arr <- narr
+  let ntimes = Array.make (cap * 2) 0 in
+  let nseqs = Array.make (cap * 2) 0 in
+  let npayloads = Array.make (cap * 2) h.payloads.(0) in
+  Array.blit h.times 0 ntimes 0 h.size;
+  Array.blit h.seqs 0 nseqs 0 h.size;
+  Array.blit h.payloads 0 npayloads 0 h.size;
+  h.times <- ntimes;
+  h.seqs <- nseqs;
+  h.payloads <- npayloads
 
 let push h ~time ~seq payload =
-  if h.size = Array.length h.arr then begin
-    if h.size = 0 then h.arr <- Array.make 64 { time; seq; payload }
+  if h.size = Array.length h.times then begin
+    if h.size = 0 then begin
+      h.times <- Array.make 64 0;
+      h.seqs <- Array.make 64 0;
+      h.payloads <- Array.make 64 payload
+    end
     else grow h
   end;
-  let e = { time; seq; payload } in
+  (* Sift up, moving parent slots down; the new entry is written once at
+     its final position. *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  h.arr.(!i) <- e;
-  (* Sift up. *)
   let continue_ = ref true in
   while !continue_ && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if precedes e h.arr.(parent) then begin
-      h.arr.(!i) <- h.arr.(parent);
-      h.arr.(parent) <- e;
+    let pt = h.times.(parent) in
+    if time < pt || (time = pt && seq < h.seqs.(parent)) then begin
+      h.times.(!i) <- pt;
+      h.seqs.(!i) <- h.seqs.(parent);
+      h.payloads.(!i) <- h.payloads.(parent);
       i := parent
-    end else continue_ := false
-  done
+    end
+    else continue_ := false
+  done;
+  h.times.(!i) <- time;
+  h.seqs.(!i) <- seq;
+  h.payloads.(!i) <- payload
 
-let peek h = if h.size = 0 then None else Some h.arr.(0)
+let min_time h = h.times.(0)
+let min_seq h = h.seqs.(0)
+
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty";
+  let top = h.payloads.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    (* Re-insert the last entry at the root, sifting the hole down. *)
+    let time = h.times.(h.size) in
+    let seq = h.seqs.(h.size) in
+    let payload = h.payloads.(h.size) in
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref (-1) in
+      let st = ref time and ss = ref seq in
+      if l < h.size && (h.times.(l) < !st || (h.times.(l) = !st && h.seqs.(l) < !ss))
+      then begin
+        smallest := l;
+        st := h.times.(l);
+        ss := h.seqs.(l)
+      end;
+      if r < h.size && (h.times.(r) < !st || (h.times.(r) = !st && h.seqs.(r) < !ss))
+      then smallest := r;
+      if !smallest >= 0 then begin
+        let s = !smallest in
+        h.times.(!i) <- h.times.(s);
+        h.seqs.(!i) <- h.seqs.(s);
+        h.payloads.(!i) <- h.payloads.(s);
+        i := s
+      end
+      else continue_ := false
+    done;
+    h.times.(!i) <- time;
+    h.seqs.(!i) <- seq;
+    h.payloads.(!i) <- payload
+  end;
+  top
+
+let peek h =
+  if h.size = 0 then None
+  else Some { time = h.times.(0); seq = h.seqs.(0); payload = h.payloads.(0) }
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.arr.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      let e = h.arr.(h.size) in
-      h.arr.(0) <- e;
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue_ = ref true in
-      while !continue_ do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && precedes h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.size && precedes h.arr.(r) h.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.arr.(!i) in
-          h.arr.(!i) <- h.arr.(!smallest);
-          h.arr.(!smallest) <- tmp;
-          i := !smallest
-        end else continue_ := false
-      done
-    end;
-    Some top
+    let time = h.times.(0) and seq = h.seqs.(0) in
+    let payload = pop_exn h in
+    Some { time; seq; payload }
   end

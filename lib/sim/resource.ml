@@ -9,12 +9,14 @@ let create ?(name = "resource") () = { rname = name; busy_until = 0; busy_cycles
 let name t = t.rname
 let busy_until t = t.busy_until
 
-let reserve t n =
+let reserve_at t ~now n =
   let n = max 0 n in
-  let start = max (Engine.now_ ()) t.busy_until in
+  let start = if now > t.busy_until then now else t.busy_until in
   t.busy_until <- start + n;
   t.busy_cycles <- t.busy_cycles + n;
   start + n
+
+let reserve t n = reserve_at t ~now:(Engine.now_ ()) n
 
 let acquire t n =
   let finish = reserve t n in

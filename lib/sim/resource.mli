@@ -26,6 +26,10 @@ val reserve : t -> int -> int
     returns the absolute completion time. Used for fire-and-forget work the
     caller does not wait on (e.g. posting to a busy device). *)
 
+val reserve_at : t -> now:int -> int -> int
+(** {!reserve} with the current time supplied by the caller, for hot paths
+    that already know [now] (performing the clock effect is not free). *)
+
 val utilization : t -> since:int -> now:int -> float
 (** Fraction of [since..now] the resource spent busy. *)
 

@@ -49,6 +49,25 @@ let percentile t p =
 
 let samples t = Array.sub t.data 0 t.n
 
+(* One-shot list helpers (previously duplicated in the bench tree). *)
+
+let mean_ints l =
+  match l with
+  | [] -> 0.0
+  | _ -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let stddev_ints l =
+  let m = mean_ints l in
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let n = float_of_int (List.length l) in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((float_of_int x -. m) ** 2.0)) 0.0 l
+      /. (n -. 1.0)
+    in
+    sqrt var
+
 let summary t =
   Printf.sprintf "mean=%.1f sd=%.1f min=%.1f max=%.1f n=%d" (mean t) (stddev t)
     (if t.n = 0 then 0.0 else t.mn)

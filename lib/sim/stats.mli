@@ -24,3 +24,11 @@ val samples : t -> float array
 
 val summary : t -> string
 (** ["mean=… sd=… min=… max=… n=…"] for quick printing. *)
+
+val mean_ints : int list -> float
+(** Mean of an int list; 0 when empty. One-shot helper for callers that
+    have a list in hand and no accumulator. *)
+
+val stddev_ints : int list -> float
+(** Sample standard deviation (n-1 denominator) of an int list; 0 when
+    fewer than two samples. *)

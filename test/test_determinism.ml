@@ -1,0 +1,80 @@
+(* Golden determinism regression: the simulator's *simulated-time* results
+   must not drift when the host-side hot paths change. These literals were
+   captured from the growth seed; fig6, table2 and the scaling extension
+   exercise the heap, the FIFO fast path, the coherence model, URPC and
+   the monitor mesh end to end, so any semantic slip in a performance
+   change shows up here as a number diff. *)
+
+open Test_util
+
+(* Run a bench with its output redirected into a buffer, and return the
+   non-empty lines (leading/trailing blank lines are layout, not data). *)
+let capture f =
+  let buf = Buffer.create 4096 in
+  let () = Mk_benches.Common.redirect_to buf f in
+  Buffer.contents buf
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+let check_golden name expected actual =
+  Alcotest.(check (list string)) name expected actual
+
+let fig6_golden =
+  [ {|==== Figure 6: TLB shootdown protocols (8x4-core AMD) ====|};
+      {|cores    Broadcast      Unicast    Multicast   NUMA-Mcast|};
+      {|    2         1102         1122         1122         1122|};
+      {|    4         1498         1518         1518         1518|};
+      {|    6         1990         1970         2956         2958|};
+      {|    8         2520         2432         3352         3354|};
+      {|   10         3376         2936         3578         3580|};
+      {|   12         4232         3478         3578         3580|};
+      {|   14         5114         4110         3808         3676|};
+      {|   16         5982         4762         3808         3826|};
+      {|   18         6850         5414         4038         4056|};
+      {|   20         7718         6066         4038         4056|};
+      {|   22         8586         6718         4268         4286|};
+      {|   24         9454         7370         4268         4286|};
+      {|   26        10348         8032         4503         4382|};
+      {|   28        11228         8694         4503         4537|};
+      {|   30        12108         9356         4738         4772|};
+      {|   32        12988        10018         4738         4772|} ]
+
+let table2_golden =
+  [ {|==== Table 2: URPC performance ====|};
+      {|System             Cache         Latency   (sd)       ns  msgs/kcycle|};
+      {|2x4-core Intel     shared            219     94       82        10.48|};
+      {|2x4-core Intel     non-shared        570     23      214         3.56|};
+      {|2x2-core AMD       same die          442     16      158         4.57|};
+      {|2x2-core AMD       one-hop           517      0      184         3.85|};
+      {|4x4-core AMD       shared            433     30      173         4.74|};
+      {|4x4-core AMD       one-hop           540      7      216         3.70|};
+      {|4x4-core AMD       2-hop             551      5      220         3.62|};
+      {|8x4-core AMD       shared            533      5      266         3.75|};
+      {|8x4-core AMD       one-hop           606     11      302         3.26|};
+      {|8x4-core AMD       2-hop             617     13      308         3.19|};
+      {|8x4-core AMD       3-hop             628     16      314         3.13|} ]
+
+let scaling_golden =
+  [ {|==== Scaling extension: synthetic mesh machines up to 128 cores ====|};
+      {| cores       mk unmap         mk 2PC    Linux-IPI unmap|};
+      {|    16           9906           8850              18968|};
+      {|    32          11408          12794              35783|};
+      {|    64          14807          24084              69428|};
+      {|    96          18675          31446             103043|};
+      {|   128          22797          40166             136628|} ]
+
+let test_fig6 () = check_golden "fig6" fig6_golden (capture Mk_benches.Fig6.run)
+
+let test_table2 () =
+  check_golden "table2" table2_golden (capture Mk_benches.Table2.run)
+
+let test_scaling () =
+  check_golden "scaling" scaling_golden (capture Mk_benches.Scaling.run)
+
+let suite =
+  ( "determinism-golden",
+    [
+      tc "fig6 unchanged" test_fig6;
+      tc "table2 unchanged" test_table2;
+      tc "scaling unchanged" test_scaling;
+    ] )

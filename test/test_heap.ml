@@ -59,6 +59,26 @@ let qcheck_sorted =
       let out = drain [] in
       out = List.sort compare out)
 
+(* Stronger than sortedness: the pop sequence (payloads included) must be
+   exactly the stable reference sort of the input by (time, seq), with
+   duplicate timestamps common — this pins the struct-of-arrays heap to
+   the semantics the engine's determinism depends on. *)
+let qcheck_reference_sort =
+  qtest "heap pop order equals reference sort"
+    QCheck2.Gen.(list (int_bound 50))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i i) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain ((e.Heap.time, e.Heap.seq, e.Heap.payload) :: acc)
+      in
+      let reference =
+        List.mapi (fun i t -> (t, i, i)) times |> List.sort compare
+      in
+      drain [] = reference)
+
 let suite =
   ( "heap",
     [
@@ -68,4 +88,5 @@ let suite =
       tc "growth" test_growth;
       tc "peek" test_peek_does_not_remove;
       qcheck_sorted;
+      qcheck_reference_sort;
     ] )
