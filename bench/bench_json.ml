@@ -1,0 +1,65 @@
+(* Reader/writer for BENCH_sim.json (schema bench_sim/v1).
+
+   The file is both produced and consumed here, so instead of pulling in a
+   JSON library the reader line-matches the exact shape the writer emits
+   (one bench object per line). Unparseable or missing files read as
+   empty, so a stale or hand-edited file degrades to a fresh start rather
+   than an error. *)
+
+type entry = { name : string; wall_s : float; events : int }
+
+let rate e = if e.wall_s > 0.0 then float_of_int e.events /. e.wall_s else 0.0
+
+let parse_line line =
+  match
+    Scanf.sscanf line " {%S: %S, %S: %f, %S: %d" (fun k1 name k2 wall_s k3 events ->
+        if k1 = "name" && k2 = "wall_s" && k3 = "events" then Some { name; wall_s; events }
+        else None)
+  with
+  | entry -> entry
+  | exception _ -> None
+
+let read path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let entries = ref [] in
+    (try
+       while true do
+         match parse_line (input_line ic) with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+
+(* Merge a partial run into previously recorded results: fresh entries win
+   by name, stale entries for benches that did not run this time survive.
+   Fresh entries keep their run order; surviving stale entries follow. *)
+let merge ~existing ~fresh =
+  let stale =
+    List.filter (fun e -> not (List.exists (fun f -> f.name = e.name) fresh)) existing
+  in
+  fresh @ stale
+
+let write path ~jobs entries =
+  let oc = open_out path in
+  let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
+  let total_events = List.fold_left (fun a e -> a + e.events) 0 entries in
+  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v1\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"benches\": [\n";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}%s\n"
+        e.name e.wall_s e.events (rate e)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"total\": {\"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}\n" total_wall
+    total_events
+    (if total_wall > 0.0 then float_of_int total_events /. total_wall else 0.0);
+  Printf.fprintf oc "}\n";
+  close_out oc

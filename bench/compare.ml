@@ -1,0 +1,56 @@
+(* Compare a BENCH_sim.json against a committed baseline and warn when a
+   bench's events/sec regressed by more than the threshold.
+
+   Warn-only by default (always exits 0) so it can sit in CI without
+   turning host-speed noise into red builds; `--strict` makes regressions
+   fatal for local bisecting.
+
+     dune exec bench/compare.exe -- [--baseline FILE] [--current FILE]
+                                    [--threshold PCT] [--strict] *)
+
+let default_baseline = "bench/BASELINE_sim.json"
+let default_current = "BENCH_sim.json"
+
+let () =
+  let baseline = ref default_baseline in
+  let current = ref default_current in
+  let threshold = ref 10.0 in
+  let strict = ref false in
+  let args =
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE baseline json (default bench/BASELINE_sim.json)");
+      ("--current", Arg.Set_string current, "FILE json to check (default BENCH_sim.json)");
+      ("--threshold", Arg.Set_float threshold, "PCT warn above this regression (default 10)");
+      ("--strict", Arg.Set strict, " exit 1 on regression instead of warning");
+    ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "compare.exe: diff bench events/sec against a committed baseline";
+  let base = Mk_benches.Bench_json.read !baseline in
+  let cur = Mk_benches.Bench_json.read !current in
+  if base = [] then (
+    Printf.eprintf "compare: no baseline entries in %s\n" !baseline;
+    exit (if !strict then 1 else 0));
+  if cur = [] then (
+    Printf.eprintf "compare: no current entries in %s\n" !current;
+    exit (if !strict then 1 else 0));
+  let regressions = ref 0 in
+  Printf.printf "%-10s %14s %14s %9s\n" "bench" "baseline ev/s" "current ev/s" "delta";
+  List.iter
+    (fun (b : Mk_benches.Bench_json.entry) ->
+      match List.find_opt (fun (c : Mk_benches.Bench_json.entry) -> c.name = b.name) cur with
+      | None -> Printf.printf "%-10s %14.0f %14s %9s\n" b.name (Mk_benches.Bench_json.rate b) "-" "-"
+      | Some c ->
+        let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
+        let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in
+        let flag = delta < -.(!threshold) in
+        if flag then incr regressions;
+        Printf.printf "%-10s %14.0f %14.0f %+8.1f%%%s\n" b.name rb rc delta
+          (if flag then "  <-- REGRESSION" else ""))
+    base;
+  if !regressions > 0 then begin
+    Printf.printf "compare: %d bench(es) regressed more than %.0f%% vs %s\n" !regressions
+      !threshold !baseline;
+    if !strict then exit 1
+  end
+  else Printf.printf "compare: no regression beyond %.0f%%\n" !threshold

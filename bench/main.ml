@@ -95,25 +95,7 @@ let run_parallel jobs selected =
 
 let rate events wall_s = if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
 
-let write_json path ~jobs ~timings ~harness_wall =
-  let oc = open_out path in
-  let total_events = List.fold_left (fun a t -> a + t.events) 0 timings in
-  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v1\",\n  \"jobs\": %d,\n" jobs;
-  Printf.fprintf oc "  \"benches\": [\n";
-  List.iteri
-    (fun i t ->
-      Printf.fprintf oc
-        "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}%s\n"
-        t.name t.wall_s t.events
-        (rate t.events t.wall_s)
-        (if i = List.length timings - 1 then "" else ","))
-    timings;
-  Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc
-    "  \"total\": {\"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}\n"
-    harness_wall total_events (rate total_events harness_wall);
-  Printf.fprintf oc "}\n";
-  close_out oc
+let json_path = "BENCH_sim.json"
 
 let report ~jobs ~timings ~harness_wall =
   Printf.printf "\n==== Simulator performance (host side) ====\n";
@@ -129,8 +111,18 @@ let report ~jobs ~timings ~harness_wall =
     (rate total_events harness_wall)
     jobs
     (if jobs = 1 then "" else "s");
-  write_json "BENCH_sim.json" ~jobs ~timings ~harness_wall;
-  Printf.printf "written to BENCH_sim.json\n%!"
+  (* Merge into the existing file rather than overwriting, so a partial
+     run (e.g. `-j 2 micro table1`) refreshes only the benches that ran
+     and keeps the rest of the record intact. *)
+  let fresh =
+    List.map
+      (fun t -> { Bench_json.name = t.name; wall_s = t.wall_s; events = t.events })
+      timings
+  in
+  let merged = Bench_json.merge ~existing:(Bench_json.read json_path) ~fresh in
+  Bench_json.write json_path ~jobs merged;
+  Printf.printf "written to %s (%d bench%s merged)\n%!" json_path (List.length merged)
+    (if List.length merged = 1 then "" else "es")
 
 let usage () =
   Printf.eprintf

@@ -56,8 +56,16 @@ type t = {
   m : Machine.t;
   driver : Cpu_driver.t;
   core_id : int;
-  peers : (int, msg Urpc.t) Hashtbl.t;
-  mutable in_chans : msg Urpc.t array;
+  (* The monitor mesh is built lazily: [connect] reserves every channel's
+     buffer addresses (simulated state, so layout is deterministic), but
+     the channel record itself is only materialized on first use —
+     [peers.(dst)] caches it. At 128 cores the mesh is 16k channels and a
+     workload typically exercises a few dozen. *)
+  peers : msg Urpc.t option array;  (* indexed by destination core *)
+  peer_slot_base : int array;  (* reserved ring base per destination *)
+  peer_send_base : int array;
+  peer_recv_base : int array;
+  mutable mesh : t array;  (* all monitors, indexed by core; set by [connect] *)
   inbox : Sync.Semaphore.t;
   mutable scan_idx : int;
   mutable next_seq : int;
@@ -82,8 +90,11 @@ let create m driver =
     m;
     driver;
     core_id = Cpu_driver.core driver;
-    peers = Hashtbl.create 8;
-    in_chans = [||];
+    peers = Array.make (Machine.n_cores m) None;
+    peer_slot_base = Array.make (Machine.n_cores m) (-1);
+    peer_send_base = Array.make (Machine.n_cores m) (-1);
+    peer_recv_base = Array.make (Machine.n_cores m) (-1);
+    mesh = [||];
     inbox = Sync.Semaphore.create 0;
     scan_idx = 0;
     next_seq = 0;
@@ -112,9 +123,26 @@ let fresh_xid t =
 let origin_of_xid xid = xid / 1_000_000
 
 let chan_to t dst =
-  match Hashtbl.find_opt t.peers dst with
+  match if dst >= 0 && dst < Array.length t.peers then t.peers.(dst) else None with
   | Some ch -> ch
-  | None -> invalid_arg (Printf.sprintf "Monitor %d: no channel to %d" t.core_id dst)
+  | None ->
+    if dst < 0 || dst >= Array.length t.peers || t.peer_slot_base.(dst) < 0 then
+      invalid_arg (Printf.sprintf "Monitor %d: no channel to %d" t.core_id dst)
+    else begin
+      (* First use of this mesh edge: build the channel over the buffers
+         reserved at connect time. Host-side construction only — buffer
+         addresses (the simulated state) were fixed by [connect]. *)
+      let ch =
+        Urpc.create_prealloc t.m ~sender:t.core_id ~receiver:dst
+          ~name:("mon" ^ string_of_int t.core_id ^ "->" ^ string_of_int dst)
+          ~slot_base:t.peer_slot_base.(dst) ~send_base:t.peer_send_base.(dst)
+          ~recv_base:t.peer_recv_base.(dst) ()
+      in
+      let mdst = t.mesh.(dst) in
+      Urpc.set_notify ch (fun () -> Sync.Semaphore.release mdst.inbox);
+      t.peers.(dst) <- Some ch;
+      ch
+    end
 
 let send_to t dst msg = Urpc.send (chan_to t dst) msg
 
@@ -309,16 +337,22 @@ let handle t msg =
    simulated monitor only runs when there is work — the real system's poll
    loop cost is approximated by a per-message scan charge. *)
 let run_loop t =
-  let n = Array.length t.in_chans in
+  let n = Array.length t.mesh - 1 in
+  (* Incoming channels in sender order (the scan order), resolved through
+     the senders' peer tables: an edge nobody has sent on yet is simply
+     not materialized, which for the scan is the same as empty. *)
+  let in_chan j =
+    let src = if j < t.core_id then j else j + 1 in
+    t.mesh.(src).peers.(t.core_id)
+  in
   let rec next_msg scanned idx =
     if scanned > n then None
     else
-      let ch = t.in_chans.(idx mod n) in
-      if Urpc.pending ch > 0 then begin
+      match in_chan (idx mod n) with
+      | Some ch when Urpc.pending ch > 0 ->
         t.scan_idx <- (idx + 1) mod n;
         Some (Urpc.recv ch)
-      end
-      else next_msg (scanned + 1) (idx + 1)
+      | _ -> next_msg (scanned + 1) (idx + 1)
   in
   let rec loop () =
     let idle_from = Engine.now_ () in
@@ -340,31 +374,31 @@ let run_loop t =
 
 let connect monitors =
   let n = Array.length monitors in
-  let incoming = Array.make n [] in
+  (* The full mesh is n*(n-1) channels — host-side cost matters at 128
+     cores, so only the buffer reservations (which fix the simulated
+     memory layout, in src-major order) happen here; channel records are
+     materialized on first use by [chan_to]. *)
   for src = 0 to n - 1 do
+    let msrc = monitors.(src) in
+    let plat = msrc.m.Machine.plat in
     for dst = 0 to n - 1 do
       if src <> dst then begin
-        let msrc = monitors.(src) in
-        let plat = msrc.m.Machine.plat in
         (* Buffers NUMA-local to the receiver: the monitor mesh is what the
            NUMA-aware protocols of §5.1 run over. *)
-        let ch =
-          Urpc.create msrc.m ~sender:src ~receiver:dst
-            ~node:(Platform.package_of plat dst)
-            ~name:(Printf.sprintf "mon%d->%d" src dst)
-            ()
+        let slot_base, send_base, recv_base =
+          Urpc.preallocate msrc.m ~sender:src ~receiver:dst
+            ~node:(Platform.package_of plat dst) ()
         in
-        Hashtbl.replace msrc.peers dst ch;
-        let mdst = monitors.(dst) in
-        Urpc.set_notify ch (fun () -> Sync.Semaphore.release mdst.inbox);
-        incoming.(dst) <- ch :: incoming.(dst)
+        msrc.peer_slot_base.(dst) <- slot_base;
+        msrc.peer_send_base.(dst) <- send_base;
+        msrc.peer_recv_base.(dst) <- recv_base
       end
     done
   done;
   Array.iteri
     (fun i mon ->
-      mon.in_chans <- Array.of_list (List.rev incoming.(i));
-      Engine.spawn mon.m.Machine.eng ~name:(Printf.sprintf "monitor%d" i) (fun () ->
+      mon.mesh <- monitors;
+      Engine.spawn mon.m.Machine.eng ~name:("monitor" ^ string_of_int i) (fun () ->
           run_loop mon))
     monitors
 

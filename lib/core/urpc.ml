@@ -20,16 +20,26 @@ type 'a t = {
   box : 'a delivery Sync.Mailbox.t;
   prefetch : bool;
   chan_name : string;
-  wire_name : string;  (* precomputed: [send] spawns one wire task per message *)
+  (* In-flight messages awaiting visibility, drained by one persistent
+     per-channel sequencer task (spawned on first send). [visible_at] is
+     monotonic per channel, so queue order is delivery order. *)
+  wire_q : (int * 'a delivery) Queue.t;
+  mutable wire_spawned : bool;
+  mutable wire_waker : Engine.waker option;  (* parked sequencer, if idle *)
   mutable last_visible : int;
   mutable sent : int;
   mutable received : int;
   mutable notify : (unit -> unit) option;
 }
 
-let create (type a) m ~sender ~receiver ?(slots = 16) ?node ?(prefetch = false)
-    ?(name = "urpc") () : a t =
-  if slots <= 0 then invalid_arg "Urpc.create: slots must be positive";
+(* Reserve the buffer memory of a channel without building it. Buffer
+   addresses feed the coherence model, so reservation order is part of the
+   simulated machine; splitting it from construction lets a caller lay out
+   many channels up front (fixing every address) and only pay for the
+   channel records that actually carry traffic — the monitor mesh reserves
+   n*(n-1) channels and typically uses a handful. *)
+let preallocate m ~sender ~receiver ?(slots = 16) ?node () =
+  if slots <= 0 then invalid_arg "Urpc.preallocate: slots must be positive";
   let plat = m.Machine.plat in
   let node =
     match node with Some n -> n | None -> Platform.package_of plat sender
@@ -38,16 +48,21 @@ let create (type a) m ~sender ~receiver ?(slots = 16) ?node ?(prefetch = false)
      spill into lines allocated right after the ring (same home). The ring
      and each control block are allocated as one contiguous region so a
      channel pins three home ranges, not one per line. *)
-  let cl = plat.Platform.cacheline in
   let slot_base = Machine.alloc_lines m ~node slots in
-  let slot_addrs = Array.init slots (fun i -> slot_base + (i * cl)) in
   let send_base =
     Machine.alloc_lines m ~node:(Platform.package_of plat sender) 2
   in
-  let send_ctrl = Array.init 2 (fun i -> send_base + (i * cl)) in
   let recv_base =
     Machine.alloc_lines m ~node:(Platform.package_of plat receiver) 3
   in
+  (slot_base, send_base, recv_base)
+
+let create_prealloc (type a) m ~sender ~receiver ?(slots = 16) ?(prefetch = false)
+    ?(name = "urpc") ~slot_base ~send_base ~recv_base () : a t =
+  if slots <= 0 then invalid_arg "Urpc.create_prealloc: slots must be positive";
+  let cl = m.Machine.plat.Platform.cacheline in
+  let slot_addrs = Array.init slots (fun i -> slot_base + (i * cl)) in
+  let send_ctrl = Array.init 2 (fun i -> send_base + (i * cl)) in
   let recv_ctrl = Array.init 3 (fun i -> recv_base + (i * cl)) in
   {
     m;
@@ -61,12 +76,21 @@ let create (type a) m ~sender ~receiver ?(slots = 16) ?node ?(prefetch = false)
     box = Sync.Mailbox.create ();
     prefetch;
     chan_name = name;
-    wire_name = name ^ ".wire";
+    wire_q = Queue.create ();
+    wire_spawned = false;
+    wire_waker = None;
     last_visible = 0;
     sent = 0;
     received = 0;
     notify = None;
   }
+
+let create m ~sender ~receiver ?slots ?node ?prefetch ?name () =
+  let slot_base, send_base, recv_base =
+    preallocate m ~sender ~receiver ?slots ?node ()
+  in
+  create_prealloc m ~sender ~receiver ?slots ?prefetch ?name ~slot_base ~send_base
+    ~recv_base ()
 
 let set_notify t f = t.notify <- Some f
 
@@ -90,6 +114,41 @@ let post_message t ~slot_addr ~lines =
   done;
   !delay
 
+(* The per-channel delivery sequencer: one persistent task that sleeps
+   until the head message's visibility time, posts it to the receive
+   mailbox, and parks itself when the wire is idle. Because [visible_at]
+   is monotonic per channel, draining the queue in FIFO order realizes
+   exactly the (time, seq) schedule that one spawned wire task per
+   message used to — minus a task creation/teardown and a continuation
+   allocation per message, and minus the wake-up event entirely when
+   messages are in flight back to back. *)
+let rec wire_loop t =
+  match Queue.take_opt t.wire_q with
+  | Some (visible_at, d) ->
+    Engine.wait_until visible_at;
+    Sync.Mailbox.send t.box d;
+    (match t.notify with Some f -> f () | None -> ());
+    wire_loop t
+  | None ->
+    Engine.suspend (fun w -> t.wire_waker <- Some w);
+    wire_loop t
+
+let wire_post t ~visible_at d =
+  Queue.add (visible_at, d) t.wire_q;
+  if not t.wire_spawned then begin
+    t.wire_spawned <- true;
+    (* Name built here, not in [create]: a monitor mesh makes n*(n-1)
+       channels and most never carry a message. *)
+    Engine.spawn_ ~name:(t.chan_name ^ ".wire") (fun () -> wire_loop t)
+  end
+  else begin
+    match t.wire_waker with
+    | Some w ->
+      t.wire_waker <- None;
+      w ()
+    | None -> ()  (* already draining; it will see the new entry *)
+  end
+
 let send t ?(lines = 1) payload =
   Sync.Semaphore.acquire t.flow;
   Engine.wait (send_sw_cost + if t.prefetch then prefetch_latency_penalty else 0);
@@ -101,10 +160,7 @@ let send t ?(lines = 1) payload =
   let visible_at = max (Engine.now_ () + delay) t.last_visible in
   t.last_visible <- visible_at;
   t.sent <- t.sent + 1;
-  Engine.spawn_ ~name:t.wire_name (fun () ->
-      Engine.wait_until visible_at;
-      Sync.Mailbox.send t.box { payload; slot_addr; lines };
-      match t.notify with Some f -> f () | None -> ())
+  wire_post t ~visible_at { payload; slot_addr; lines }
 
 (* Receive-side cost once a message line is visible: fetch each line from
    the sender's cache, then run the dispatch stub. With the prefetch
@@ -155,7 +211,15 @@ module Broadcast = struct
     m : Machine.t;
     src : int;
     line_addr : int;
-    boxes : (int * 'a Sync.Mailbox.t) list;
+    (* Receiver mailboxes twice over: in creation order for delivery
+       fan-out, and indexed by core id so [recv] is an array load rather
+       than an assoc-list scan per message. *)
+    order : 'a Sync.Mailbox.t array;
+    by_core : 'a Sync.Mailbox.t option array;
+    wire_q : (int * 'a) Queue.t;
+    mutable wire_spawned : bool;
+    mutable wire_waker : Engine.waker option;
+    mutable last_visible : int;
   }
 
   let create m ~sender ~receivers ?node () =
@@ -165,23 +229,63 @@ module Broadcast = struct
       | None -> Platform.package_of m.Machine.plat sender
     in
     let line_addr = Machine.alloc_lines m ~node 1 in
+    let by_core = Array.make (Machine.n_cores m) None in
+    let order =
+      receivers
+      |> List.map (fun c ->
+             let box = Sync.Mailbox.create () in
+             by_core.(c) <- Some box;
+             box)
+      |> Array.of_list
+    in
     {
       m;
       src = sender;
       line_addr;
-      boxes = List.map (fun c -> (c, Sync.Mailbox.create ())) receivers;
+      order;
+      by_core;
+      wire_q = Queue.create ();
+      wire_spawned = false;
+      wire_waker = None;
+      last_visible = 0;
     }
+
+  (* Same delivery-sequencer scheme as point-to-point channels: one
+     persistent task fans each message out to every receiver mailbox at
+     its visibility time, in order. *)
+  let rec wire_loop t =
+    match Queue.take_opt t.wire_q with
+    | Some (visible_at, payload) ->
+      Engine.wait_until visible_at;
+      Array.iter (fun box -> Sync.Mailbox.send box payload) t.order;
+      wire_loop t
+    | None ->
+      Engine.suspend (fun w -> t.wire_waker <- Some w);
+      wire_loop t
 
   let send t payload =
     Engine.wait send_sw_cost;
     let delay = Coherence.store_posted t.m.Machine.coh ~core:t.src t.line_addr in
-    Engine.spawn_ ~name:"bcast.wire" (fun () ->
-        Engine.wait delay;
-        List.iter (fun (_, box) -> Sync.Mailbox.send box payload) t.boxes)
+    let visible_at = max (Engine.now_ () + delay) t.last_visible in
+    t.last_visible <- visible_at;
+    Queue.add (visible_at, payload) t.wire_q;
+    if not t.wire_spawned then begin
+      t.wire_spawned <- true;
+      Engine.spawn_ ~name:"bcast.wire" (fun () -> wire_loop t)
+    end
+    else begin
+      match t.wire_waker with
+      | Some w ->
+        t.wire_waker <- None;
+        w ()
+      | None -> ()
+    end
 
   let recv t ~core =
     let box =
-      match List.assoc_opt core t.boxes with
+      match
+        if core >= 0 && core < Array.length t.by_core then t.by_core.(core) else None
+      with
       | Some b -> b
       | None -> invalid_arg "Urpc.Broadcast.recv: not a receiver of this channel"
     in

@@ -30,6 +30,38 @@ val create :
     prefetch instructions (better pipelined throughput, worse
     single-message latency). *)
 
+val preallocate :
+  Mk_hw.Machine.t ->
+  sender:int ->
+  receiver:int ->
+  ?slots:int ->
+  ?node:int ->
+  unit ->
+  int * int * int
+(** Reserve a channel's buffer memory — (slot ring, sender control,
+    receiver control) base addresses — without constructing the channel.
+    Buffer addresses are simulated-machine state (they fix cache-line
+    homes), so a caller that wants a deterministic layout for many
+    channels but will only use a few can reserve them all up front and
+    build lazily with {!create_prealloc}. [create] = [preallocate] +
+    [create_prealloc]. *)
+
+val create_prealloc :
+  Mk_hw.Machine.t ->
+  sender:int ->
+  receiver:int ->
+  ?slots:int ->
+  ?prefetch:bool ->
+  ?name:string ->
+  slot_base:int ->
+  send_base:int ->
+  recv_base:int ->
+  unit ->
+  'a t
+(** Construct a channel over buffers reserved by {!preallocate} with the
+    same [slots]. Pure host-side construction: no simulated state is
+    touched, so when it runs does not affect results. *)
+
 val send : 'a t -> ?lines:int -> 'a -> unit
 (** Send a message occupying [lines] cache lines (default 1). Blocks only
     when all ring slots are in flight (flow control); otherwise the sender

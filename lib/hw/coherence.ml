@@ -28,10 +28,21 @@ type line = {
   mutable line_busy_until : int;
 }
 
+(* Placeholder for the line table's empty value slots; never returned. *)
+let dummy_line =
+  {
+    tag = tag_invalid;
+    excl = -1;
+    sharers = Bitset.create ~n:1;
+    home = 0;
+    owner = -1;
+    line_busy_until = 0;
+  }
+
 type t = {
   plat : Platform.t;
   counters : Perfcounter.t;
-  lines : (int, line) Hashtbl.t;
+  lines : line Inttbl.t;
   (* Optional finite capacity per core (in lines): evictions write dirty
      victims back to their home and drop clean ones. None = infinite. *)
   lrus : Lru.t option array;
@@ -107,7 +118,7 @@ let create ?cache_lines_per_core plat counters =
   {
     plat;
     counters;
-    lines = Hashtbl.create 4096;
+    lines = Inttbl.create ~dummy:dummy_line ();
     lrus =
       (match cache_lines_per_core with
        | None -> Array.make n None
@@ -174,12 +185,12 @@ let pinned_home_of t line =
   search 0 (t.n_ranges - 1)
 
 let home_of t ~line =
-  match Hashtbl.find_opt t.lines line with
+  match Inttbl.find_opt t.lines line with
   | Some l -> Some l.home
   | None -> pinned_home_of t line
 
 let get_line t ~core line =
-  match Hashtbl.find t.lines line with
+  match Inttbl.find t.lines line with
   | l -> l
   | exception Not_found ->
     let home =
@@ -195,7 +206,7 @@ let get_line t ~core line =
         line_busy_until = 0;
       }
     in
-    Hashtbl.replace t.lines line l;
+    Inttbl.set t.lines line l;
     l
 
 (* Charge dword traffic along the route between two packages, keeping the
@@ -224,7 +235,7 @@ let forget t ~core lid =
   match t.lrus.(core) with Some lru -> Lru.remove lru lid | None -> ()
 
 let evict t ~core victim_lid =
-  match Hashtbl.find_opt t.lines victim_lid with
+  match Inttbl.find_opt t.lines victim_lid with
   | None -> ()
   | Some v ->
     if v.tag = tag_modified && v.excl = core then begin
@@ -451,7 +462,7 @@ let touch_range t ~core ~addr ~bytes ~write =
   end
 
 let line_state t ~line =
-  match Hashtbl.find_opt t.lines line with
+  match Inttbl.find_opt t.lines line with
   | None -> Invalid
   | Some l ->
     if l.tag = tag_modified then Modified l.excl

@@ -1,0 +1,94 @@
+(* Open-addressed hash table specialized to non-negative int keys.
+
+   Replaces the generic [Hashtbl] on the coherence model's line table,
+   which sits on every simulated load and store: generic hashing plus
+   bucket-list chasing per access. Here a probe walks a flat int array
+   (power-of-two capacity, linear probing) with the value fetched once at
+   the end, and there is no per-insert bucket cell allocation. Keys are
+   multiplied by a 64-bit odd constant (Fibonacci hashing) so strided key
+   patterns — page-aligned addresses map to lines 64 apart — spread over
+   the table instead of clustering in a few residue classes.
+
+   No deletion: the line table only grows (lines are never forgotten,
+   only state-changed), which keeps probe sequences valid for free. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable keys : int array;  (* -1 = empty slot *)
+  mutable vals : 'a array;
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable size : int;
+}
+
+let fib = 0x2545F4914F6CDD1D
+
+(* Multiplicative hash folded to the table size; the xor-shift mixes the
+   well-scrambled high bits into the low bits the mask keeps. *)
+let slot_of ~mask key =
+  let h = key * fib in
+  (h lxor (h lsr 31)) land max_int land mask
+
+let create ?(initial_bits = 12) ~dummy () =
+  let cap = 1 lsl initial_bits in
+  { dummy; keys = Array.make cap (-1); vals = Array.make cap dummy; mask = cap - 1; size = 0 }
+
+let length t = t.size
+
+let rec probe keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = -1 then i else probe keys mask key ((i + 1) land mask)
+
+let index t key = probe t.keys t.mask key (slot_of ~mask:t.mask key)
+
+let find t key =
+  if key < 0 then invalid_arg "Inttbl.find: negative key";
+  let i = index t key in
+  if Array.unsafe_get t.keys i = key then Array.unsafe_get t.vals i
+  else raise Not_found
+
+let find_opt t key =
+  match find t key with v -> Some v | exception Not_found -> None
+
+let mem t key = key >= 0 && t.keys.(index t key) = key
+
+let grow t =
+  let ncap = (t.mask + 1) * 2 in
+  let nkeys = Array.make ncap (-1) in
+  let nvals = Array.make ncap t.dummy in
+  let nmask = ncap - 1 in
+  for i = 0 to t.mask do
+    let k = t.keys.(i) in
+    if k >= 0 then begin
+      let j = probe nkeys nmask k (slot_of ~mask:nmask k) in
+      nkeys.(j) <- k;
+      nvals.(j) <- t.vals.(i)
+    end
+  done;
+  t.keys <- nkeys;
+  t.vals <- nvals;
+  t.mask <- nmask
+
+(* Insert [key -> v]; overwrites any existing binding. Load factor is kept
+   at or below 1/2 so linear-probe runs stay short. *)
+let set t key v =
+  if key < 0 then invalid_arg "Inttbl.set: negative key";
+  let i = index t key in
+  if t.keys.(i) = key then t.vals.(i) <- v
+  else begin
+    if 2 * (t.size + 1) > t.mask + 1 then begin
+      grow t;
+      let j = index t key in
+      t.keys.(j) <- key;
+      t.vals.(j) <- v
+    end
+    else begin
+      t.keys.(i) <- key;
+      t.vals.(i) <- v
+    end;
+    t.size <- t.size + 1
+  end
+
+let iter f t =
+  for i = 0 to t.mask do
+    if t.keys.(i) >= 0 then f t.keys.(i) t.vals.(i)
+  done

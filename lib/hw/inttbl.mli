@@ -1,0 +1,26 @@
+(** Open-addressed hash table for non-negative int keys.
+
+    Power-of-two capacity, linear probing, load factor kept at or below
+    1/2, no deletion. Built for the coherence model's line table, which is
+    probed on every simulated load/store: a lookup scans a flat int array
+    and touches the value array once, with no allocation. *)
+
+type 'a t
+
+val create : ?initial_bits:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused value slots (never returned by lookups).
+    [initial_bits] sets the starting capacity to [2^initial_bits]
+    (default 12). *)
+
+val length : _ t -> int
+
+val find : 'a t -> int -> 'a
+(** @raise Not_found if the key is absent. *)
+
+val find_opt : 'a t -> int -> 'a option
+val mem : _ t -> int -> bool
+
+val set : 'a t -> int -> 'a -> unit
+(** Bind a key, overwriting any existing binding. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,197 @@
+(* Timing wheel for near-future events, ordered by (time, seq).
+
+   The engine's event population is dominated by short delays — cache-hit
+   waits, software path costs, line-transfer latencies — all far below a
+   few thousand cycles. A binary heap pays O(log n) sifting for every one
+   of them. The wheel instead keeps an array of [window] slots, one per
+   future tick: scheduling is "append to slot (time mod window)". Delays
+   of [window] or more overflow into the engine's heap (see
+   Engine.schedule), so the wheel itself never wraps: two different
+   pending times cannot share a slot.
+
+   Ordering within a slot is free: the engine's [seq] is globally
+   monotonic, and a slot is always fully filled before it is drained
+   (same-time events go to the engine's FIFO, not the wheel), so append
+   order is seq order.
+
+   The minimum is tracked, not searched for: [front]/[front_time] always
+   name the slot holding the earliest pending time, so [min_time] and
+   [min_seq] are plain field reads. A push only has to compare against
+   [front_time]; a pop that drains the front slot finds the next occupied
+   slot through a two-level occupancy bitmap (32 slots per word, one
+   summary word per 32 words), i.e. a couple of word scans and
+   count-trailing-zeros instead of probing empty slots one by one. The
+   naive probe costs O(gap to next event) per pop — proportional to
+   simulated-time density, and measurably slower than the heap it
+   replaces on sparse schedules; the bitmap makes the cost independent of
+   how far apart events are in simulated time.
+
+   The slot arrays are a couple hundred KB; an engine that never routes an
+   event here (see the population threshold in Engine.schedule) must not
+   pay for allocating and faulting them in, so [create] is free and the
+   arrays are built on first push. *)
+
+let bits = 12
+let window = 1 lsl bits
+let mask = window - 1
+
+(* Occupancy bitmap geometry: 32 slots per level-0 word, 32 level-0 words
+   per level-1 bit. With [bits] = 12: 128 level-0 words, 4 level-1 words. *)
+let word_bits = 5
+let word_mask = 31
+let all_ones = 0xFFFFFFFF
+let words = window lsr word_bits
+let l1_words = words lsr word_bits
+
+(* Count trailing zeros of a non-zero 32-bit value (de Bruijn multiply). *)
+let debruijn = 0x077CB531
+
+let ctz_tab =
+  let t = Array.make 32 0 in
+  for i = 0 to 31 do
+    t.((((1 lsl i) * debruijn) land all_ones) lsr 27) <- i
+  done;
+  t
+
+let ctz x = Array.unsafe_get ctz_tab ((((x land -x) * debruijn) land all_ones) lsr 27)
+
+type 'a t = {
+  dummy : 'a;  (* written over popped payload slots to release them to the GC *)
+  mutable slot_seq : int array array;
+  mutable slot_pay : 'a array array;
+  mutable slot_time : int array;  (* absolute due time of the entries in the slot *)
+  mutable slot_len : int array;
+  mutable slot_head : int array;  (* index of the first not-yet-popped entry *)
+  mutable occ : int array;  (* bit (s land 31) of word (s lsr 5): slot s non-empty *)
+  mutable occ_l1 : int array;  (* bit (w land 31) of word (w lsr 5): occ.(w) <> 0 *)
+  mutable count : int;
+  mutable front : int;  (* slot of the earliest time; valid while count > 0 *)
+  mutable front_time : int;  (* the earliest time itself; valid while count > 0 *)
+}
+
+let create ~dummy =
+  {
+    dummy;
+    slot_seq = [||];
+    slot_pay = [||];
+    slot_time = [||];
+    slot_len = [||];
+    slot_head = [||];
+    occ = [||];
+    occ_l1 = [||];
+    count = 0;
+    front = 0;
+    front_time = 0;
+  }
+
+let init t =
+  t.slot_seq <- Array.make window [||];
+  t.slot_pay <- Array.make window [||];
+  t.slot_time <- Array.make window 0;
+  t.slot_len <- Array.make window 0;
+  t.slot_head <- Array.make window 0;
+  t.occ <- Array.make words 0;
+  t.occ_l1 <- Array.make l1_words 0
+
+let length t = t.count
+let is_empty t = t.count = 0
+
+let push t ~now ~time ~seq payload =
+  ignore now;
+  if Array.length t.slot_time = 0 then init t;
+  let s = time land mask in
+  let len = Array.unsafe_get t.slot_len s in
+  if len > Array.unsafe_get t.slot_head s && Array.unsafe_get t.slot_time s <> time
+  then
+    (* Slot already holds a different (necessarily earlier) time. Under the
+       engine's routing invariants (now <= time < now + window, past slots
+       drained in time order) this cannot happen; refuse defensively and
+       let the caller fall back to the heap. *)
+    false
+  else begin
+    let cap = Array.length (Array.unsafe_get t.slot_seq s) in
+    if len = cap then begin
+      let ncap = if cap = 0 then 4 else cap * 2 in
+      let nseq = Array.make ncap 0 in
+      let npay = Array.make ncap t.dummy in
+      Array.blit t.slot_seq.(s) 0 nseq 0 len;
+      Array.blit t.slot_pay.(s) 0 npay 0 len;
+      t.slot_seq.(s) <- nseq;
+      t.slot_pay.(s) <- npay
+    end;
+    Array.unsafe_set (Array.unsafe_get t.slot_seq s) len seq;
+    Array.unsafe_set (Array.unsafe_get t.slot_pay s) len payload;
+    Array.unsafe_set t.slot_len s (len + 1);
+    if len = 0 then begin
+      (* Slot goes empty -> occupied: record its time and set its bit. *)
+      Array.unsafe_set t.slot_time s time;
+      let w = s lsr word_bits in
+      Array.unsafe_set t.occ w (Array.unsafe_get t.occ w lor (1 lsl (s land word_mask)));
+      let lw = w lsr word_bits in
+      Array.unsafe_set t.occ_l1 lw
+        (Array.unsafe_get t.occ_l1 lw lor (1 lsl (w land word_mask)))
+    end;
+    if t.count = 0 || time < t.front_time then begin
+      t.front <- s;
+      t.front_time <- time
+    end;
+    t.count <- t.count + 1;
+    true
+  end
+
+(* Next occupied slot cyclically after [t.front]; requires count > 0.
+   All pending times lie in (front_time, front_time + window), so the first
+   occupied slot found walking forward (with wrap) holds the new minimum. *)
+let advance_front t =
+  let s = (t.front + 1) land mask in
+  let w = s lsr word_bits in
+  let x = Array.unsafe_get t.occ w land (all_ones lsl (s land word_mask)) in
+  let ns =
+    if x <> 0 then (w lsl word_bits) lor ctz x
+    else begin
+      (* No slot left in this word: scan level 1 for the next word with a
+         bit set, wrapping; terminates because count > 0 guarantees some
+         occupied slot exists (possibly back in word [w] below bit s). *)
+      let rec find i m =
+        let li = i land (l1_words - 1) in
+        let y = Array.unsafe_get t.occ_l1 li land m in
+        if y <> 0 then begin
+          let w' = (li lsl word_bits) lor ctz y in
+          (w' lsl word_bits) lor ctz (Array.unsafe_get t.occ w')
+        end
+        else find (i + 1) all_ones
+      in
+      find (w lsr word_bits) (all_ones lsl ((w land word_mask) + 1))
+    end
+  in
+  t.front <- ns;
+  t.front_time <- Array.unsafe_get t.slot_time ns
+
+let min_time t = t.front_time
+
+let min_seq t =
+  Array.unsafe_get (Array.unsafe_get t.slot_seq t.front) (Array.unsafe_get t.slot_head t.front)
+
+let pop_exn t =
+  if t.count = 0 then invalid_arg "Wheel.pop_exn: empty";
+  let s = t.front in
+  let h = Array.unsafe_get t.slot_head s in
+  let pay = Array.unsafe_get (Array.unsafe_get t.slot_pay s) h in
+  Array.unsafe_set (Array.unsafe_get t.slot_pay s) h t.dummy;
+  t.count <- t.count - 1;
+  if h + 1 = Array.unsafe_get t.slot_len s then begin
+    (* Slot drained: reset it, clear its occupancy bit, move the front. *)
+    Array.unsafe_set t.slot_head s 0;
+    Array.unsafe_set t.slot_len s 0;
+    let w = s lsr word_bits in
+    let ow = Array.unsafe_get t.occ w land lnot (1 lsl (s land word_mask)) in
+    Array.unsafe_set t.occ w ow;
+    if ow = 0 then begin
+      let lw = w lsr word_bits in
+      Array.unsafe_set t.occ_l1 lw
+        (Array.unsafe_get t.occ_l1 lw land lnot (1 lsl (w land word_mask)))
+    end;
+    if t.count > 0 then advance_front t
+  end
+  else Array.unsafe_set t.slot_head s (h + 1);
+  pay

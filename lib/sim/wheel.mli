@@ -1,0 +1,36 @@
+(** Timing wheel for near-future simulation events.
+
+    Holds events due strictly less than {!window} ticks ahead of the
+    current time, keyed by the same total (time, seq) order as {!Heap}.
+    Scheduling and minimum-finding are amortized O(1), versus the heap's
+    O(log n) sift — and short delays are the overwhelming majority of
+    simulator events. The engine routes events here when they fit the
+    horizon and into the heap otherwise; see Engine.schedule. *)
+
+type 'a t
+
+val window : int
+(** The horizon: the wheel accepts times in [now, now + window). *)
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills vacated payload slots so popped closures can be
+    collected. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> now:int -> time:int -> seq:int -> 'a -> bool
+(** Requires [now <= time < now + window]. Returns false (and stores
+    nothing) if the target slot still holds entries for a different time —
+    impossible under the engine's invariants, but checked so a caller bug
+    degrades to heap order rather than corrupting the schedule. *)
+
+val min_time : 'a t -> int
+(** Earliest pending time. Requires the wheel to be non-empty. *)
+
+val min_seq : 'a t -> int
+(** Sequence number of the earliest pending event (ties on time are
+    broken by seq, which is append order). Requires non-empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the (time, seq)-minimal event. *)

@@ -54,6 +54,30 @@ let table2_golden =
       {|8x4-core AMD       2-hop             617     13      308         3.19|};
       {|8x4-core AMD       3-hop             628     16      314         3.13|} ]
 
+let fig3_golden =
+  [ {|==== Figure 3: shared memory vs message passing (4x4-core AMD) ====|};
+      {|cores       SHM1      SHM2      SHM4      SHM8       MSG1      MSG8    Server|};
+      {|    2        142       344       688      1376        856       877       358|};
+      {|    4        172       344       688      1376        936       994       347|};
+      {|    6        253       520      1030      2023       1666      1771       368|};
+      {|    8        241      1438      2879      5759       2406      2553       377|};
+      {|   10        899      1799      3599      7199       3144      3333       382|};
+      {|   12       1079      2159      4319      8639       3882      4113       386|};
+      {|   14       1258      2519      5039     10079       4632      4905       389|};
+      {|   16       1438      2878      5758     11518       5382      5697       391|} ]
+
+let polling_golden =
+  [ {|==== Section 5.2: the cost of polling (P = C = 6000 cycles) ====|};
+      {|   arrival t   model overhead simulated overhead|};
+      {|           0                0               1732|};
+      {|        1000             1000               1732|};
+      {|        3000             3000               1732|};
+      {|        5999             5999               7732|};
+      {|        6001            12000               7732|};
+      {|        9000            12000               7732|};
+      {|       20000            12000               7732|};
+      {|Model bounds: overhead <= 2C = 12000; latency <= C = 6000|} ]
+
 let scaling_golden =
   [ {|==== Scaling extension: synthetic mesh machines up to 128 cores ====|};
       {| cores       mk unmap         mk 2PC    Linux-IPI unmap|};
@@ -71,10 +95,17 @@ let test_table2 () =
 let test_scaling () =
   check_golden "scaling" scaling_golden (capture Mk_benches.Scaling.run)
 
+let test_fig3 () = check_golden "fig3" fig3_golden (capture Mk_benches.Fig3.run)
+
+let test_polling () =
+  check_golden "polling" polling_golden (capture Mk_benches.Polling.run)
+
 let suite =
   ( "determinism-golden",
     [
       tc "fig6 unchanged" test_fig6;
       tc "table2 unchanged" test_table2;
       tc "scaling unchanged" test_scaling;
+      tc "fig3 unchanged" test_fig3;
+      tc "polling unchanged" test_polling;
     ] )

@@ -99,6 +99,58 @@ let test_run_until () =
   Engine.run eng ();
   check_int "rest" 10 !hits
 
+let test_run_until_spills_wheel () =
+  (* Stop the clock while near-future (wheel-resident) events are pending:
+     they must survive the stop, and fire at their original times in their
+     original order when the run resumes. Enough waiting tasks are spawned
+     to clear the engine's population threshold, so the later schedules
+     really do land in the wheel rather than the heap. *)
+  let n = 40 in
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to n do
+    Engine.spawn eng (fun () ->
+        (* Two tasks per delay: same-(time, seq-order) pairs must stay
+           ordered across the spill too. *)
+        Engine.wait (5 + ((i / 2) * 3));
+        log := (i, Engine.now_ ()) :: !log)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.wait 5000;
+      (* Beyond the wheel window: heap-resident throughout. *)
+      log := (0, Engine.now_ ()) :: !log);
+  Engine.run eng ~until:4 ();
+  check_int "stopped early" 4 (Engine.now eng);
+  check_bool "nothing ran yet" true (!log = []);
+  Engine.run eng ();
+  let expect =
+    List.init n (fun k ->
+        let i = k + 1 in
+        (i, 5 + ((i / 2) * 3)))
+    |> List.sort (fun (i1, t1) (i2, t2) ->
+           if t1 <> t2 then compare t1 t2 else compare i1 i2)
+  in
+  check_bool "order and times preserved" true
+    (List.rev !log = expect @ [ (0, 5000) ])
+
+let test_run_until_spills_fifo_batch () =
+  (* Stop mid same-time FIFO batch: run to t=10, queue a batch of
+     same-time events (they sit in the FIFO), then ask for an earlier
+     stop — the batch must spill without losing its (time, seq) order. *)
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.wait 10);
+  Engine.run eng ();
+  check_int "at 10" 10 (Engine.now eng);
+  let log = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () -> log := (i, Engine.now_ ()) :: !log)
+  done;
+  Engine.run eng ~until:8 ();
+  check_bool "batch not run at stop" true (!log = []);
+  Engine.run eng ();
+  check_bool "batch ran at its time, in seq order" true
+    (List.rev !log = [ (1, 10); (2, 10); (3, 10) ])
+
 let test_stall_detection () =
   let eng = Engine.create () in
   Engine.spawn eng (fun () -> Engine.suspend (fun _ -> ()));
@@ -153,6 +205,8 @@ let suite =
       tc "waker one-shot" test_waker_is_one_shot;
       tc "wake with delay" test_wake_with_delay;
       tc "run until" test_run_until;
+      tc "run until spills wheel" test_run_until_spills_wheel;
+      tc "run until spills fifo batch" test_run_until_spills_fifo_batch;
       tc "stall detection" test_stall_detection;
       tc "halt" test_halt;
       tc "live tasks" test_live_tasks;

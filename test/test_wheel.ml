@@ -1,0 +1,131 @@
+(* The timing wheel must realize exactly the (time, seq) total order the
+   heap does — the engine relies on it when routing near-future events to
+   the wheel and the rest to the heap. *)
+
+open Mk_sim
+open Test_util
+
+let test_basic_order () =
+  let w = Wheel.create ~dummy:"" in
+  check_bool "empty" true (Wheel.is_empty w);
+  check_bool "push c" true (Wheel.push w ~now:0 ~time:30 ~seq:1 "c");
+  check_bool "push a" true (Wheel.push w ~now:0 ~time:10 ~seq:2 "a");
+  check_bool "push b" true (Wheel.push w ~now:0 ~time:20 ~seq:3 "b");
+  check_int "length" 3 (Wheel.length w);
+  check_int "min time" 10 (Wheel.min_time w);
+  check_int "min seq" 2 (Wheel.min_seq w);
+  check_string "first" "a" (Wheel.pop_exn w);
+  check_string "second" "b" (Wheel.pop_exn w);
+  check_string "third" "c" (Wheel.pop_exn w);
+  check_bool "drained" true (Wheel.is_empty w)
+
+let test_same_tick_burst_is_seq_order () =
+  let w = Wheel.create ~dummy:0 in
+  for seq = 1 to 100 do
+    check_bool "push" true (Wheel.push w ~now:0 ~time:7 ~seq seq)
+  done;
+  for seq = 1 to 100 do
+    check_int "seq order" seq (Wheel.pop_exn w)
+  done
+
+let test_slot_clash_refused () =
+  let w = Wheel.create ~dummy:"" in
+  check_bool "first time" true (Wheel.push w ~now:0 ~time:5 ~seq:1 "x");
+  (* Same slot, different time (one full window later): the wheel cannot
+     represent both and must refuse rather than corrupt the order. *)
+  check_bool "clash refused" false
+    (Wheel.push w ~now:0 ~time:(5 + Wheel.window) ~seq:2 "y");
+  check_string "original intact" "x" (Wheel.pop_exn w);
+  check_int "only one entry" 0 (Wheel.length w)
+
+let test_slot_reuse_after_drain () =
+  let w = Wheel.create ~dummy:"" in
+  check_bool "push" true (Wheel.push w ~now:0 ~time:5 ~seq:1 "x");
+  check_string "pop" "x" (Wheel.pop_exn w);
+  (* Slot 5 drained: one window later the same slot is reusable. *)
+  let t' = 5 + Wheel.window in
+  check_bool "reuse" true (Wheel.push w ~now:(t' - 10) ~time:t' ~seq:2 "y");
+  check_int "time" t' (Wheel.min_time w);
+  check_string "value" "y" (Wheel.pop_exn w)
+
+(* Reference model: drive the wheel-with-heap-overflow combination the
+   engine uses against a single pure heap, on random interleavings of
+   pushes (random small/large delays, incl. same-tick bursts) and pops.
+   Both must emit the identical (time, seq, payload) sequence. *)
+let random_schedule_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (pair
+         (* batch of delays pushed at one step; 0 = same tick, delays
+            beyond the window overflow to the heap *)
+         (list_size (int_range 1 8)
+            (oneof
+               [
+                 int_range 0 8;
+                 int_range 0 (Wheel.window - 1);
+                 int_range (Wheel.window - 2) (2 * Wheel.window);
+               ]))
+         (* pops to attempt after the batch *)
+         (int_range 0 6)))
+
+let prop_wheel_matches_heap steps =
+  let wheel = Wheel.create ~dummy:(-1) in
+  let over = Heap.create () in
+  let reference = Heap.create () in
+  let now = ref 0 in
+  let seq = ref 0 in
+  let wh_log = ref [] in
+  let ref_log = ref [] in
+  let push d =
+    incr seq;
+    let time = !now + d in
+    Heap.push reference ~time ~seq:!seq !seq;
+    if d < Wheel.window && Wheel.push wheel ~now:!now ~time ~seq:!seq !seq then ()
+    else Heap.push over ~time ~seq:!seq !seq
+  in
+  (* Pop the merged wheel/overflow minimum, advancing the clock like the
+     run loop does; returns false when both are empty. *)
+  let pop_merged () =
+    let have_w = not (Wheel.is_empty wheel) in
+    let have_h = not (Heap.is_empty over) in
+    if not have_w && not have_h then false
+    else begin
+      let from_wheel =
+        have_w
+        && ((not have_h)
+           || Wheel.min_time wheel < Heap.min_time over
+           || (Wheel.min_time wheel = Heap.min_time over
+              && Wheel.min_seq wheel < Heap.min_seq over))
+      in
+      let time = if from_wheel then Wheel.min_time wheel else Heap.min_time over in
+      let v = if from_wheel then Wheel.pop_exn wheel else Heap.pop_exn over in
+      now := time;
+      wh_log := (time, v) :: !wh_log;
+      (match Heap.pop reference with
+       | Some e -> ref_log := (e.Heap.time, e.Heap.payload) :: !ref_log
+       | None -> Alcotest.fail "reference drained before wheel");
+      true
+    end
+  in
+  List.iter
+    (fun (delays, pops) ->
+      List.iter push delays;
+      for _ = 1 to pops do
+        ignore (pop_merged () : bool)
+      done)
+    steps;
+  while pop_merged () do
+    ()
+  done;
+  !wh_log = !ref_log && Heap.is_empty reference
+
+let suite =
+  ( "wheel",
+    [
+      tc "basic order" test_basic_order;
+      tc "same-tick burst" test_same_tick_burst_is_seq_order;
+      tc "slot clash refused" test_slot_clash_refused;
+      tc "slot reuse after drain" test_slot_reuse_after_drain;
+      qtest ~count:300 "matches heap on random schedules" random_schedule_gen
+        prop_wheel_matches_heap;
+    ] )
