@@ -16,17 +16,28 @@ let () =
   let current = ref default_current in
   let threshold = ref 10.0 in
   let strict = ref false in
+  let only = ref [] in
   let args =
     [
       ("--baseline", Arg.Set_string baseline, "FILE baseline json (default bench/BASELINE_sim.json)");
       ("--current", Arg.Set_string current, "FILE json to check (default BENCH_sim.json)");
       ("--threshold", Arg.Set_float threshold, "PCT warn above this regression (default 10)");
       ("--strict", Arg.Set strict, " exit 1 on regression instead of warning");
+      ("--bench", Arg.String (fun n -> only := n :: !only),
+       "NAME restrict the comparison to this bench (repeatable)");
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "compare.exe: diff bench events/sec against a committed baseline";
-  let base = Mk_benches.Bench_json.read !baseline in
+  let restrict entries =
+    match !only with
+    | [] -> entries
+    | names ->
+      List.filter
+        (fun (e : Mk_benches.Bench_json.entry) -> List.mem e.name names)
+        entries
+  in
+  let base = restrict (Mk_benches.Bench_json.read !baseline) in
   let cur = Mk_benches.Bench_json.read !current in
   if base = [] then (
     Printf.eprintf "compare: no baseline entries in %s\n" !baseline;

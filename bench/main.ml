@@ -28,6 +28,7 @@ let all : (string * string * (unit -> unit)) list =
     ("ablation", "ablations: page tables, barriers, prefetch", Ablation.run);
     ("scaling", "scaling extension: mesh machines to 128 cores", Scaling.run);
     ("micro", "bechamel simulator micro-benches", Micro.run);
+    ("chaos", "fault injection: detection/recovery/goodput (5 nines drill)", Chaos.run);
   ]
 
 type timing = { name : string; wall_s : float; events : int }
@@ -126,12 +127,24 @@ let report ~jobs ~timings ~harness_wall =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N] [list | all | <bench>...]\n       benches: %s\n"
+    "usage: main.exe [-j N] [--seed N] [list | all | <bench>...]\n       benches: %s\n"
     (String.concat " " (List.map (fun (n, _, _) -> n) all));
   exit 1
 
+(* Pull `--seed N` (replay one chaos seed) out of the argument list
+   wherever it appears. *)
+let rec extract_seed acc = function
+  | "--seed" :: n :: rest ->
+    (match int_of_string_opt n with
+     | Some s ->
+       Chaos.seed_override := Some s;
+       List.rev_append acc rest
+     | None -> usage ())
+  | a :: rest -> extract_seed (a :: acc) rest
+  | [] -> List.rev acc
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl |> extract_seed [] in
   let jobs, args =
     match args with
     | "-j" :: n :: rest ->

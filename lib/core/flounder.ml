@@ -46,3 +46,87 @@ let oneway b req = Urpc.send b.req_chan ~lines:b.req_lines (req, false)
 
 let client_core b = Urpc.sender b.req_chan
 let server_core b = Urpc.receiver b.req_chan
+
+(* At-most-once RPC over lossy channels: requests carry an id, the client
+   retransmits with exponentially backed-off timeouts, and the server keeps
+   a response cache so a retransmitted request replays the cached response
+   instead of re-executing the handler. This is the fault-tolerant stub
+   variant services use when a fault plan may drop/duplicate/delay URPC
+   messages or kill the server's core. *)
+module Reliable = struct
+  type ('req, 'resp) t = {
+    rb : (int * 'req, int * 'resp) binding;
+    mutable next_id : int;
+    base_timeout : int;
+    max_attempts : int;
+    mutable retries : int;
+    mutable gave_up : int;
+  }
+
+  let connect m ~name ~client ~server ?(base_timeout = 30_000)
+      ?(max_attempts = 6) ?req_lines ?resp_lines () =
+    {
+      rb = connect m ~name ~client ~server ?req_lines ?resp_lines ();
+      next_id = 1;
+      base_timeout;
+      max_attempts;
+      retries = 0;
+      gave_up = 0;
+    }
+
+  let export t ?(should_halt = fun () -> false) handler =
+    let seen = Hashtbl.create 32 in
+    let rec loop () =
+      let (id, req), wants_resp = Urpc.recv t.rb.req_chan in
+      (* A stopped core processes nothing more: consume-and-die models the
+         request reaching a dead endpoint. *)
+      if should_halt () then Engine.halt ();
+      let resp =
+        match Hashtbl.find_opt seen id with
+        | Some r -> r  (* duplicate/retransmit: replay, don't re-execute *)
+        | None ->
+          let r = handler req in
+          Hashtbl.replace seen id r;
+          r
+      in
+      if wants_resp then Urpc.send t.rb.resp_chan ~lines:t.rb.resp_lines (id, resp);
+      loop ()
+    in
+    Engine.spawn t.rb.m.Machine.eng ~name:(Urpc.name t.rb.req_chan ^ ".rserver") loop
+
+  let call t req =
+    Sync.Mutex.with_lock t.rb.lock (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let rec attempt n timeout =
+          Urpc.send t.rb.req_chan ~lines:t.rb.req_lines ((id, req), true);
+          let deadline = Engine.now_ () + timeout in
+          (* Drain responses until ours arrives or the deadline passes;
+             responses to earlier (timed-out) attempts are discarded. *)
+          let rec await () =
+            let left = deadline - Engine.now_ () in
+            if left <= 0 then None
+            else
+              match Urpc.recv_timeout t.rb.resp_chan ~timeout:left with
+              | None -> None
+              | Some (rid, resp) -> if rid = id then Some resp else await ()
+          in
+          match await () with
+          | Some resp -> Ok resp
+          | None ->
+            if n >= t.max_attempts then begin
+              t.gave_up <- t.gave_up + 1;
+              Error `Timeout
+            end
+            else begin
+              t.retries <- t.retries + 1;
+              attempt (n + 1) (timeout * 2)
+            end
+        in
+        attempt 1 t.base_timeout)
+
+  let stats_retries t = t.retries
+  let stats_gave_up t = t.gave_up
+  let client_core t = client_core t.rb
+  let server_core t = server_core t.rb
+end

@@ -38,3 +38,45 @@ val oneway : ('req, _) binding -> 'req -> unit
 
 val client_core : (_, _) binding -> int
 val server_core : (_, _) binding -> int
+
+(** At-most-once RPC for lossy conditions (fault subsystem).
+
+    Requests carry an id; the client retransmits with exponential backoff
+    ([base_timeout], doubling per attempt, up to [max_attempts]); the
+    server replays cached responses for retransmitted ids, so the handler
+    runs at most once per logical call even under message duplication.
+
+    A call that returns [Error `Timeout] may leave unacknowledged requests
+    stranding ring slots on the underlying channel — callers are expected
+    to fail over to a fresh binding (see [Ft_service]) rather than keep
+    calling a binding whose server is dead. *)
+module Reliable : sig
+  type ('req, 'resp) t
+
+  val connect :
+    Mk_hw.Machine.t ->
+    name:string ->
+    client:int ->
+    server:int ->
+    ?base_timeout:int ->
+    ?max_attempts:int ->
+    ?req_lines:int ->
+    ?resp_lines:int ->
+    unit ->
+    ('req, 'resp) t
+  (** [base_timeout] (default 30k cycles) is the first attempt's response
+      timeout; each retry doubles it. *)
+
+  val export : ('req, 'resp) t -> ?should_halt:(unit -> bool) -> ('req -> 'resp) -> unit
+  (** Start the server loop. [should_halt] is polled per request: when it
+      turns true the server consumes the request and halts without
+      replying — how a service incarnation on a stopped core dies. *)
+
+  val call : ('req, 'resp) t -> 'req -> ('resp, [ `Timeout ]) result
+  (** Synchronous at-most-once call with retry/backoff. *)
+
+  val stats_retries : (_, _) t -> int
+  val stats_gave_up : (_, _) t -> int
+  val client_core : (_, _) t -> int
+  val server_core : (_, _) t -> int
+end

@@ -1,0 +1,111 @@
+open Mk_sim
+
+(* The OS-level failure manager: glues the monitors' phi detectors to
+   actual recovery. On the first detection of a core's death it
+   - marks the core dead in the OS (routing plans repair around it),
+   - announces the death mesh-wide (best-effort fan, so peers stop
+     heartbeating the corpse without waiting on a lossy protocol),
+   - respawns every service homed on the dead core on a live core and
+     re-registers it with the name service.
+   Subsequent detections of the same death (other monitors' detectors
+   racing the announcement) are deduplicated here. *)
+
+type service = {
+  s_name : string;
+  mutable s_home : int;
+  s_respawn : int -> unit;  (* bring the service up on a new core *)
+}
+
+type t = {
+  os : Os.t;
+  hb_interval : int;
+  threshold : float;
+  mutable services : service list;
+  detected_at : int array;  (* absolute time of first detection; -1 = none *)
+  detected_by : int array;
+  recovered_at : int array;  (* services respawned + death announced *)
+  mutable deaths : int;
+}
+
+(* Respawn target: the highest live core, preferring not to pile recovered
+   services onto the name service's home core (or the low-numbered cores
+   clients conventionally run on). Deterministic. *)
+let pick_new_home t =
+  let live = Os.live_cores t.os in
+  let ns_home = Name_service.home_core (Os.name_service t.os) in
+  match List.rev (List.filter (fun c -> c <> ns_home) live) with
+  | c :: _ -> c
+  | [] -> (match live with c :: _ -> c | [] -> failwith "Ft: no live cores")
+
+let handle_death t ~by ~core ~at =
+  if t.detected_at.(core) < 0 then begin
+    t.detected_at.(core) <- at;
+    t.detected_by.(core) <- by;
+    t.deaths <- t.deaths + 1;
+    Os.mark_dead t.os ~core;
+    (* Announce through the mesh so every monitor stops heartbeating the
+       dead core. Best-effort (fire-and-forget fan): recovery must not
+       block on a protocol that can itself lose messages. *)
+    let mon = Os.monitor t.os ~core:by in
+    let members = List.filter (fun c -> c <> by) (Os.live_cores t.os) in
+    let plan = Os.default_plan t.os ~root:by ~members in
+    ignore
+      (Monitor.run_fan_async mon ~plan
+         ~op:(Monitor.Op_set_replica { key = Monitor.dead_replica_key core; value = at })
+        : unit Sync.Ivar.t);
+    (* Service failover: respawn everything homed on the corpse. *)
+    List.iter
+      (fun s ->
+        if s.s_home = core then begin
+          let new_home = pick_new_home t in
+          s.s_home <- new_home;
+          s.s_respawn new_home
+        end)
+      t.services;
+    t.recovered_at.(core) <- Engine.now_ ()
+  end
+
+let attach ?(hb_interval = 20_000) ?(threshold = 4.0) ~until os =
+  let n = Os.n_cores os in
+  let t =
+    {
+      os;
+      hb_interval;
+      threshold;
+      services = [];
+      detected_at = Array.make n (-1);
+      detected_by = Array.make n (-1);
+      recovered_at = Array.make n (-1);
+      deaths = 0;
+    }
+  in
+  for c = 0 to n - 1 do
+    Monitor.start_ft (Os.monitor os ~core:c) ~interval:hb_interval ~threshold
+      ~until ~on_death:(fun ~core ~at -> handle_death t ~by:c ~core ~at)
+  done;
+  (* Wire the fault plan's core stops to the monitors they stop. *)
+  let inj = (Os.machine os).Mk_hw.Machine.fault in
+  Mk_fault.Injector.on_core_stop inj (fun core ->
+      Monitor.kill (Os.monitor os ~core));
+  t
+
+let register_service t ~name ~home ~respawn =
+  t.services <- { s_name = name; s_home = home; s_respawn = respawn } :: t.services
+
+let service_home t ~name =
+  List.find_map
+    (fun s -> if s.s_name = name then Some s.s_home else None)
+    t.services
+
+let detected_at t ~core = if t.detected_at.(core) < 0 then None else Some t.detected_at.(core)
+let detected_by t ~core = if t.detected_by.(core) < 0 then None else Some t.detected_by.(core)
+let recovered_at t ~core = if t.recovered_at.(core) < 0 then None else Some t.recovered_at.(core)
+let deaths t = t.deaths
+let hb_interval t = t.hb_interval
+
+(* The detector crosses its threshold after ~threshold*ln10 mean intervals
+   of silence and is evaluated once per interval; one extra interval of
+   slack covers heartbeats in flight when the core stopped. *)
+let detection_bound t =
+  int_of_float (ceil (t.threshold *. 2.302585093)) * t.hb_interval
+  + (2 * t.hb_interval)

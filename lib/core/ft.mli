@@ -1,0 +1,39 @@
+(** OS-level failure manager (fault subsystem).
+
+    Starts per-monitor heartbeating + phi-accrual failure detection
+    ({!Monitor.start_ft}), wires the fault injector's core-stop events to
+    {!Monitor.kill}, and on the first detection of a death: marks the core
+    dead OS-wide (routing plans repair around it), announces it over the
+    mesh, and respawns/re-registers every service homed on the dead core.
+    Detection races between monitors are deduplicated here. *)
+
+type t
+
+val attach : ?hb_interval:int -> ?threshold:float -> until:int -> Os.t -> t
+(** Start failure detection on every monitor. [hb_interval] (default 20k
+    cycles) is the heartbeat/evaluation period; [threshold] (default 4.0)
+    the phi threshold; [until] the absolute simulated time at which the
+    detection tasks stop (so a run can drain). Call after [Os.boot],
+    before arming the injector. *)
+
+val register_service : t -> name:string -> home:int -> respawn:(int -> unit) -> unit
+(** Make a named service failover-managed: if [home] dies, [respawn] is
+    called with the replacement core (and must bring the service up there,
+    including name-service re-registration). *)
+
+val service_home : t -> name:string -> int option
+(** Current home core of a managed service. *)
+
+val detected_at : t -> core:int -> int option
+(** Absolute time a core's death was first detected, if it was. *)
+
+val detected_by : t -> core:int -> int option
+val recovered_at : t -> core:int -> int option
+(** Time the death was announced and dependent services respawned. *)
+
+val deaths : t -> int
+val hb_interval : t -> int
+
+val detection_bound : t -> int
+(** Worst-case cycles from a core stop to detection implied by the
+    configured interval and threshold (what the chaos suite asserts). *)

@@ -24,6 +24,7 @@ type agree_op =
   | Ag_revoke of { cap : Cap.t }
 
 type msg =
+  | Heartbeat of { from : int }
   | Ping of { seq : int; from : int }
   | Pong of { seq : int }
   | Fan of { xid : int; parent : int; leaves : int list; op : fan_op }
@@ -50,6 +51,18 @@ type vote_state = {
   vs_plan : Routing.plan option;  (* at the origin: to run phase 2 *)
   vs_op : agree_op;
   vs_result : bool Sync.Ivar.t option;
+}
+
+(* Failure-detection state, present once [start_ft] has run: one phi
+   detector per peer, the local is-dead view, and the interned replica keys
+   death announcements arrive under. *)
+type ft_state = {
+  ft_interval : int;
+  ft_until : int;  (* absolute stop time: lets the engine drain after a run *)
+  ft_detectors : Mk_fault.Detector.t option array;  (* None for self *)
+  ft_peer_dead : bool array;
+  ft_dead_keys : string array;
+  ft_on_death : core:int -> at:int -> unit;
 }
 
 type t = {
@@ -83,6 +96,10 @@ type t = {
   mutable handled : int;
   mutable sleeps : int;
   mutable slept_cycles : int;
+  (* A halted monitor's core has stopped: its event loop and heartbeat
+     task observe the flag and terminate. *)
+  mutable halted : bool;
+  mutable ft : ft_state option;
 }
 
 let create m driver =
@@ -109,6 +126,8 @@ let create m driver =
     handled = 0;
     sleeps = 0;
     slept_cycles = 0;
+    halted = false;
+    ft = None;
   }
 
 let core t = t.core_id
@@ -257,6 +276,13 @@ let handle t msg =
   t.handled <- t.handled + 1;
   Engine.wait handle_cost;
   match msg with
+  | Heartbeat { from } ->
+    (match t.ft with
+     | Some ft ->
+       (match ft.ft_detectors.(from) with
+        | Some d -> Mk_fault.Detector.heartbeat d ~now:(Engine.now_ ())
+        | None -> ())
+     | None -> ())
   | Ping { seq; from } -> send_to t from (Pong { seq })
   | Pong { seq } ->
     (match Hashtbl.find_opt t.pings seq with
@@ -357,6 +383,9 @@ let run_loop t =
   let rec loop () =
     let idle_from = Engine.now_ () in
     Sync.Semaphore.acquire t.inbox;
+    (* A stopped core executes nothing: [kill] released the inbox so the
+       loop observes the flag. Queued messages stay undelivered. *)
+    if t.halted then Engine.halt ();
     let waited = Engine.now_ () - idle_from in
     if waited > sleep_poll_window then begin
       (* The core slept through the wait; pay the MWAIT exit on wake. *)
@@ -475,6 +504,76 @@ let get_replica t key = Hashtbl.find_opt t.replicas key
 let register_wake t domid w = Hashtbl.replace t.wakers domid w
 
 let wake_remote t ~core domid = send_to t core (Wake { domid })
+
+(* ------------------------------------------------------------------ *)
+(* Failure detection                                                   *)
+
+let dead_replica_key core = "dead:" ^ string_of_int core
+
+let kill t =
+  t.halted <- true;
+  (* Unblock the event loop so it can observe the flag; if it was mid-poll
+     the next acquire sees it instead. *)
+  Sync.Semaphore.release t.inbox
+
+let is_halted t = t.halted
+
+let peer_suspected t ~core =
+  match t.ft with Some ft -> ft.ft_peer_dead.(core) | None -> false
+
+(* One heartbeat/detector round per interval: mark peers announced dead by
+   another monitor (replica key), fire the detector on silent peers, and
+   heartbeat everyone still believed alive. Skipping suspected peers also
+   bounds the URPC flow credits a dead peer can strand (the detector fires
+   after ~threshold*ln10 intervals, well under the 16-slot ring). *)
+let rec ft_loop t ft =
+  Engine.wait ft.ft_interval;
+  if t.halted then Engine.halt ();
+  let now = Engine.now_ () in
+  if now > ft.ft_until then Engine.halt ();
+  Array.iteri
+    (fun peer det ->
+      match det with
+      | None -> ()
+      | Some d ->
+        if not ft.ft_peer_dead.(peer) then begin
+          if Hashtbl.mem t.replicas ft.ft_dead_keys.(peer) then
+            (* Another monitor detected it and the announcement reached us
+               first: stop heartbeating, no duplicate recovery. *)
+            ft.ft_peer_dead.(peer) <- true
+          else if Mk_fault.Detector.suspect d ~now then begin
+            ft.ft_peer_dead.(peer) <- true;
+            ft.ft_on_death ~core:peer ~at:now
+          end
+          else send_to t peer (Heartbeat { from = t.core_id })
+        end)
+    ft.ft_detectors;
+  ft_loop t ft
+
+let start_ft t ~interval ~threshold ~until ~on_death =
+  if t.ft <> None then invalid_arg "Monitor.start_ft: already started";
+  let n = Array.length t.mesh in
+  let now = Engine.now t.m.Machine.eng in
+  let ft =
+    {
+      ft_interval = interval;
+      ft_until = until;
+      ft_detectors =
+        Array.init n (fun peer ->
+            if peer = t.core_id then None
+            else
+              Some
+                (Mk_fault.Detector.create ~threshold ~expected_interval:interval
+                   ~now ()));
+      ft_peer_dead = Array.make n false;
+      ft_dead_keys = Array.init n dead_replica_key;
+      ft_on_death = on_death;
+    }
+  in
+  t.ft <- Some ft;
+  Engine.spawn t.m.Machine.eng
+    ~name:("ft" ^ string_of_int t.core_id)
+    (fun () -> ft_loop t ft)
 
 let messages_handled t = t.handled
 let sleep_stats t = (t.sleeps, t.slept_cycles)

@@ -87,6 +87,37 @@ val register_wake : t -> Types.domid -> (unit -> unit) -> unit
 
 val wake_remote : t -> core:int -> Types.domid -> unit
 
+(** {2 Failure detection (fault subsystem)} *)
+
+val start_ft :
+  t ->
+  interval:int ->
+  threshold:float ->
+  until:int ->
+  on_death:(core:int -> at:int -> unit) ->
+  unit
+(** Start this monitor's failure-detection task: every [interval] cycles it
+    heartbeats every peer it believes alive and evaluates a per-peer
+    phi-accrual detector ({!Mk_fault.Detector}) with the given [threshold].
+    The first monitor to suspect a peer calls [on_death] (from its
+    detection task's context); peers already announced dead via the
+    [dead:<core>] replica key are marked without a callback. The task stops
+    at absolute time [until] so runs can drain. *)
+
+val kill : t -> unit
+(** The monitor's core stopped: terminate its event loop and heartbeat
+    task. Queued incoming messages are never consumed. Wired to the fault
+    injector's core-stop events by [Ft.attach]. *)
+
+val is_halted : t -> bool
+
+val peer_suspected : t -> core:int -> bool
+(** This monitor's local view of a peer (detector fired or announcement
+    received). *)
+
+val dead_replica_key : int -> string
+(** Replica key under which a core's death is announced mesh-wide. *)
+
 val handle_cost : int
 (** Monitor event-loop cycles charged per handled message. *)
 

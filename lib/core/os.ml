@@ -17,6 +17,9 @@ type t = {
   mutable endpoints : (mon_req, mon_resp) Lrpc.endpoint array;
   mutable next_domid : int;
   doms : (int, Dom.t) Hashtbl.t;
+  (* Cores believed alive. A core leaves this set when the failure manager
+     (Ft) marks it dead; routing plans are built over live members only. *)
+  alive : bool array;
 }
 
 let machine t = t.m
@@ -29,6 +32,12 @@ let monitor t ~core = t.monitors.(core)
 let mm t ~core = t.mms.(core)
 let domains t = Hashtbl.fold (fun _ d acc -> d :: acc) t.doms []
 
+let alive t ~core = t.alive.(core)
+let mark_dead t ~core = t.alive.(core) <- false
+let live_cores t =
+  Array.to_list (Array.init (Array.length t.alive) Fun.id)
+  |> List.filter (fun c -> t.alive.(c))
+
 let latency t ~src ~dst =
   if src = dst then 0
   else
@@ -37,6 +46,10 @@ let latency t ~src ~dst =
     | None -> Platform.hops_between (platform t) src dst
 
 let plan t proto ~root ~members =
+  (* Routing-tree repair: dead cores drop out of every plan, so fans and
+     agreements route around them. With every core alive the filter is the
+     identity (same list, same plan — zero-fault runs are unchanged). *)
+  let members = List.filter (fun c -> t.alive.(c)) members in
   match proto with
   | Routing.Broadcast ->
     invalid_arg "Os.plan: broadcast has no tree plan (use Urpc.Broadcast)"
@@ -71,8 +84,9 @@ let monitor_endpoint t core =
       | Req_protect { dom; vaddr; bytes; writable } ->
         Vspace.protect (Dom.vspace dom) ~monitor:mon ~plan_for ~vaddr ~bytes ~writable)
 
-let boot ?eng ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 1024) plat =
-  let m = Machine.create ?eng plat in
+let boot ?eng ?fault ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 1024)
+    plat =
+  let m = Machine.create ?eng ?fault plat in
   let n = Machine.n_cores m in
   let drivers = Array.init n (fun core -> Cpu_driver.boot m ~core) in
   let monitors = Array.map (fun d -> Monitor.create m d) drivers in
@@ -93,6 +107,7 @@ let boot ?eng ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 1024) pla
       endpoints = [||];
       next_domid = 1;
       doms = Hashtbl.create 8;
+      alive = Array.make n true;
     }
   in
   t.endpoints <- Array.init n (fun core -> monitor_endpoint t core);

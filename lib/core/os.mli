@@ -14,12 +14,15 @@ type t
 
 val boot :
   ?eng:Mk_sim.Engine.t ->
+  ?fault:Mk_fault.Injector.t ->
   ?measure_latencies:bool ->
   ?mem_per_core:int ->
   Mk_hw.Platform.t ->
   t
 (** Construct the machine and the OS and run the engine until boot
-    completes. [mem_per_core] defaults to 64 MiB of simulated RAM. *)
+    completes. [mem_per_core] defaults to 64 MiB of simulated RAM.
+    [fault] attaches a fault injector to the machine; arm it after boot
+    (see {!Mk_fault.Injector.arm}) so boot itself is fault-free. *)
 
 val machine : t -> Mk_hw.Machine.t
 val platform : t -> Mk_hw.Platform.t
@@ -30,6 +33,14 @@ val n_cores : t -> int
 val driver : t -> core:int -> Cpu_driver.t
 val monitor : t -> core:int -> Monitor.t
 val mm : t -> core:int -> Mm.t
+
+val alive : t -> core:int -> bool
+val mark_dead : t -> core:int -> unit
+(** Record that a core has failed. From then on every routing plan built by
+    {!plan}/{!default_plan} silently routes around it. Called by the
+    failure manager ([Ft]) on detection. *)
+
+val live_cores : t -> int list
 
 val run : t -> ?name:string -> (unit -> 'a) -> 'a
 (** Spawn [f] as a simulation task, drive the engine until it finishes and

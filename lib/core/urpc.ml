@@ -6,7 +6,16 @@ let recv_sw_cost = 30
 let prefetch_latency_penalty = 120
 let icache_lines = 9
 
-type 'a delivery = { payload : 'a; slot_addr : int; lines : int }
+(* [kind] tags injected-fault deliveries: a normal message releases a ring
+   slot when consumed; a duplicate is a spurious redelivery of a slot the
+   receiver already consumed (no flow release); a dropped message frees its
+   slot at the wire without ever reaching the receiver. *)
+let k_normal = 0
+
+let k_dup = 1
+let k_dropped = 2
+
+type 'a delivery = { payload : 'a; slot_addr : int; lines : int; kind : int }
 
 type 'a t = {
   m : Machine.t;
@@ -126,8 +135,14 @@ let rec wire_loop t =
   match Queue.take_opt t.wire_q with
   | Some (visible_at, d) ->
     Engine.wait_until visible_at;
-    Sync.Mailbox.send t.box d;
-    (match t.notify with Some f -> f () | None -> ());
+    if d.kind = k_dropped then
+      (* Injected loss: the slot is reclaimed (the sender's ring index
+         advances regardless) but the receiver never sees the message. *)
+      Sync.Semaphore.release t.flow
+    else begin
+      Sync.Mailbox.send t.box d;
+      (match t.notify with Some f -> f () | None -> ())
+    end;
     wire_loop t
   | None ->
     Engine.suspend (fun w -> t.wire_waker <- Some w);
@@ -158,9 +173,34 @@ let send t ?(lines = 1) payload =
   t.head <- (t.head + 1) mod Array.length t.slot_addrs;
   let delay = post_message t ~slot_addr ~lines in
   let visible_at = max (Engine.now_ () + delay) t.last_visible in
-  t.last_visible <- visible_at;
-  t.sent <- t.sent + 1;
-  wire_post t ~visible_at { payload; slot_addr; lines }
+  let inj = t.m.Machine.fault in
+  if not (Mk_fault.Injector.armed inj) then begin
+    t.last_visible <- visible_at;
+    t.sent <- t.sent + 1;
+    wire_post t ~visible_at { payload; slot_addr; lines; kind = k_normal }
+  end
+  else begin
+    (* Fault point: the injector decides this message's fate. Delay is
+       head-of-line (the channel is in-order, so later messages queue
+       behind); a duplicate is delivered twice back to back; a drop still
+       performed all its coherence work — only delivery is suppressed. *)
+    let fate = Mk_fault.Injector.urpc_fault inj in
+    let visible_at =
+      match fate with
+      | Mk_fault.Injector.Delay d -> visible_at + d
+      | _ -> visible_at
+    in
+    t.last_visible <- visible_at;
+    t.sent <- t.sent + 1;
+    match fate with
+    | Mk_fault.Injector.Drop ->
+      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_dropped }
+    | Mk_fault.Injector.Dup ->
+      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_normal };
+      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_dup }
+    | Mk_fault.Injector.Deliver | Mk_fault.Injector.Delay _ ->
+      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_normal }
+  end
 
 (* Receive-side cost once a message line is visible: fetch each line from
    the sender's cache, then run the dispatch stub. With the prefetch
@@ -185,12 +225,18 @@ let charge_receive t (d : 'a delivery) =
   Array.iter (fun a -> Coherence.store t.m.Machine.coh ~core:t.dst a) t.recv_ctrl;
   Engine.wait recv_sw_cost;
   t.received <- t.received + 1;
-  Sync.Semaphore.release t.flow;
+  (* A duplicate redelivers a slot whose flow credit was already returned. *)
+  if d.kind <> k_dup then Sync.Semaphore.release t.flow;
   d.payload
 
 let recv t =
   let d = Sync.Mailbox.recv t.box in
   charge_receive t d
+
+let recv_timeout t ~timeout =
+  match Sync.Mailbox.recv_timeout t.box ~timeout with
+  | Some d -> Some (charge_receive t d)
+  | None -> None
 
 let recv_blocking t ~poll_cycles ~wakeup_cost =
   let t0 = Engine.now_ () in

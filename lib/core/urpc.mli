@@ -72,6 +72,10 @@ val recv : 'a t -> 'a
 (** Block until a message line is visible, then pay the fetch + dispatch
     path. A task blocked here models a dispatcher polling the channel. *)
 
+val recv_timeout : 'a t -> timeout:int -> 'a option
+(** Like {!recv} but gives up after [timeout] cycles, returning [None].
+    The building block for the retry/backoff RPC stubs. *)
+
 val recv_blocking : 'a t -> poll_cycles:int -> wakeup_cost:int -> 'a
 (** §5.2's poll-then-block discipline: poll for [poll_cycles]; if the
     message had not arrived by then, charge [wakeup_cost] (the C of the

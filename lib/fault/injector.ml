@@ -1,0 +1,154 @@
+(* The injector executes a Plan against a running simulation. It is the
+   single object the hardware/OS layers consult at their fault points.
+
+   Determinism contract: with an empty plan (or before [arm]) the injector
+   is inert — every query is a single [armed] field read returning the
+   no-fault answer, no PRNG draws, no allocation, and no events are
+   scheduled. This is what keeps zero-fault runs bit-identical to builds
+   without the fault subsystem linked in (enforced by the determinism
+   suite). All randomness comes from one splitmix64 stream seeded at
+   [create], so a (plan, seed) pair replays exactly. *)
+
+open Mk_sim
+
+type urpc_action = Deliver | Drop | Dup | Delay of int
+
+type stats = {
+  mutable cores_stopped : int;
+  mutable urpc_dropped : int;
+  mutable urpc_duplicated : int;
+  mutable urpc_delayed : int;
+  mutable nic_lost : int;
+  mutable ipi_dropped : int;
+}
+
+type t = {
+  plan : Plan.t;
+  prng : Prng.t;
+  mutable eng : Engine.t option;
+  mutable armed : bool;
+  mutable armed_at : int;
+  mutable dead_at : (int * int) list;  (* victim core, absolute stop time *)
+  mutable on_stop : (int -> unit) list;
+  stats : stats;
+}
+
+let create ~plan ~seed () =
+  {
+    plan;
+    prng = Prng.create ~seed;
+    eng = None;
+    armed = false;
+    armed_at = 0;
+    dead_at = [];
+    on_stop = [];
+    stats =
+      {
+        cores_stopped = 0;
+        urpc_dropped = 0;
+        urpc_duplicated = 0;
+        urpc_delayed = 0;
+        nic_lost = 0;
+        ipi_dropped = 0;
+      };
+  }
+
+(* Shared inert injector: the default for every machine. [arm] on an empty
+   plan is a no-op, so this value is never mutated and is safe to share
+   across machines and bench domains. *)
+let none = create ~plan:Plan.empty ~seed:0 ()
+
+let armed t = t.armed
+let plan t = t.plan
+let stats t = t.stats
+
+let on_core_stop t f = t.on_stop <- t.on_stop @ [ f ]
+
+let arm t eng =
+  if not (Plan.is_empty t.plan) then begin
+    if t.armed then invalid_arg "Injector.arm: already armed";
+    t.eng <- Some eng;
+    t.armed <- true;
+    let base = Engine.now eng in
+    t.armed_at <- base;
+    List.iter
+      (fun { Plan.victim; stop_at } ->
+        let at = base + stop_at in
+        t.dead_at <- (victim, at) :: t.dead_at;
+        Engine.schedule_at eng ~at (fun () ->
+            t.stats.cores_stopped <- t.stats.cores_stopped + 1;
+            List.iter (fun f -> f victim) t.on_stop))
+      t.plan.core_stops
+  end
+
+let rel_now t =
+  match t.eng with Some e -> Engine.now e - t.armed_at | None -> 0
+
+let core_dead t ~core =
+  t.armed
+  &&
+  let now = match t.eng with Some e -> Engine.now e | None -> 0 in
+  List.exists (fun (c, at) -> c = core && now >= at) t.dead_at
+
+let stop_time t ~core =
+  List.fold_left
+    (fun acc (c, at) -> if c = core then Some at else acc)
+    None t.dead_at
+
+let link_penalty t ~src_pkg ~dst_pkg =
+  if (not t.armed) || src_pkg = dst_pkg then 0
+  else begin
+    let rel = rel_now t in
+    List.fold_left
+      (fun acc (l : Plan.link_fault) ->
+        if
+          rel >= l.lf_from && rel < l.lf_until
+          && ((l.lf_src = src_pkg && l.lf_dst = dst_pkg)
+             || (l.lf_src = dst_pkg && l.lf_dst = src_pkg))
+        then acc + l.lf_extra
+        else acc)
+      0 t.plan.links
+  end
+
+let draw t n = n > 0 && Prng.int t.prng n = 0
+
+let urpc_fault t =
+  if not t.armed then Deliver
+  else begin
+    let rel = rel_now t in
+    match
+      List.find_opt
+        (fun (m : Plan.msg_fault) -> rel >= m.mf_from && rel < m.mf_until)
+        t.plan.msgs
+    with
+    | None -> Deliver
+    | Some m ->
+      if draw t m.drop_1_in then begin
+        t.stats.urpc_dropped <- t.stats.urpc_dropped + 1;
+        Drop
+      end
+      else if draw t m.dup_1_in then begin
+        t.stats.urpc_duplicated <- t.stats.urpc_duplicated + 1;
+        Dup
+      end
+      else if draw t m.delay_1_in then begin
+        t.stats.urpc_delayed <- t.stats.urpc_delayed + 1;
+        Delay (1 + Prng.int t.prng (max 1 m.max_delay))
+      end
+      else Deliver
+  end
+
+let nic_drop t =
+  t.armed
+  &&
+  let rel = rel_now t in
+  match
+    List.find_opt
+      (fun (n : Plan.nic_fault) -> rel >= n.nf_from && rel < n.nf_until)
+      t.plan.nics
+  with
+  | None -> false
+  | Some n ->
+    let lost = draw t n.loss_1_in in
+    if lost then t.stats.nic_lost <- t.stats.nic_lost + 1;
+    lost

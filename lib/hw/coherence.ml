@@ -69,6 +69,9 @@ type t = {
      pre-resolved so charging traffic is a few stores, not a path walk. *)
   path_refs : int ref array array array;
   probe_refs : int ref array;  (* every link, both directions *)
+  (* Fault injector consulted for link degradation; [Injector.none] (and
+     one armed-flag read per transaction) on the zero-fault path. *)
+  mutable inj : Mk_fault.Injector.t;
 }
 
 (* Dword accounting per the HT convention the paper uses for Table 4:
@@ -138,7 +141,17 @@ let create ?cache_lines_per_core plat counters =
     dram_lat;
     path_refs;
     probe_refs;
+    inj = Mk_fault.Injector.none;
   }
+
+let set_fault t inj = t.inj <- inj
+
+(* Extra transfer latency from an injected degraded/partitioned link
+   between two packages; 0 unless a fault plan is armed. *)
+let link_extra t a b =
+  if Mk_fault.Injector.armed t.inj then
+    Mk_fault.Injector.link_penalty t.inj ~src_pkg:a ~dst_pkg:b
+  else 0
 
 let platform t = t.plat
 let line_of_addr t addr = addr / t.plat.Platform.cacheline
@@ -287,7 +300,7 @@ let prepare_load t ~core addr =
       Bitset.add l.sharers o;
       if is_local_group t core o then Local p.Platform.shared_cache_fetch
       else begin
-        let lat = t.xfer.(o).(core) in
+        let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         Txn { home = l.home; lat; source_port = Some o; ln = Some l }
@@ -303,7 +316,7 @@ let prepare_load t ~core addr =
       if o >= 0 && o <> core && not (is_local_group t core o) then begin
         (* Owned line: the last writer's cache sources the data. *)
         Perfcounter.count_c2c t.counters ~core;
-        let lat = t.xfer.(o).(core) in
+        let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         Txn { home = l.home; lat; source_port = Some o; ln = Some l }
@@ -314,7 +327,7 @@ let prepare_load t ~core addr =
       end
       else begin
         Perfcounter.count_dram t.counters ~core;
-        let lat = t.dram_lat.(t.pkg.(core)).(l.home) in
+        let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
         charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
         Txn { home = l.home; lat; source_port = None; ln = None }
       end
@@ -326,7 +339,7 @@ let prepare_load t ~core addr =
     l.tag <- tag_shared;
     Bitset.clear l.sharers;
     Bitset.add l.sharers core;
-    let lat = t.dram_lat.(t.pkg.(core)).(l.home) in
+    let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
     charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
     Txn { home = l.home; lat; source_port = None; ln = None }
   end
@@ -349,7 +362,7 @@ let prepare_store t ~core addr =
       l.excl <- core;
       if is_local_group t core o then Local p.Platform.shared_cache_fetch
       else begin
-        let lat = t.xfer.(o).(core) in
+        let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         (* Migratory write: ownership moves between different cores, so
@@ -397,7 +410,7 @@ let prepare_store t ~core addr =
     Perfcounter.count_dram t.counters ~core;
     l.tag <- tag_modified;
     l.excl <- core;
-    let lat = t.dram_lat.(t.pkg.(core)).(l.home) in
+    let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
     charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
     Txn { home = l.home; lat; source_port = None; ln = None }
   end

@@ -26,6 +26,11 @@ type line_state =
 
 val create : ?cache_lines_per_core:int -> Platform.t -> Perfcounter.t -> t
 
+val set_fault : t -> Mk_fault.Injector.t -> unit
+(** Attach a fault injector: cross-package data transfers and DRAM fetches
+    gain the injector's current link penalty. Defaults to
+    [Injector.none], whose per-transaction cost is one boolean read. *)
+
 val platform : t -> Platform.t
 
 val line_of_addr : t -> int -> int

@@ -5,6 +5,7 @@ type t = {
   cores : Resource.t array;
   handlers : (int * int, src:int -> unit) Hashtbl.t;  (* (core, vector) *)
   mutable sent : int;
+  mutable inj : Mk_fault.Injector.t;
 }
 
 let apic_write_cost = 100
@@ -12,7 +13,15 @@ let apic_write_cost = 100
 let create plat ~core_resources =
   if Array.length core_resources <> Platform.n_cores plat then
     invalid_arg "Ipi.create: resource array size mismatch";
-  { plat; cores = core_resources; handlers = Hashtbl.create 16; sent = 0 }
+  {
+    plat;
+    cores = core_resources;
+    handlers = Hashtbl.create 16;
+    sent = 0;
+    inj = Mk_fault.Injector.none;
+  }
+
+let set_fault t inj = t.inj <- inj
 
 let register t ~core ~vector f = Hashtbl.replace t.handlers (core, vector) f
 
@@ -29,10 +38,28 @@ let send t ~src ~dst ~vector =
     t.plat.Platform.ipi_wire
     + (t.plat.Platform.hop_one_way * Platform.hops_between t.plat src dst)
   in
+  let wire =
+    if Mk_fault.Injector.armed t.inj then
+      wire
+      + Mk_fault.Injector.link_penalty t.inj
+          ~src_pkg:(Platform.package_of t.plat src)
+          ~dst_pkg:(Platform.package_of t.plat dst)
+    else wire
+  in
   Engine.spawn_ ~name:(Printf.sprintf "ipi%d->%d" src dst) (fun () ->
       Engine.wait wire;
-      (* The target stops what it is doing for trap entry + handler. *)
-      let (_ : int) = Resource.acquire t.cores.(dst) t.plat.Platform.trap in
-      handler ~src)
+      if
+        Mk_fault.Injector.armed t.inj
+        && Mk_fault.Injector.core_dead t.inj ~core:dst
+      then
+        (* A stopped core takes no interrupts: the IPI vanishes at the
+           target's (dead) APIC. *)
+        (Mk_fault.Injector.stats t.inj).ipi_dropped <-
+          (Mk_fault.Injector.stats t.inj).ipi_dropped + 1
+      else begin
+        (* The target stops what it is doing for trap entry + handler. *)
+        let (_ : int) = Resource.acquire t.cores.(dst) t.plat.Platform.trap in
+        handler ~src
+      end)
 
 let sent t = t.sent

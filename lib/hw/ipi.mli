@@ -11,6 +11,10 @@ type t
 
 val create : Platform.t -> core_resources:Mk_sim.Resource.t array -> t
 
+val set_fault : t -> Mk_fault.Injector.t -> unit
+(** Attach a fault injector: IPIs to a stopped core are silently dropped
+    (counted in the injector's stats) and degraded links delay delivery. *)
+
 val register : t -> core:int -> vector:int -> (src:int -> unit) -> unit
 (** Install the handler a core runs when it receives [vector]. The handler
     body runs as a simulation task on the target core, after the trap cost.

@@ -8,15 +8,19 @@ type t = {
   tlbs : Tlb.t array;
   cores : Resource.t array;
   ipi : Ipi.t;
+  fault : Mk_fault.Injector.t;
   mutable brk : int;
 }
 
-let create ?eng ?cache_lines_per_core plat =
+let create ?eng ?cache_lines_per_core ?(fault = Mk_fault.Injector.none) plat =
   let eng = match eng with Some e -> e | None -> Engine.create () in
   let n = Platform.n_cores plat in
   let counters = Perfcounter.create plat in
   let coh = Coherence.create ?cache_lines_per_core plat counters in
   let cores = Array.init n (fun i -> Resource.create ~name:(Printf.sprintf "core%d" i) ()) in
+  let ipi = Ipi.create plat ~core_resources:cores in
+  Coherence.set_fault coh fault;
+  Ipi.set_fault ipi fault;
   {
     eng;
     plat;
@@ -24,7 +28,8 @@ let create ?eng ?cache_lines_per_core plat =
     coh;
     tlbs = Array.init n (fun i -> Tlb.create ~core:i);
     cores;
-    ipi = Ipi.create plat ~core_resources:cores;
+    ipi;
+    fault;
     brk = 0x1000;
   }
 

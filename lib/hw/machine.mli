@@ -13,12 +13,21 @@ type t = {
   tlbs : Tlb.t array;
   cores : Mk_sim.Resource.t array;  (** per-core execution serialization *)
   ipi : Ipi.t;
+  fault : Mk_fault.Injector.t;  (** fault injector; [Injector.none] by default *)
   mutable brk : int;  (** bump-allocator frontier, line-aligned *)
 }
 
-val create : ?eng:Mk_sim.Engine.t -> ?cache_lines_per_core:int -> Platform.t -> t
+val create :
+  ?eng:Mk_sim.Engine.t ->
+  ?cache_lines_per_core:int ->
+  ?fault:Mk_fault.Injector.t ->
+  Platform.t ->
+  t
 (** [cache_lines_per_core] switches the coherence model from infinite to
-    finite LRU caches of that many lines per core. *)
+    finite LRU caches of that many lines per core. [fault] attaches a fault
+    injector to the coherence fabric, IPI controller and (via the machine
+    record) the URPC / NIC layers; the default [Injector.none] makes every
+    fault point a single boolean read. *)
 
 val n_cores : t -> int
 

@@ -26,5 +26,10 @@ val wire_cycles : t -> bytes:int -> int
 (** Serialization delay of a frame on the wire at the configured rate. *)
 
 val rx_dropped : t -> int
+(** Frames dropped because the receive ring was full. *)
+
+val rx_lost : t -> int
+(** Frames lost to injected wire faults (fault subsystem). *)
+
 val tx_count : t -> int
 val rx_count : t -> int

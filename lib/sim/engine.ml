@@ -187,6 +187,12 @@ let rec exec t (name : string) f =
 
 let spawn t ?(name = "task") f = schedule t ~at:t.now (fun () -> exec t name f)
 
+(* Injection hook: schedule a bare thunk at an absolute time. The thunk
+   runs outside any task context (like a waker body): it may mutate state
+   and call [spawn]/[schedule_at], but must not perform task effects. Used
+   by the fault injector to arm timed fault events. *)
+let schedule_at t ~at thunk = schedule t ~at thunk
+
 (* Event sources for the run loop's three-way front merge. *)
 let src_fifo = 0
 

@@ -34,6 +34,13 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn eng f] schedules task [f] to start at the current simulated time.
     Usable both from outside [run] (setup) and from within a task. *)
 
+val schedule_at : t -> at:int -> (unit -> unit) -> unit
+(** [schedule_at eng ~at thunk] runs [thunk] at absolute time [at] (clamped
+    to now), ordered after events already scheduled for that time. The
+    thunk runs outside any task context — it may mutate state and call
+    {!spawn}, but must not perform task effects. This is the engine-level
+    injection hook used by the fault subsystem to arm timed fault events. *)
+
 val run : t -> ?until:int -> ?allow_stall:bool -> unit -> unit
 (** Execute events until the heap is empty, or until the clock would pass
     [until]. If tasks remain suspended when the heap drains, raises

@@ -17,6 +17,14 @@ module Ivar = struct
       t.state <- Full v;
       Queue.iter wake waiters
 
+  let try_fill t v =
+    match t.state with
+    | Full _ -> false
+    | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter wake waiters;
+      true
+
   let is_filled t = match t.state with Full _ -> true | Empty _ -> false
   let peek t = match t.state with Full v -> Some v | Empty _ -> None
 
@@ -31,20 +39,71 @@ module Ivar = struct
 end
 
 module Mailbox = struct
-  type 'a t = { items : 'a Queue.t; waiters : Engine.waker Queue.t }
+  (* Waiters are boxed so a timed-out waiter can be marked stale in place:
+     [send] skips stale entries, and the timeout watchdog's wake never
+     races a real wake because wakers are one-shot. *)
+  type entry = { mutable stale : bool; mutable waker : Engine.waker }
+
+  let noop_waker : Engine.waker = fun ?delay:_ () -> ()
+  type 'a t = { items : 'a Queue.t; waiters : entry Queue.t }
 
   let create () = { items = Queue.create (); waiters = Queue.create () }
 
+  let rec wake_one q =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some e ->
+      if e.stale then wake_one q
+      else begin
+        e.stale <- true;
+        wake e.waker
+      end
+
   let send t v =
     Queue.add v t.items;
-    match Queue.take_opt t.waiters with None -> () | Some w -> wake w
+    wake_one t.waiters
 
   let rec recv t =
     match Queue.take_opt t.items with
     | Some v -> v
     | None ->
-      Engine.suspend (fun w -> Queue.add w t.waiters);
+      Engine.suspend (fun w -> Queue.add { stale = false; waker = w } t.waiters);
       recv t
+
+  (* Timed receive. A watchdog task marks the entry stale at the deadline
+     and fires its waker; whichever of send/watchdog runs first wins the
+     one-shot waker, and the loser's wake is a no-op. A message arriving in
+     the same cycle as the timeout is still returned (the post-suspend
+     [take_opt] re-checks the queue). *)
+  let recv_timeout t ~timeout =
+    match Queue.take_opt t.items with
+    | Some v -> Some v
+    | None ->
+      let deadline = Engine.now_ () + max 0 timeout in
+      let rec wait_for () =
+        let left = deadline - Engine.now_ () in
+        if left <= 0 then Queue.take_opt t.items
+        else begin
+          (* Spawn the watchdog in task context (effects are unavailable
+             inside the suspend callback); the entry only becomes visible
+             to [send] once suspend registers it, and the watchdog cannot
+             fire before then because [left] > 0. *)
+          let entry = { stale = false; waker = noop_waker } in
+          Engine.spawn_ ~name:"mbox.timeout" (fun () ->
+              Engine.wait left;
+              if not entry.stale then begin
+                entry.stale <- true;
+                wake entry.waker
+              end);
+          Engine.suspend (fun w ->
+              entry.waker <- w;
+              Queue.add entry t.waiters);
+          match Queue.take_opt t.items with
+          | Some v -> Some v
+          | None -> wait_for ()
+        end
+      in
+      wait_for ()
 
   let try_recv t = Queue.take_opt t.items
   let length t = Queue.length t.items

@@ -12,6 +12,10 @@ module Ivar : sig
   val fill : 'a t -> 'a -> unit
   (** Raises [Invalid_argument] if already filled. *)
 
+  val try_fill : 'a t -> 'a -> bool
+  (** Like {!fill} but returns [false] instead of raising when already
+      filled (duplicate-delivery friendly). *)
+
   val is_filled : 'a t -> bool
   val peek : 'a t -> 'a option
   val read : 'a t -> 'a
@@ -25,6 +29,12 @@ module Mailbox : sig
   val create : unit -> 'a t
   val send : 'a t -> 'a -> unit
   val recv : 'a t -> 'a
+
+  val recv_timeout : 'a t -> timeout:int -> 'a option
+  (** Blocking receive that gives up after [timeout] cycles, returning
+      [None]. A message arriving in the same cycle as the deadline is still
+      delivered. Must be called from a task. *)
+
   val try_recv : 'a t -> 'a option
   val length : 'a t -> int
 end
