@@ -1,23 +1,69 @@
-(* Reader/writer for BENCH_sim.json (schema bench_sim/v1).
+(* Reader/writer for BENCH_sim.json (schema bench_sim/v2).
 
    The file is both produced and consumed here, so instead of pulling in a
    JSON library the reader line-matches the exact shape the writer emits
    (one bench object per line). Unparseable or missing files read as
    empty, so a stale or hand-edited file degrades to a fresh start rather
-   than an error. *)
+   than an error.
 
-type entry = { name : string; wall_s : float; events : int }
+   v2 additions over v1:
+   - [events] is the *logical* simulated event count: scheduler events
+     actually executed plus latency charges fused away by the engine
+     (see Engine.charge). Pre-fusion files recorded executed events, and
+     executed == logical when fusion is off, so v1 and v2 [events] are
+     directly comparable; [executed]/[fused] record the split.
+   - per-bench GC deltas ([minor_words], [promoted_words],
+     [major_collections]) so allocation regressions are tracked alongside
+     speed. v1 files read back with [gc = None]. *)
+
+type gc = { minor_words : float; promoted_words : float; major_collections : int }
+
+type entry = {
+  name : string;
+  wall_s : float;
+  events : int;  (* logical: executed + fused *)
+  executed : int;
+  fused : int;
+  gc : gc option;
+}
 
 let rate e = if e.wall_s > 0.0 then float_of_int e.events /. e.wall_s else 0.0
 
-let parse_line line =
+let parse_line_v2 line =
   match
-    Scanf.sscanf line " {%S: %S, %S: %f, %S: %d" (fun k1 name k2 wall_s k3 events ->
-        if k1 = "name" && k2 = "wall_s" && k3 = "events" then Some { name; wall_s; events }
+    Scanf.sscanf line " {%S: %S, %S: %f, %S: %d, %S: %d, %S: %d, %S: %f, %S: %f, %S: %f, %S: %d"
+      (fun k1 name k2 wall_s k3 events k4 executed k5 fused _k6 _rate k7 minor k8 promoted
+           k9 major ->
+        if
+          k1 = "name" && k2 = "wall_s" && k3 = "events" && k4 = "executed" && k5 = "fused"
+          && k7 = "minor_words" && k8 = "promoted_words" && k9 = "major_collections"
+        then
+          Some
+            {
+              name;
+              wall_s;
+              events;
+              executed;
+              fused;
+              gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
+            }
         else None)
   with
   | entry -> entry
   | exception _ -> None
+
+let parse_line_v1 line =
+  match
+    Scanf.sscanf line " {%S: %S, %S: %f, %S: %d" (fun k1 name k2 wall_s k3 events ->
+        if k1 = "name" && k2 = "wall_s" && k3 = "events" then
+          Some { name; wall_s; events; executed = events; fused = 0; gc = None }
+        else None)
+  with
+  | entry -> entry
+  | exception _ -> None
+
+let parse_line line =
+  match parse_line_v2 line with Some e -> Some e | None -> parse_line_v1 line
 
 let read path =
   match open_in path with
@@ -47,13 +93,21 @@ let write path ~jobs entries =
   let oc = open_out path in
   let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
   let total_events = List.fold_left (fun a e -> a + e.events) 0 entries in
-  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v1\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v2\",\n  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"benches\": [\n";
   List.iteri
     (fun i e ->
+      let g =
+        match e.gc with
+        | Some g -> g
+        | None -> { minor_words = 0.0; promoted_words = 0.0; major_collections = 0 }
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"events_per_sec\": %.0f}%s\n"
-        e.name e.wall_s e.events (rate e)
+        "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"executed\": %d, \"fused\": \
+         %d, \"events_per_sec\": %.0f, \"minor_words\": %.0f, \"promoted_words\": %.0f, \
+         \"major_collections\": %d}%s\n"
+        e.name e.wall_s e.events e.executed e.fused (rate e) g.minor_words g.promoted_words
+        g.major_collections
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Printf.fprintf oc "  ],\n";

@@ -46,18 +46,33 @@ let () =
     Printf.eprintf "compare: no current entries in %s\n" !current;
     exit (if !strict then 1 else 0));
   let regressions = ref 0 in
-  Printf.printf "%-10s %14s %14s %9s\n" "bench" "baseline ev/s" "current ev/s" "delta";
+  Printf.printf "%-10s %14s %14s %9s %11s\n" "bench" "baseline ev/s" "current ev/s" "delta"
+    "alloc";
   List.iter
     (fun (b : Mk_benches.Bench_json.entry) ->
       match List.find_opt (fun (c : Mk_benches.Bench_json.entry) -> c.name = b.name) cur with
-      | None -> Printf.printf "%-10s %14.0f %14s %9s\n" b.name (Mk_benches.Bench_json.rate b) "-" "-"
+      | None ->
+        Printf.printf "%-10s %14.0f %14s %9s %11s\n" b.name (Mk_benches.Bench_json.rate b) "-"
+          "-" "-"
       | Some c ->
         let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
         let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in
         let flag = delta < -.(!threshold) in
         if flag then incr regressions;
-        Printf.printf "%-10s %14.0f %14.0f %+8.1f%%%s\n" b.name rb rc delta
-          (if flag then "  <-- REGRESSION" else ""))
+        (* Allocation comparison only when both files carry GC data (a v1
+           baseline reads back with gc = None: skip rather than invent). *)
+        let alloc_col, alloc_flag =
+          match (b.gc, c.gc) with
+          | Some gb, Some gc_ when gb.minor_words > 0.0 ->
+            let d = (gc_.minor_words -. gb.minor_words) /. gb.minor_words *. 100.0 in
+            (Printf.sprintf "%+.1f%% mw" d, d > !threshold)
+          | _ -> ("-", false)
+        in
+        if alloc_flag then incr regressions;
+        Printf.printf "%-10s %14.0f %14.0f %+8.1f%% %11s%s\n" b.name rb rc delta alloc_col
+          (if flag then "  <-- REGRESSION"
+           else if alloc_flag then "  <-- ALLOC REGRESSION"
+           else ""))
     base;
   if !regressions > 0 then begin
     Printf.printf "compare: %d bench(es) regressed more than %.0f%% vs %s\n" !regressions

@@ -31,17 +31,42 @@ let all : (string * string * (unit -> unit)) list =
     ("chaos", "fault injection: detection/recovery/goodput (5 nines drill)", Chaos.run);
   ]
 
-type timing = { name : string; wall_s : float; events : int }
+type timing = {
+  name : string;
+  wall_s : float;
+  executed : int;  (* scheduler events actually dispatched *)
+  fused : int;  (* latency charges coalesced away by Engine.charge *)
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
+}
 
-(* Run one bench, capturing wall-clock and the simulated events it cost.
-   [Engine.domain_events_executed] is per-domain, so the delta is this
+(* The logical simulated-event count: what the bench would have cost
+   without latency-charge fusion. This is the comparable figure across
+   fused and unfused runs (and against pre-fusion baselines). *)
+let logical t = t.executed + t.fused
+
+(* Run one bench, capturing wall-clock, the simulated events it cost and
+   what it allocated. [Engine.domain_events_executed]/[domain_events_fused]
+   and the minor-heap counters are per-domain, so the deltas are this
    bench's own even when siblings run on other domains. *)
 let instrumented name f () =
   let ev0 = Engine.domain_events_executed () in
+  let fu0 = Engine.domain_events_fused () in
+  let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   f ();
   let wall_s = Unix.gettimeofday () -. t0 in
-  { name; wall_s; events = Engine.domain_events_executed () - ev0 }
+  let gc1 = Gc.quick_stat () in
+  {
+    name;
+    wall_s;
+    executed = Engine.domain_events_executed () - ev0;
+    fused = Engine.domain_events_fused () - fu0;
+    minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+    promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+    major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+  }
 
 let run_serial selected =
   List.map (fun (name, _, f) -> instrumented name f ()) selected
@@ -100,15 +125,18 @@ let json_path = "BENCH_sim.json"
 
 let report ~jobs ~timings ~harness_wall =
   Printf.printf "\n==== Simulator performance (host side) ====\n";
-  Printf.printf "%-10s %9s %12s %12s\n" "bench" "wall(s)" "events" "events/s";
+  Printf.printf "%-10s %9s %12s %10s %12s %12s %6s\n" "bench" "wall(s)" "events" "fused"
+    "events/s" "minorMw" "majGC";
   List.iter
     (fun t ->
-      Printf.printf "%-10s %9.3f %12d %12.2e\n" t.name t.wall_s t.events
-        (rate t.events t.wall_s))
+      Printf.printf "%-10s %9.3f %12d %10d %12.2e %12.1f %6d\n" t.name t.wall_s (logical t)
+        t.fused
+        (rate (logical t) t.wall_s)
+        (t.minor_words /. 1e6) t.major_collections)
     timings;
-  let total_events = List.fold_left (fun a t -> a + t.events) 0 timings in
-  Printf.printf "%-10s %9.3f %12d %12.2e  (%d job%s)\n" "total" harness_wall
-    total_events
+  let total_events = List.fold_left (fun a t -> a + logical t) 0 timings in
+  Printf.printf "%-10s %9.3f %12d %10s %12.2e  (%d job%s)\n" "total" harness_wall
+    total_events ""
     (rate total_events harness_wall)
     jobs
     (if jobs = 1 then "" else "s");
@@ -117,7 +145,21 @@ let report ~jobs ~timings ~harness_wall =
      and keeps the rest of the record intact. *)
   let fresh =
     List.map
-      (fun t -> { Bench_json.name = t.name; wall_s = t.wall_s; events = t.events })
+      (fun t ->
+        {
+          Bench_json.name = t.name;
+          wall_s = t.wall_s;
+          events = logical t;
+          executed = t.executed;
+          fused = t.fused;
+          gc =
+            Some
+              {
+                Bench_json.minor_words = t.minor_words;
+                promoted_words = t.promoted_words;
+                major_collections = t.major_collections;
+              };
+        })
       timings
   in
   let merged = Bench_json.merge ~existing:(Bench_json.read json_path) ~fresh in

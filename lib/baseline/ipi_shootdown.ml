@@ -51,7 +51,7 @@ let setup m style ~cores =
             List.iter
               (fun vpage ->
                 if Tlb.invalidate m.Machine.tlbs.(core) ~vpage then
-                  Engine.wait m.Machine.plat.Platform.tlb_invlpg)
+                  Engine.charge m.Machine.plat.Platform.tlb_invlpg)
               round.r_vpages;
             Coherence.store m.Machine.coh ~core t.ack_line;
             round.outstanding <- round.outstanding - 1;
@@ -72,7 +72,7 @@ let unmap t ~initiator ~vpages =
   List.iter
     (fun vpage ->
       if Tlb.invalidate m.Machine.tlbs.(initiator) ~vpage then
-        Engine.wait m.Machine.plat.Platform.tlb_invlpg)
+        Engine.charge m.Machine.plat.Platform.tlb_invlpg)
     vpages;
   if targets = [] then Engine.now_ () - t0
   else begin

@@ -176,7 +176,7 @@ let apply_fan_op t op =
     List.iter
       (fun vpage ->
         if Tlb.invalidate tlb ~vpage then
-          Engine.wait t.m.Machine.plat.Platform.tlb_invlpg)
+          Engine.charge t.m.Machine.plat.Platform.tlb_invlpg)
       vpages
   | Op_set_replica { key; value } -> Hashtbl.replace t.replicas key value
   | Op_pt_update { vpages } ->
@@ -187,7 +187,7 @@ let apply_fan_op t op =
       (fun vpage ->
         Machine.compute t.m ~core:t.core_id Vspace_costs.pt_update_cost;
         if Tlb.invalidate tlb ~vpage then
-          Engine.wait t.m.Machine.plat.Platform.tlb_invlpg)
+          Engine.charge t.m.Machine.plat.Platform.tlb_invlpg)
       vpages
 
 let extent_key (c : Cap.t) = (c.Cap.otype, c.Cap.base, c.Cap.bytes)
@@ -274,7 +274,7 @@ let decide_round_done t xid vs =
 
 let handle t msg =
   t.handled <- t.handled + 1;
-  Engine.wait handle_cost;
+  Engine.charge handle_cost;
   match msg with
   | Heartbeat { from } ->
     (match t.ft with

@@ -8,10 +8,30 @@ type term =
 
 type subst = (string * term) list
 
+(* Facts of one functor/arity live in a bucket: a growable array in
+   assertion order (so query results keep their documented order) plus a
+   prolog-style first-argument index. Hot relations are probed with a
+   ground first argument — [urpc_latency(Int src, ...)],
+   [core_package(Int c, ...)] — and the boot-time measurement loop asserts
+   O(n^2) latency facts, each preceded by a retract; without the index
+   both are linear scans of an O(n^2) bucket, which made the SKB the
+   host-side bottleneck of every OS boot. Retraction tombstones the slot
+   ([hole]) rather than compacting, keeping indexed positions stable. *)
+
+type first_key = KInt of int | KAtom of string
+
+(* Physical sentinel marking a retracted slot; never a legal fact. *)
+let hole = Atom "\000retracted"
+
+type bucket = {
+  mutable items : term array;
+  mutable n : int;  (* used slots, including holes *)
+  byfirst : (first_key, int list ref) Hashtbl.t;
+      (* ground first arg -> positions, reverse assertion order *)
+}
+
 type t = {
-  (* Facts indexed by functor name and arity for quick retrieval;
-     insertion order preserved per bucket. *)
-  facts : (string * int, term list ref) Hashtbl.t;
+  facts : (string * int, bucket) Hashtbl.t;
   mutable count : int;
 }
 
@@ -27,12 +47,41 @@ let key_of = function
   | Atom a -> (a, 0)
   | Int _ | Var _ -> invalid_arg "Skb: facts must be atoms or compounds"
 
+(* The indexable first argument of a fact or pattern, if any. *)
+let first_key_of = function
+  | Compound (_, Int i :: _) -> Some (KInt i)
+  | Compound (_, Atom a :: _) -> Some (KAtom a)
+  | _ -> None
+
+let new_bucket () = { items = Array.make 8 hole; n = 0; byfirst = Hashtbl.create 8 }
+
+let bucket_add b f =
+  if b.n = Array.length b.items then begin
+    let bigger = Array.make (2 * b.n) hole in
+    Array.blit b.items 0 bigger 0 b.n;
+    b.items <- bigger
+  end;
+  b.items.(b.n) <- f;
+  (match first_key_of f with
+   | Some k ->
+     (match Hashtbl.find_opt b.byfirst k with
+      | Some ps -> ps := b.n :: !ps
+      | None -> Hashtbl.replace b.byfirst k (ref [ b.n ]))
+   | None -> ());
+  b.n <- b.n + 1
+
 let assert_fact t f =
   if not (is_ground f) then invalid_arg "Skb.assert_fact: fact contains variables";
   let key = key_of f in
-  (match Hashtbl.find_opt t.facts key with
-   | Some bucket -> bucket := f :: !bucket
-   | None -> Hashtbl.replace t.facts key (ref [ f ]));
+  let b =
+    match Hashtbl.find_opt t.facts key with
+    | Some b -> b
+    | None ->
+      let b = new_bucket () in
+      Hashtbl.replace t.facts key b;
+      b
+  in
+  bucket_add b f;
   t.count <- t.count + 1
 
 (* Unification of a pattern (may contain vars) against a ground fact. *)
@@ -52,38 +101,79 @@ let rec unify pattern fact_ (s : subst) : subst option =
     else None
   | _, _ -> None
 
-let bucket_for t pattern =
+let find_bucket t pattern =
   match pattern with
-  | Compound (f, args) ->
-    (match Hashtbl.find_opt t.facts (f, List.length args) with
-     | Some b -> List.rev !b
-     | None -> [])
-  | Atom a ->
-    (match Hashtbl.find_opt t.facts (a, 0) with Some b -> List.rev !b | None -> [])
+  | Compound (f, args) -> Hashtbl.find_opt t.facts (f, List.length args)
+  | Atom a -> Hashtbl.find_opt t.facts (a, 0)
   | Int _ | Var _ -> invalid_arg "Skb.query: pattern must be an atom or compound"
 
+(* Candidate positions for a pattern, in assertion order: the first-arg
+   index slice when the pattern's first argument is ground, else every
+   slot. Holes are skipped by the callers' unify (nothing unifies with the
+   sentinel), but the indexed path never yields one: retraction removes
+   positions from the index eagerly. *)
+let fold_candidates b pattern init step =
+  match first_key_of pattern with
+  | Some k ->
+    (match Hashtbl.find_opt b.byfirst k with
+     | None -> init
+     | Some ps -> List.fold_left (fun acc i -> step acc b.items.(i)) init (List.rev !ps))
+  | None ->
+    let acc = ref init in
+    for i = 0 to b.n - 1 do
+      let f = b.items.(i) in
+      if f != hole then acc := step !acc f
+    done;
+    !acc
+
 let query t pattern =
-  List.filter_map (fun f -> unify pattern f []) (bucket_for t pattern)
+  match find_bucket t pattern with
+  | None -> []
+  | Some b ->
+    List.rev
+      (fold_candidates b pattern [] (fun acc f ->
+           match unify pattern f [] with Some s -> s :: acc | None -> acc))
 
 let query_one t pattern =
-  let rec first = function
-    | [] -> None
-    | f :: rest ->
-      (match unify pattern f [] with Some s -> Some s | None -> first rest)
-  in
-  first (bucket_for t pattern)
+  match find_bucket t pattern with
+  | None -> None
+  | Some b ->
+    (* First match in assertion order: keep folding but only bind once. *)
+    fold_candidates b pattern None (fun acc f ->
+        match acc with Some _ -> acc | None -> unify pattern f [])
 
 let holds t pattern = query_one t pattern <> None
 
 let retract t pattern =
   match pattern with
-  | Compound (f, args) ->
-    (match Hashtbl.find_opt t.facts (f, List.length args) with
+  | Compound (_, _) ->
+    (match find_bucket t pattern with
      | None -> ()
      | Some b ->
-       let keep, drop = List.partition (fun fct -> unify pattern fct [] = None) !b in
-       b := keep;
-       t.count <- t.count - List.length drop)
+       let candidates =
+         match first_key_of pattern with
+         | Some k ->
+           (match Hashtbl.find_opt b.byfirst k with
+            | None -> []
+            | Some ps -> !ps)
+         | None -> List.init b.n Fun.id
+       in
+       let removed = ref 0 in
+       List.iter
+         (fun i ->
+           let f = b.items.(i) in
+           if f != hole && unify pattern f [] <> None then begin
+             (match first_key_of f with
+              | Some k ->
+                (match Hashtbl.find_opt b.byfirst k with
+                 | Some ps -> ps := List.filter (fun j -> j <> i) !ps
+                 | None -> ())
+              | None -> ());
+             b.items.(i) <- hole;
+             incr removed
+           end)
+         candidates;
+       t.count <- t.count - !removed)
   | _ -> invalid_arg "Skb.retract: pattern must be a compound"
 
 let lookup_int s v =

@@ -36,7 +36,7 @@ let spawn m ~disp ?name body =
   { t_core = core; finished }
 
 let join th =
-  Engine.wait join_cost;
+  Engine.charge join_cost;
   Sync.Ivar.read th.finished
 
 let core th = th.t_core

@@ -166,9 +166,10 @@ let wire_post t ~visible_at d =
 
 let send t ?(lines = 1) payload =
   Sync.Semaphore.acquire t.flow;
-  Engine.wait (send_sw_cost + if t.prefetch then prefetch_latency_penalty else 0);
-  (* Ring-position and channel-state updates (sender-local lines). *)
-  Array.iter (fun a -> Coherence.store t.m.Machine.coh ~core:t.src a) t.send_ctrl;
+  Engine.charge (send_sw_cost + if t.prefetch then prefetch_latency_penalty else 0);
+  (* Ring-position and channel-state updates (sender-local lines: one
+     sender task per channel, so these hits fuse into the banked charge). *)
+  Array.iter (fun a -> Coherence.store_local t.m.Machine.coh ~core:t.src a) t.send_ctrl;
   let slot_addr = t.slot_addrs.(t.head) in
   t.head <- (t.head + 1) mod Array.length t.slot_addrs;
   let delay = post_message t ~slot_addr ~lines in
@@ -215,15 +216,15 @@ let charge_receive t (d : 'a delivery) =
        hiding part of the transfer latency. *)
     for i = 0 to d.lines - 1 do
       let lat = Coherence.load_async coh ~core:t.dst (d.slot_addr + (i * cl)) in
-      Engine.wait (lat * 7 / 10)
+      Engine.charge (lat * 7 / 10)
     done
   else
     for i = 0 to d.lines - 1 do
       Coherence.load coh ~core:t.dst (d.slot_addr + (i * cl))
     done;
   (* Dispatch-table and waitset updates (receiver-local lines). *)
-  Array.iter (fun a -> Coherence.store t.m.Machine.coh ~core:t.dst a) t.recv_ctrl;
-  Engine.wait recv_sw_cost;
+  Array.iter (fun a -> Coherence.store_local t.m.Machine.coh ~core:t.dst a) t.recv_ctrl;
+  Engine.charge recv_sw_cost;
   t.received <- t.received + 1;
   (* A duplicate redelivers a slot whose flow credit was already returned. *)
   if d.kind <> k_dup then Sync.Semaphore.release t.flow;
@@ -241,7 +242,7 @@ let recv_timeout t ~timeout =
 let recv_blocking t ~poll_cycles ~wakeup_cost =
   let t0 = Engine.now_ () in
   let d = Sync.Mailbox.recv t.box in
-  if Engine.now_ () - t0 > poll_cycles then Engine.wait wakeup_cost;
+  if Engine.now_ () - t0 > poll_cycles then Engine.charge wakeup_cost;
   charge_receive t d
 
 let try_recv t =
@@ -249,7 +250,7 @@ let try_recv t =
   | Some d -> Some (charge_receive t d)
   | None ->
     (* Poll read of the head slot: a cache hit while we own/share it. *)
-    Engine.wait t.m.Machine.plat.Platform.l1_hit;
+    Engine.charge t.m.Machine.plat.Platform.l1_hit;
     None
 
 module Broadcast = struct
@@ -310,7 +311,7 @@ module Broadcast = struct
       wire_loop t
 
   let send t payload =
-    Engine.wait send_sw_cost;
+    Engine.charge send_sw_cost;
     let delay = Coherence.store_posted t.m.Machine.coh ~core:t.src t.line_addr in
     let visible_at = max (Engine.now_ () + delay) t.last_visible in
     t.last_visible <- visible_at;
@@ -339,6 +340,6 @@ module Broadcast = struct
     (* Every receiver pulls the line from wherever it currently lives —
        serialized at the home directory and the owner's cache port. *)
     Coherence.load t.m.Machine.coh ~core t.line_addr;
-    Engine.wait recv_sw_cost;
+    Engine.charge recv_sw_cost;
     payload
 end

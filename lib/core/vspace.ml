@@ -70,10 +70,16 @@ let touch t ~core ~vaddr =
   | Some _ ->
     let tlb = t.m.Machine.tlbs.(core) in
     if not (Tlb.mem tlb ~vpage:vp) then begin
-      Engine.wait tlb_walk_cost;
+      (* The walk itself is a pure delay: bank it. *)
+      Engine.charge tlb_walk_cost;
       (match t.mode with
        | Shared_table -> ()
        | Replicated _ ->
+         (* [filled_by] is shared with every other core touching this
+            vspace: the first-touch check must happen at the true time
+            (after the walk), or two cores walking the same page inside
+            the window would both take the copy path. *)
+         Engine.flush_charge ();
          (* Soft fault on first touch: copy the entry into this core's
             replica, and remember who holds it. *)
          let already =

@@ -81,14 +81,23 @@ let arm t eng =
       t.plan.core_stops
   end
 
+(* Armed queries are interaction points: the windows below are wall-clock
+   tests and the fate draws advance the one shared PRNG stream, so both
+   must happen at the true simulated time and in true event order. Each
+   armed branch therefore pays any banked latency charge first (a no-op
+   when nothing is banked, which includes every non-task context). The
+   inert path stays a single [armed] field read. *)
 let rel_now t =
   match t.eng with Some e -> Engine.now e - t.armed_at | None -> 0
 
 let core_dead t ~core =
   t.armed
   &&
-  let now = match t.eng with Some e -> Engine.now e | None -> 0 in
-  List.exists (fun (c, at) -> c = core && now >= at) t.dead_at
+  begin
+    Engine.flush_charge ();
+    let now = match t.eng with Some e -> Engine.now e | None -> 0 in
+    List.exists (fun (c, at) -> c = core && now >= at) t.dead_at
+  end
 
 let stop_time t ~core =
   List.fold_left
@@ -98,6 +107,7 @@ let stop_time t ~core =
 let link_penalty t ~src_pkg ~dst_pkg =
   if (not t.armed) || src_pkg = dst_pkg then 0
   else begin
+    Engine.flush_charge ();
     let rel = rel_now t in
     List.fold_left
       (fun acc (l : Plan.link_fault) ->
@@ -115,6 +125,7 @@ let draw t n = n > 0 && Prng.int t.prng n = 0
 let urpc_fault t =
   if not t.armed then Deliver
   else begin
+    Engine.flush_charge ();
     let rel = rel_now t in
     match
       List.find_opt
@@ -141,14 +152,17 @@ let urpc_fault t =
 let nic_drop t =
   t.armed
   &&
-  let rel = rel_now t in
-  match
-    List.find_opt
-      (fun (n : Plan.nic_fault) -> rel >= n.nf_from && rel < n.nf_until)
-      t.plan.nics
-  with
-  | None -> false
-  | Some n ->
-    let lost = draw t n.loss_1_in in
-    if lost then t.stats.nic_lost <- t.stats.nic_lost + 1;
-    lost
+  begin
+    Engine.flush_charge ();
+    let rel = rel_now t in
+    match
+      List.find_opt
+        (fun (n : Plan.nic_fault) -> rel >= n.nf_from && rel < n.nf_until)
+        t.plan.nics
+    with
+    | None -> false
+    | Some n ->
+      let lost = draw t n.loss_1_in in
+      if lost then t.stats.nic_lost <- t.stats.nic_lost + 1;
+      lost
+  end

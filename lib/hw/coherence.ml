@@ -281,6 +281,26 @@ type outcome =
   | Txn of { home : int; lat : int; source_port : int option; ln : line option }
       (* [ln]: serialize this transaction per line (owner-sourced data) *)
 
+(* A posted access moves line state at the caller's *virtual* time while
+   the engine clock may lag by the banked charge. Posted accesses only
+   touch protocol-ordered lines (URPC channel slots, barrier sense words):
+   a single writer, readers gated on a later visibility event — so a small
+   bank (fixed software-path costs, hit runs) cannot race anything. Two
+   exceptions pay the bank up front:
+   - a large one (a compute quantum banked by [Resource.acquire]) could
+     move line state millions of cycles early;
+   - an armed fault injector breaks the slot discipline the argument rests
+     on (a duplicated message is read after its flow credit was returned,
+     so sender and receiver can race one slot line), so chaos runs flush
+     every posted access to stay bit-identical with the unfused referee. *)
+let max_deferred_at_access = 512
+
+let access_flush t =
+  if
+    Engine.pending_charge () > max_deferred_at_access
+    || Mk_fault.Injector.armed t.inj
+  then Engine.flush_charge ()
+
 let prepare_load t ~core addr =
   let p = t.plat in
   let lid = line_of_addr t addr in
@@ -428,6 +448,11 @@ let realize_posted t outcome =
   | Hit -> p.Platform.l1_hit
   | Local lat -> lat
   | Txn { home; lat; source_port; ln } ->
+    (* A transaction serializes on shared resources (directory, source
+       port, per-line storm slot): those queues must be joined at the true
+       simulated time and in true event order, so pay any banked charge
+       before reserving. Hit/Local touch nothing shared and skip this. *)
+    Engine.flush_charge ();
     let now = Engine.now_ () in
     let occ = p.Platform.dir_occupancy in
     let dir_done = Resource.reserve_at t.dirs.(home) ~now occ in
@@ -448,20 +473,51 @@ let realize_posted t outcome =
        max (max lat (max dir_done port_done - now)) (data_at - now)
      | None -> max lat (max dir_done port_done - now))
 
+(* Blocking realization. A blocking access is an *interaction point*, not a
+   pure delay: callers use its completion to order their own shared-state
+   updates against other cores (spinlock words, barrier arrival counters,
+   work-queue heads), so the whole access — including a Hit — must happen
+   at the true simulated time. Banking a Hit here deadlocked the futex
+   barrier: the sleeper's arrival slid ahead of the waker's scan. *)
 let realize_blocking t outcome =
-  let delay = realize_posted t outcome in
-  Engine.wait delay
+  match outcome with
+  | Hit -> Engine.wait t.plat.Platform.l1_hit
+  | Local lat -> Engine.wait lat
+  | Txn _ -> Engine.wait (realize_posted t outcome)
 
-let load t ~core addr = realize_blocking t (prepare_load t ~core addr)
+let load t ~core addr =
+  Engine.flush_charge ();
+  realize_blocking t (prepare_load t ~core addr)
 
-let load_async t ~core addr = realize_posted t (prepare_load t ~core addr)
+let load_async t ~core addr =
+  access_flush t;
+  realize_posted t (prepare_load t ~core addr)
 
-let store t ~core addr = realize_blocking t (prepare_store t ~core addr)
+let store t ~core addr =
+  Engine.flush_charge ();
+  realize_blocking t (prepare_store t ~core addr)
+
+(* Blocking store to a line the call site guarantees is effectively
+   core-private (URPC ring/channel-state words: one sender task, readers
+   gated on a later visibility event). Privacy makes the access a pure
+   delay — nothing observes the line state or the caller's progress inside
+   the window — so the common Hit/Local outcome is banked instead of
+   waited. A transaction (first touch, post-migration refill) still joins
+   the shared directory queues and waits. *)
+let store_local t ~core addr =
+  access_flush t;
+  let outcome = prepare_store t ~core addr in
+  match outcome with
+  | Hit -> Engine.charge t.plat.Platform.l1_hit
+  | Local lat -> Engine.charge lat
+  | Txn _ -> Engine.wait (realize_posted t outcome)
 
 let store_posted t ~core addr =
+  access_flush t;
   let outcome = prepare_store t ~core addr in
   let delay = realize_posted t outcome in
-  Engine.wait store_post_cost;
+  (* The posted-store pipeline drain is a fixed local cost. *)
+  Engine.charge store_post_cost;
   max 0 (delay - store_post_cost)
 
 let touch_range t ~core ~addr ~bytes ~write =

@@ -54,6 +54,17 @@ val store : t -> core:int -> int -> unit
 (** Blocking store: waits until ownership is acquired (all remote copies
     invalidated). *)
 
+val store_local : t -> core:int -> int -> unit
+(** Blocking store to a line the *call site* guarantees is effectively
+    core-private (single writer, any readers gated on a later visibility
+    event — e.g. URPC ring/channel-state words). Behaves like {!store},
+    but the common hit/local outcome is banked with {!Engine.charge}
+    instead of waited, so back-to-back private-line updates fuse into one
+    scheduler event. Never use it on a line another core can race: the
+    caller's code after the store runs before concurrent same-window
+    events, which is only sound when nothing can observe the line or the
+    caller's progress inside the banked window. *)
+
 val load_async : t -> core:int -> int -> int
 (** State transitions and traffic as {!load}, but does not block: returns
     the cycles until the data would arrive. Models a prefetched load whose

@@ -33,7 +33,7 @@ let send t ~src ~dst ~vector =
       invalid_arg (Printf.sprintf "Ipi.send: no handler for vector %d on core %d" vector dst)
   in
   t.sent <- t.sent + 1;
-  Engine.wait apic_write_cost;
+  Engine.charge apic_write_cost;
   let wire =
     t.plat.Platform.ipi_wire
     + (t.plat.Platform.hop_one_way * Platform.hops_between t.plat src dst)
@@ -47,7 +47,7 @@ let send t ~src ~dst ~vector =
     else wire
   in
   Engine.spawn_ ~name:(Printf.sprintf "ipi%d->%d" src dst) (fun () ->
-      Engine.wait wire;
+      Engine.charge wire;
       if
         Mk_fault.Injector.armed t.inj
         && Mk_fault.Injector.core_dead t.inj ~core:dst

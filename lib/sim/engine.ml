@@ -70,6 +70,51 @@ let domain_executed : int ref Domain.DLS.key =
 
 let domain_events_executed () = !(Domain.DLS.get domain_executed)
 
+(* -- deferred latency charging ("fusion") --
+
+   A pure delay (cache hit, fixed software-path cost, TLB walk) does not
+   need a scheduler round trip: nothing else can observe the task until it
+   next interacts. [charge n] banks the delay in a per-domain pending
+   cell; the bank is drained as ONE [E_wait] by [flush_charge] at every
+   interaction point (wait/now_/suspend/Sync operation/resource
+   reservation/task exit). Because the flush realigns real time with
+   virtual time before anything observable happens, the simulated schedule
+   is bit-identical to charging each delay as its own wait.
+
+   The cell can live per-domain rather than per-task because tasks are
+   cooperative and every control transfer flushes first: whenever the
+   engine (or any other task) runs, the cell is zero. *)
+type charge_cell = {
+  mutable pending : int;  (* banked delay, flushed at interaction points *)
+  mutable deferred : int;  (* charges banked (would-be wait events) *)
+  mutable flushes : int;  (* waits actually performed to drain the bank *)
+}
+
+let domain_charge : charge_cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { pending = 0; deferred = 0; flushes = 0 })
+
+(* Referee switch: MK_NO_FUSION=1 (or [set_fusion false]) makes [charge]
+   behave exactly like [wait], so CI can diff full bench outputs
+   fused-vs-unfused. *)
+let fusion =
+  ref
+    (match Sys.getenv_opt "MK_NO_FUSION" with
+     | None | Some "" | Some "0" -> true
+     | Some _ -> false)
+
+let set_fusion b = fusion := b
+let fusion_enabled () = !fusion
+let pending_charge () = (Domain.DLS.get domain_charge).pending
+
+(* Scheduler events saved by coalescing so far on this domain: each
+   deferred charge would have been one wait event, and each flush pays one
+   back. Adding this to [domain_events_executed] reconstructs exactly the
+   event count an unfused run executes, which keeps events/sec
+   baseline-comparable across fusion modes. *)
+let domain_events_fused () =
+  let c = Domain.DLS.get domain_charge in
+  c.deferred - c.flushes
+
 let fifo_grow t =
   let cap = Array.length t.fq_seq in
   let nseq = Array.make (cap * 2) 0 in
@@ -143,15 +188,40 @@ let schedule t ~at thunk =
   then ()
   else Heap.push t.heap ~time:at ~seq:t.seq thunk
 
-(* Run [f] as a task body under the scheduling-effect handler. *)
+(* Drain the pending-charge bank as one wait. Must run inside a task (it
+   performs [E_wait]); a no-op when nothing is banked, so it is safe (and
+   cheap) to call at every interaction point. *)
+let flush_charge () =
+  let c = Domain.DLS.get domain_charge in
+  if c.pending > 0 then begin
+    let p = c.pending in
+    c.pending <- 0;
+    c.flushes <- c.flushes + 1;
+    Effect.perform (E_wait p)
+  end
+
+(* Run [f] as a task body under the scheduling-effect handler. The body is
+   bracketed so any charge still banked when the task returns (or halts)
+   is paid before the task dies — otherwise a fused run could end with a
+   smaller final clock than an unfused one. *)
 let rec exec t (name : string) f =
   t.live <- t.live + 1;
   let open Effect.Deep in
-  match_with f ()
+  match_with
+    (fun () ->
+      match f () with
+      | () -> flush_charge ()
+      | exception Halted ->
+        flush_charge ();
+        raise Halted)
+    ()
     { retc = (fun () -> t.live <- t.live - 1);
       exnc =
         (fun e ->
           t.live <- t.live - 1;
+          (* Drop, don't pay, the bank on a crash: the next slice on this
+             domain must not inherit a dead task's pending delay. *)
+          (Domain.DLS.get domain_charge).pending <- 0;
           match e with
           | Halted -> ()
           | e ->
@@ -173,6 +243,16 @@ let rec exec t (name : string) f =
                 let wake ?(delay = 0) () =
                   if not !fired then begin
                     fired := true;
+                    (* An invoker with a banked charge (e.g. a futex wake
+                       loop that charged a per-waiter cost) must reach the
+                       true time *before* the wake is scheduled — not just
+                       so the event lands at the right time, but so it is
+                       sequenced after everything else that fires inside
+                       the banked window. Paying the bank here is safe
+                       even though wakers may run outside any task: a
+                       non-empty bank implies task context, because every
+                       yield point flushes first. *)
+                    flush_charge ();
                     schedule t ~at:(t.now + max 0 delay) (fun () -> continue k ())
                   end
                 in
@@ -181,11 +261,21 @@ let rec exec t (name : string) f =
             Some
               (fun (k : (a, _) continuation) ->
                 let nm = Option.value nm ~default:(name ^ ".child") in
-                schedule t ~at:t.now (fun () -> exec t nm body);
+                (* Children start at the parent's *virtual* time: a parent
+                   with a banked charge has conceptually already lived
+                   those cycles, so the child must not start before them.
+                   With nothing banked this is exactly [t.now]. *)
+                let at = t.now + (Domain.DLS.get domain_charge).pending in
+                schedule t ~at (fun () -> exec t nm body);
                 continue k ())
           | _ -> None) }
 
-let spawn t ?(name = "task") f = schedule t ~at:t.now (fun () -> exec t name f)
+let spawn t ?(name = "task") f =
+  (* Same virtual-time rule as [E_spawn]: callable from inside a task
+     (where a charge may be banked) as well as from setup code (where the
+     bank is always empty and this is plain [t.now]). *)
+  let at = t.now + (Domain.DLS.get domain_charge).pending in
+  schedule t ~at (fun () -> exec t name f)
 
 (* Injection hook: schedule a bare thunk at an absolute time. The thunk
    runs outside any task context (like a waker body): it may mutate state
@@ -259,17 +349,42 @@ let run t ?until ?(allow_stall = true) () =
   in
   loop ()
 
-(* Task-level API. *)
+(* Task-level API. Every operation that can observe or be observed by the
+   rest of the simulation flushes the charge bank first, so banked delays
+   are indistinguishable from eagerly waited ones.
 
-let now_ () = Effect.perform E_now
-let wait n = Effect.perform (E_wait n)
+   [now_] is the deliberate exception: it reports *virtual* time (real
+   time plus the banked charge) without flushing. The value is exactly
+   what an unfused run would read, and crucially [now_] keeps its
+   historical guarantee of never yielding — call sites freely mix it into
+   compound expressions whose other operands read shared state, which a
+   flush (a yield) would tear. *)
+
+let now_ () =
+  Effect.perform E_now + (Domain.DLS.get domain_charge).pending
+
+let wait n =
+  flush_charge ();
+  Effect.perform (E_wait n)
+
+let charge n =
+  if !fusion && n > 0 then begin
+    let c = Domain.DLS.get domain_charge in
+    c.pending <- c.pending + n;
+    c.deferred <- c.deferred + 1
+  end
+  else wait n
 
 let wait_until at =
   let n = at - now_ () in
   if n > 0 then wait n
 
 let yield () = wait 0
-let suspend register = Effect.perform (E_suspend register)
+
+let suspend register =
+  flush_charge ();
+  Effect.perform (E_suspend register)
+
 let spawn_ ?name f = Effect.perform (E_spawn (name, f))
 let task_name () = Effect.perform E_name
 let halt () = raise Halted

@@ -30,6 +30,28 @@ val domain_events_executed : unit -> int
     events/sec; per-domain (not global) so parallel bench workers don't
     see each other's events. *)
 
+val domain_events_fused : unit -> int
+(** Scheduler events saved by latency-charge fusion on the current domain:
+    charges banked minus flush waits paid. Adding this to
+    {!domain_events_executed} reconstructs the event count an unfused run
+    executes, so events/sec stays comparable across fusion modes. The
+    reconstruction is slightly conservative: fusion also removes
+    second-order scheduler traffic (e.g. a delivery sequencer that parks
+    and is re-woken between a sender's eager waits never parks when those
+    waits are banked), and those avoided park/wake events are counted
+    neither as executed nor as fused. *)
+
+val set_fusion : bool -> unit
+(** Enable/disable latency-charge fusion (default: enabled unless the
+    [MK_NO_FUSION] environment variable is set to a non-zero value). With
+    fusion off, {!charge} performs a plain {!wait}: the referee mode CI
+    uses to check that fused and unfused runs are bit-identical. *)
+
+val fusion_enabled : unit -> bool
+
+val pending_charge : unit -> int
+(** Delay currently banked on this domain (0 outside a task slice). *)
+
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn eng f] schedules task [f] to start at the current simulated time.
     Usable both from outside [run] (setup) and from within a task. *)
@@ -61,10 +83,30 @@ type waker = ?delay:int -> unit -> unit
     time between the wake decision and the task actually resuming. *)
 
 val now_ : unit -> int
-(** Current simulated time, from inside a task. *)
+(** Current *virtual* simulated time, from inside a task: real engine time
+    plus any charge banked by {!charge}. This is exactly the time an
+    unfused run would read, and [now_] never yields (it does not flush),
+    so it can appear in compound expressions that also read shared
+    state. *)
 
 val wait : int -> unit
 (** Advance this task's local time by [n >= 0] cycles. *)
+
+val charge : int -> unit
+(** Bank a *pure* delay — one that nothing else can observe before this
+    task next interacts — instead of performing a wait for it. The bank is
+    drained as a single wait by {!flush_charge}, which every interaction
+    point ({!wait}, {!suspend}, Sync operations, resource reservation,
+    task exit) calls first, so the simulated schedule is bit-identical to
+    eager waiting. [charge n] with [n <= 0] (or with
+    fusion disabled) degrades to [wait n]. Never convert a wait that paces
+    an unbounded polling loop: a task that only charges never yields. *)
+
+val flush_charge : unit -> unit
+(** Pay any banked charge as one wait; no-op when the bank is empty. Call
+    before mutating or reading state shared with other tasks from a path
+    that may have charged (the Sync primitives and the engine's own
+    interaction points already do). *)
 
 val wait_until : int -> unit
 (** Sleep until the given absolute time (no-op if already past). *)

@@ -16,11 +16,20 @@ let reserve_at t ~now n =
   t.busy_cycles <- t.busy_cycles + n;
   start + n
 
-let reserve t n = reserve_at t ~now:(Engine.now_ ()) n
+(* Reservations are an interaction point: [busy_until] is a queue shared
+   with every other user of the resource, so it must be mutated at the
+   caller's true simulated time and in true event order — flush first. *)
+let reserve t n =
+  Engine.flush_charge ();
+  reserve_at t ~now:(Engine.now_ ()) n
 
 let acquire t n =
   let finish = reserve t n in
-  Engine.wait_until finish;
+  let now = Engine.now_ () in
+  (* The stay on the resource itself is a pure delay for this task: bank
+     it instead of sleeping. Competing acquirers see [busy_until], which
+     was already updated above. *)
+  if finish > now then Engine.charge (finish - now);
   finish - max 0 n
 
 let utilization t ~since ~now =

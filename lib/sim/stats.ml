@@ -1,5 +1,11 @@
+(* Moments and extrema are O(1) state; the sample array exists only when
+   the accumulator was created with [~retain_samples:true]. Long-running
+   accumulators (per-channel latency stats live for a whole simulation)
+   previously retained every sample and grew without bound even though
+   nothing ever asked for percentiles. *)
 type t = {
-  mutable data : float array;
+  retain : bool;
+  mutable data : float array;  (* [||] unless retaining *)
   mutable n : int;
   mutable sum : float;
   mutable sumsq : float;
@@ -7,17 +13,27 @@ type t = {
   mutable mx : float;
 }
 
-let create () =
-  { data = [||]; n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+let create ?(retain_samples = false) () =
+  {
+    retain = retain_samples;
+    data = [||];
+    n = 0;
+    sum = 0.0;
+    sumsq = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+  }
 
 let add t x =
-  if t.n = Array.length t.data then begin
-    let cap = if t.n = 0 then 64 else t.n * 2 in
-    let narr = Array.make cap 0.0 in
-    Array.blit t.data 0 narr 0 t.n;
-    t.data <- narr
+  if t.retain then begin
+    if t.n = Array.length t.data then begin
+      let cap = if t.n = 0 then 64 else t.n * 2 in
+      let narr = Array.make cap 0.0 in
+      Array.blit t.data 0 narr 0 t.n;
+      t.data <- narr
+    end;
+    t.data.(t.n) <- x
   end;
-  t.data.(t.n) <- x;
   t.n <- t.n + 1;
   t.sum <- t.sum +. x;
   t.sumsq <- t.sumsq +. (x *. x);
@@ -40,6 +56,8 @@ let max t = t.mx
 let total t = t.sum
 
 let percentile t p =
+  if not t.retain then
+    invalid_arg "Stats.percentile: accumulator created without ~retain_samples:true";
   if t.n = 0 then invalid_arg "Stats.percentile: empty";
   let sorted = Array.sub t.data 0 t.n in
   Array.sort compare sorted;
@@ -47,7 +65,10 @@ let percentile t p =
   let rank = Stdlib.max 0 (Stdlib.min (t.n - 1) rank) in
   sorted.(rank)
 
-let samples t = Array.sub t.data 0 t.n
+let samples t =
+  if not t.retain then
+    invalid_arg "Stats.samples: accumulator created without ~retain_samples:true";
+  Array.sub t.data 0 t.n
 
 (* One-shot list helpers (previously duplicated in the bench tree). *)
 

@@ -1,10 +1,17 @@
 (** Sample accumulators for benchmark reporting.
 
-    Retains all samples (benchmarks are bounded) so percentiles are exact. *)
+    By default only O(1) state is kept (count, sum, sum of squares,
+    extrema): an accumulator that lives as long as the simulation does not
+    grow with it. Exact percentiles need the raw samples — opt in with
+    [create ~retain_samples:true] when the sample count is bounded. *)
 
 type t
 
-val create : unit -> t
+val create : ?retain_samples:bool -> unit -> t
+(** [retain_samples] (default [false]) stores every sample so
+    {!percentile} and {!samples} are available; otherwise both raise and
+    memory use is constant. *)
+
 val add : t -> float -> unit
 val add_int : t -> int -> unit
 val count : t -> int
@@ -17,10 +24,12 @@ val max : t -> float
 val total : t -> float
 val percentile : t -> float -> float
 (** [percentile t 0.5] is the median (nearest-rank on sorted samples).
-    Raises [Invalid_argument] on an empty accumulator. *)
+    Raises [Invalid_argument] on an empty accumulator or one created
+    without [~retain_samples:true]. *)
 
 val samples : t -> float array
-(** Copy of the samples in insertion order. *)
+(** Copy of the samples in insertion order. Raises [Invalid_argument]
+    unless created with [~retain_samples:true]. *)
 
 val summary : t -> string
 (** ["mean=… sd=… min=… max=… n=…"] for quick printing. *)

@@ -1,6 +1,11 @@
 (* Blocking primitives built on Engine.suspend. Wakers are one-shot, so a
    woken task never races with a second wake-up. All queues are FIFO, which
-   keeps the whole simulation deterministic. *)
+   keeps the whole simulation deterministic.
+
+   Every mutating operation is an *interaction point* for latency-charge
+   fusion: it flushes the caller's banked charge first, so queue contents,
+   counts and wake-ups are observed/mutated at the caller's true simulated
+   time. Pure queries (length, peek, ...) don't flush. *)
 
 let wake (w : Engine.waker) = w ()
 
@@ -11,6 +16,7 @@ module Ivar = struct
   let create () = { state = Empty (Queue.create ()) }
 
   let fill t v =
+    Engine.flush_charge ();
     match t.state with
     | Full _ -> invalid_arg "Ivar.fill: already filled"
     | Empty waiters ->
@@ -18,6 +24,7 @@ module Ivar = struct
       Queue.iter wake waiters
 
   let try_fill t v =
+    Engine.flush_charge ();
     match t.state with
     | Full _ -> false
     | Empty waiters ->
@@ -29,6 +36,7 @@ module Ivar = struct
   let peek t = match t.state with Full v -> Some v | Empty _ -> None
 
   let read t =
+    Engine.flush_charge ();
     match t.state with
     | Full v -> v
     | Empty waiters ->
@@ -60,10 +68,12 @@ module Mailbox = struct
       end
 
   let send t v =
+    Engine.flush_charge ();
     Queue.add v t.items;
     wake_one t.waiters
 
   let rec recv t =
+    Engine.flush_charge ();
     match Queue.take_opt t.items with
     | Some v -> v
     | None ->
@@ -76,6 +86,7 @@ module Mailbox = struct
      the same cycle as the timeout is still returned (the post-suspend
      [take_opt] re-checks the queue). *)
   let recv_timeout t ~timeout =
+    Engine.flush_charge ();
     match Queue.take_opt t.items with
     | Some v -> Some v
     | None ->
@@ -105,7 +116,9 @@ module Mailbox = struct
       in
       wait_for ()
 
-  let try_recv t = Queue.take_opt t.items
+  let try_recv t =
+    Engine.flush_charge ();
+    Queue.take_opt t.items
   let length t = Queue.length t.items
 end
 
@@ -117,6 +130,7 @@ module Semaphore = struct
     { count = n; waiters = Queue.create () }
 
   let rec acquire t =
+    Engine.flush_charge ();
     if t.count > 0 then t.count <- t.count - 1
     else begin
       Engine.suspend (fun w -> Queue.add w t.waiters);
@@ -124,6 +138,7 @@ module Semaphore = struct
     end
 
   let release t =
+    Engine.flush_charge ();
     t.count <- t.count + 1;
     match Queue.take_opt t.waiters with None -> () | Some w -> wake w
 
@@ -154,14 +169,17 @@ module Condition = struct
   let wait t mutex =
     (* Atomic in simulation terms: no other task runs between unlock and
        suspend because tasks only switch at scheduling points. *)
+    Engine.flush_charge ();
     Mutex.unlock mutex;
     Engine.suspend (fun w -> Queue.add w t.waiters);
     Mutex.lock mutex
 
   let signal t =
+    Engine.flush_charge ();
     match Queue.take_opt t.waiters with None -> () | Some w -> wake w
 
   let broadcast t =
+    Engine.flush_charge ();
     let ws = Queue.create () in
     Queue.transfer t.waiters ws;
     Queue.iter wake ws
@@ -175,6 +193,7 @@ module Barrier = struct
     { parties; arrived = 0; waiters = [] }
 
   let await t =
+    Engine.flush_charge ();
     t.arrived <- t.arrived + 1;
     if t.arrived = t.parties then begin
       let ws = List.rev t.waiters in

@@ -11,5 +11,9 @@ val make : string -> src
 val enable : unit -> unit
 (** Turn on Debug-level reporting to stderr for all mk sources. *)
 
+val set_level : src -> Logs.level option -> unit
+(** Set one source's level ([None] disables it). Messages below the level
+    are discarded without formatting their arguments. *)
+
 val debugf : src -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val infof : src -> ('a, Format.formatter, unit, unit) format4 -> 'a

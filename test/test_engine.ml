@@ -194,6 +194,81 @@ let test_nested_spawn () =
   in
   check_int "both ran" 11 sum
 
+(* -- latency-charge fusion -- *)
+
+let with_fusion on f =
+  let was = Engine.fusion_enabled () in
+  Fun.protect ~finally:(fun () -> Engine.set_fusion was) (fun () ->
+      Engine.set_fusion on;
+      f ())
+
+let test_charge_banks_delay () =
+  with_fusion true (fun () ->
+      let eng = Engine.create () in
+      Engine.spawn eng (fun () ->
+          Engine.charge 40;
+          check_int "pending banked" 40 (Engine.pending_charge ());
+          (* Virtual time includes the bank; real engine time does not. *)
+          check_int "virtual now" 40 (Engine.now_ ());
+          check_int "real now" 0 (Engine.now eng);
+          Engine.charge 2;
+          check_int "accumulates" 42 (Engine.pending_charge ());
+          Engine.flush_charge ();
+          check_int "bank drained" 0 (Engine.pending_charge ());
+          check_int "real now caught up" 42 (Engine.now eng);
+          check_int "virtual = real after flush" 42 (Engine.now_ ()));
+      Engine.run eng ();
+      check_int "final time includes charges" 42 (Engine.now eng))
+
+let test_charge_flushes_at_wait () =
+  with_fusion true (fun () ->
+      let t =
+        run_sim (fun () ->
+            Engine.charge 30;
+            (* A wait is an interaction point: bank drains first, then the
+               wait runs, so total elapsed is charge + wait. *)
+            Engine.wait 12;
+            check_int "no pending after wait" 0 (Engine.pending_charge ());
+            Engine.now_ ())
+      in
+      check_int "charge + wait" 42 t)
+
+let test_charge_counts_fused_events () =
+  with_fusion true (fun () ->
+      let eng = Engine.create () in
+      let fused0 = Engine.domain_events_fused () in
+      Engine.spawn eng (fun () ->
+          (* Three charges drain as one flush: two scheduler events saved. *)
+          Engine.charge 5;
+          Engine.charge 6;
+          Engine.charge 7;
+          Engine.flush_charge ());
+      Engine.run eng ();
+      check_int "two events fused" 2 (Engine.domain_events_fused () - fused0))
+
+let test_fusion_off_is_eager () =
+  with_fusion false (fun () ->
+      let t =
+        run_sim (fun () ->
+            check_bool "reported off" false (Engine.fusion_enabled ());
+            Engine.charge 40;
+            (* With fusion disabled, charge degrades to wait: no bank. *)
+            check_int "nothing banked" 0 (Engine.pending_charge ());
+            Engine.now_ ())
+      in
+      check_int "still elapses" 40 t)
+
+let test_charge_nonpositive_is_noop () =
+  with_fusion true (fun () ->
+      let t =
+        run_sim (fun () ->
+            Engine.charge 0;
+            Engine.charge (-7);
+            check_int "nothing banked" 0 (Engine.pending_charge ());
+            Engine.now_ ())
+      in
+      check_int "no time" 0 t)
+
 let suite =
   ( "engine",
     [
@@ -212,4 +287,9 @@ let suite =
       tc "live tasks" test_live_tasks;
       tc "task name" test_task_name;
       tc "nested spawn" test_nested_spawn;
+      tc "charge banks delay" test_charge_banks_delay;
+      tc "charge flushes at wait" test_charge_flushes_at_wait;
+      tc "charge counts fused events" test_charge_counts_fused_events;
+      tc "fusion off is eager" test_fusion_off_is_eager;
+      tc "charge nonpositive noop" test_charge_nonpositive_is_noop;
     ] )

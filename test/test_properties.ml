@@ -196,6 +196,76 @@ let qcheck_numa_same_coverage =
       List.sort compare (Mk.Routing.plan_cores mc)
       = List.sort compare (Mk.Routing.plan_cores nm))
 
+(* -- fusion: latency-charge fusion never changes what the simulation
+      computes. A randomized multi-core workload mixing compute, waits,
+      explicit charges, private-line stores, posted stores and URPC
+      messaging must produce identical final times, per-task completion
+      times and performance counters with fusion on and off.
+
+      The observer itself must play by the charge contract: each task
+      flushes before touching the shared results list (exactly what
+      engine.mli prescribes before any shared-state mutation), and the
+      list is keyed by task id rather than completion order — the order
+      in which two causally unrelated tasks finish at the *same*
+      timestamp is a scheduler tie, not a simulated output. -- *)
+
+let fusion_observe ~fusion (traces, n_msgs) =
+  Engine.set_fusion fusion;
+  let m = Machine.create Platform.amd_2x2 in
+  let coh = m.Machine.coh in
+  let n = Machine.n_cores m in
+  let priv = Array.init n (fun _ -> Machine.alloc_lines m 1) in
+  let ends = ref [] in
+  List.iteri
+    (fun c ops ->
+      let core = c mod n in
+      Machine.spawn_on m ~core (fun () ->
+          List.iter
+            (fun (tag, amt) ->
+              match tag mod 6 with
+              | 0 -> Machine.compute m ~core amt
+              | 1 -> Engine.wait amt
+              | 2 -> Engine.charge amt
+              | 3 -> Coherence.store_local coh ~core priv.(core)
+              | 4 -> ignore (Coherence.load_async coh ~core priv.(core) : int)
+              | _ -> ignore (Coherence.store_posted coh ~core priv.(core) : int))
+            ops;
+          Engine.flush_charge ();
+          ends := (c, Engine.now_ ()) :: !ends))
+    traces;
+  let ch = Mk.Urpc.create m ~sender:0 ~receiver:2 () in
+  Machine.spawn_on m ~core:0 (fun () ->
+      for i = 1 to n_msgs do
+        Mk.Urpc.send ch i
+      done;
+      Engine.flush_charge ();
+      ends := (100, Engine.now_ ()) :: !ends);
+  Machine.spawn_on m ~core:2 (fun () ->
+      for _ = 1 to n_msgs do
+        ignore (Mk.Urpc.recv ch : int)
+      done;
+      Engine.flush_charge ();
+      ends := (101, Engine.now_ ()) :: !ends);
+  Machine.run m;
+  let snap = Perfcounter.snapshot m.Machine.counters in
+  ( Machine.now m,
+    List.sort compare !ends,
+    { snap with Perfcounter.link_dwords = List.sort compare snap.Perfcounter.link_dwords }
+  )
+
+let qcheck_fusion_equivalence =
+  qtest "latency-charge fusion is observationally invisible" ~count:25
+    QCheck2.Gen.(
+      pair
+        (list_repeat 4 (list_size (int_range 5 25) (pair (int_bound 5) (int_range 1 40))))
+        (int_range 1 8))
+    (fun workload ->
+      let was = Engine.fusion_enabled () in
+      Fun.protect
+        ~finally:(fun () -> Engine.set_fusion was)
+        (fun () ->
+          fusion_observe ~fusion:true workload = fusion_observe ~fusion:false workload))
+
 (* -- pbuf/codec: UDP+IP+Ethernet stack-up and tear-down is lossless -- *)
 
 let qcheck_headers_roundtrip =
@@ -227,6 +297,7 @@ let suite =
       qcheck_sql_index_transparent;
       qcheck_cap_children_disjoint;
       qcheck_resource_fifo;
+      qcheck_fusion_equivalence;
       qcheck_numa_same_coverage;
       qcheck_headers_roundtrip;
     ] )

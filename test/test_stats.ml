@@ -15,7 +15,7 @@ let test_basic () =
   check_bool "stddev" true (feq ~eps:1e-6 (Stats.stddev s) (sqrt (5.0 /. 3.0)))
 
 let test_empty () =
-  let s = Stats.create () in
+  let s = Stats.create ~retain_samples:true () in
   check_bool "mean 0" true (feq (Stats.mean s) 0.0);
   check_bool "stddev 0" true (feq (Stats.stddev s) 0.0);
   check_bool "percentile raises" true
@@ -24,7 +24,7 @@ let test_empty () =
      | exception Invalid_argument _ -> true)
 
 let test_percentiles () =
-  let s = Stats.create () in
+  let s = Stats.create ~retain_samples:true () in
   for i = 1 to 100 do
     Stats.add_int s i
   done;
@@ -34,9 +34,31 @@ let test_percentiles () =
   check_bool "p100 is max" true (feq (Stats.percentile s 1.0) 100.0)
 
 let test_samples_order () =
-  let s = Stats.create () in
+  let s = Stats.create ~retain_samples:true () in
   List.iter (Stats.add s) [ 3.0; 1.0; 2.0 ];
   check_bool "insertion order" true (Stats.samples s = [| 3.0; 1.0; 2.0 |])
+
+(* The default accumulator keeps no samples: the moments must still be
+   exact, and the sample-dependent queries must refuse loudly rather than
+   silently answer from nothing. *)
+let test_unretained () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Stats.count s);
+  check_bool "mean" true (feq (Stats.mean s) 5.0);
+  (* Sample stddev: sum of squared deviations is 32, /7, sqrt. *)
+  check_bool "stddev" true (feq ~eps:1e-9 (Stats.stddev s) (sqrt (32.0 /. 7.0)));
+  check_bool "min" true (feq (Stats.min s) 2.0);
+  check_bool "max" true (feq (Stats.max s) 9.0);
+  check_bool "total" true (feq (Stats.total s) 40.0);
+  check_bool "percentile refuses" true
+    (match Stats.percentile s 0.5 with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  check_bool "samples refuses" true
+    (match Stats.samples s with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
 
 let qcheck_mean_oracle =
   qtest "mean matches the naive oracle"
@@ -80,6 +102,7 @@ let suite =
       tc "empty" test_empty;
       tc "percentiles" test_percentiles;
       tc "samples order" test_samples_order;
+      tc "unretained moments" test_unretained;
       qcheck_mean_oracle;
       qcheck_minmax;
     ] )
