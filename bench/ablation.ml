@@ -38,17 +38,27 @@ let unmap_with_mode pt_mode ~touchers =
       done;
       Stats.mean s)
 
+let page_table_touchers = [ 1; 2; 4; 8; 16; 32 ]
+
 let page_tables () =
   Common.sub "(a) unmap on a 32-core domain vs cores actually using the page";
   Common.printf "%9s %14s %22s\n" "touchers" "shared table" "replicated+tracked";
-  List.iter
-    (fun k ->
-      let shared = unmap_with_mode Vspace.Shared_table ~touchers:k in
-      let tracked =
-        unmap_with_mode (Vspace.Replicated { track_tlb_fills = true }) ~touchers:k
-      in
-      Common.printf "%9d %14.0f %22.0f\n%!" k shared tracked)
-    [ 1; 2; 4; 8; 16; 32 ]
+  (* Each (touchers, mode) cell is an independent OS boot: shard the grid. *)
+  let v =
+    Pool.run
+      (List.concat_map
+         (fun k ->
+           [
+             (fun () -> unmap_with_mode Vspace.Shared_table ~touchers:k);
+             (fun () ->
+               unmap_with_mode (Vspace.Replicated { track_tlb_fills = true }) ~touchers:k);
+           ])
+         page_table_touchers)
+    |> Array.of_list
+  in
+  List.iteri
+    (fun i k -> Common.printf "%9d %14.0f %22.0f\n%!" k v.(2 * i) v.((2 * i) + 1))
+    page_table_touchers
 
 (* -- (b) barriers -- *)
 
@@ -104,16 +114,27 @@ let futex_round ~ncores =
   Machine.run m;
   !result
 
+let barrier_sizes = [ 2; 4; 8; 16 ]
+
 let barriers () =
   Common.sub "(b) barrier round cost (4x4-core AMD, cycles)";
   Common.printf "%5s %12s %12s %12s\n" "cores" "spin (user)" "msg (user)" "futex (kernel)";
-  List.iter
-    (fun n ->
-      Common.printf "%5d %12d %12d %12d\n%!" n
-        (barrier_round `Spin ~ncores:n)
-        (barrier_round `Msg ~ncores:n)
-        (futex_round ~ncores:n))
-    [ 2; 4; 8; 16 ]
+  let v =
+    Pool.run
+      (List.concat_map
+         (fun n ->
+           [
+             (fun () -> barrier_round `Spin ~ncores:n);
+             (fun () -> barrier_round `Msg ~ncores:n);
+             (fun () -> futex_round ~ncores:n);
+           ])
+         barrier_sizes)
+    |> Array.of_list
+  in
+  List.iteri
+    (fun i n ->
+      Common.printf "%5d %12d %12d %12d\n%!" n v.(3 * i) v.((3 * i) + 1) v.((3 * i) + 2))
+    barrier_sizes
 
 (* -- (c) URPC prefetch -- *)
 
@@ -163,10 +184,17 @@ let urpc_numbers ~prefetch =
 let prefetch () =
   Common.sub "(c) URPC prefetch variant (4x4-core AMD, one-hop pair)";
   Common.printf "%10s %12s %14s\n" "variant" "latency" "msgs/kcycle";
-  let l0, t0 = urpc_numbers ~prefetch:false in
-  Common.printf "%10s %12.0f %14.2f\n" "plain" l0 t0;
-  let l1, t1 = urpc_numbers ~prefetch:true in
-  Common.printf "%10s %12.0f %14.2f\n%!" "prefetch" l1 t1
+  match
+    Pool.run
+      [
+        (fun () -> urpc_numbers ~prefetch:false);
+        (fun () -> urpc_numbers ~prefetch:true);
+      ]
+  with
+  | [ (l0, t0); (l1, t1) ] ->
+    Common.printf "%10s %12.0f %14.2f\n" "plain" l0 t0;
+    Common.printf "%10s %12.0f %14.2f\n%!" "prefetch" l1 t1
+  | _ -> assert false
 
 let run () =
   Common.hr "Ablations (page tables, barriers, prefetch)";

@@ -179,18 +179,22 @@ let run () =
   Common.printf "%-5s %-10s %12s %13s %7s %7s %5s %5s %5s %5s %5s\n" "seed"
     "victims" "detect(cyc)" "recover(cyc)" "ok" "failed" "fail/" "resp" "drop"
     "dup" "delay";
+  (* One pool job per seed: each is an independent simulated world, and
+     the row is printed *inside* the job (into its replay buffer), so the
+     output stays in seed order regardless of which domain finished when. *)
   let results =
-    List.map
-      (fun seed ->
-        let r = run_seed seed in
-        Common.printf "%-5d %-10s %12d %13d %7d %7d %5d %5d %5d %5d %5d\n"
-          r.sr_seed
-          (String.concat "," (List.map string_of_int r.sr_victims))
-          r.sr_detect_worst r.sr_recover_worst r.sr_ok r.sr_failed
-          r.sr_failovers r.sr_respawns r.sr_urpc_dropped r.sr_urpc_duplicated
-          r.sr_urpc_delayed;
-        r)
-      seeds
+    Pool.run
+      (List.map
+         (fun seed () ->
+           let r = run_seed seed in
+           Common.printf "%-5d %-10s %12d %13d %7d %7d %5d %5d %5d %5d %5d\n"
+             r.sr_seed
+             (String.concat "," (List.map string_of_int r.sr_victims))
+             r.sr_detect_worst r.sr_recover_worst r.sr_ok r.sr_failed
+             r.sr_failovers r.sr_respawns r.sr_urpc_dropped r.sr_urpc_duplicated
+             r.sr_urpc_delayed;
+           r)
+         seeds)
   in
   write_json results;
   Common.printf

@@ -1,25 +1,15 @@
 (* Shared helpers for the paper-reproduction benches. *)
 
+open Mk_sim
 open Mk_hw
 
-(* All bench output funnels through [printf] so the parallel runner can
-   capture a bench's output into a per-domain buffer and replay it in
-   deterministic order. Single-threaded runs write straight to stdout. *)
-let out_key : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+(* All bench output funnels through [printf], which is [Pool.emit]: inside
+   a pool job the text lands in that job's replay buffer (emitted later in
+   submission order); outside any pool it goes straight to stdout. This is
+   what makes `-j N` output byte-identical to the serial run. *)
+let redirect_to : Buffer.t -> (unit -> 'a) -> 'a = Pool.redirect_to
 
-let redirect_to buf f =
-  Domain.DLS.set out_key (Some buf);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set out_key None) f
-
-let printf fmt =
-  Printf.ksprintf
-    (fun s ->
-      match Domain.DLS.get out_key with
-      | None ->
-        print_string s;
-        flush stdout
-      | Some buf -> Buffer.add_string buf s)
-    fmt
+let printf fmt = Printf.ksprintf Pool.emit fmt
 
 let hr title = printf "\n==== %s ====\n%!" title
 

@@ -3,13 +3,23 @@
 
    Warn-only by default (always exits 0) so it can sit in CI without
    turning host-speed noise into red builds; `--strict` makes regressions
-   fatal for local bisecting.
+   fatal for local bisecting, and `--stable` gates CI on the long-running
+   benches whose events/sec is stable enough to enforce (with a wide
+   noise margin for shared runners).
 
      dune exec bench/compare.exe -- [--baseline FILE] [--current FILE]
-                                    [--threshold PCT] [--strict] *)
+                                    [--threshold PCT] [--strict] [--stable] *)
 
 let default_baseline = "bench/BASELINE_sim.json"
 let default_current = "BENCH_sim.json"
+
+(* Benches long enough (tens of ms+) for events/sec to be a signal rather
+   than scheduler noise. Excluded on purpose: micro (wall is bechamel's
+   sampling quota, not simulation throughput), fig3/tables/polling/net/
+   ablation (sub-50ms: one bad timeslice swings them far past any sane
+   threshold). *)
+let stable_benches = [ "fig6"; "fig7"; "fig8"; "fig9"; "scaling"; "chaos" ]
+let stable_threshold = 25.0
 
 let () =
   let baseline = ref default_baseline in
@@ -25,6 +35,13 @@ let () =
       ("--strict", Arg.Set strict, " exit 1 on regression instead of warning");
       ("--bench", Arg.String (fun n -> only := n :: !only),
        "NAME restrict the comparison to this bench (repeatable)");
+      ( "--stable",
+        Arg.Unit
+          (fun () ->
+            strict := true;
+            threshold := stable_threshold;
+            only := stable_benches),
+        " gate on the stable long-running benches (strict, wide threshold)" );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))

@@ -1,9 +1,17 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 5). Run all with `dune exec bench/main.exe`, or a
-   subset: `dune exec bench/main.exe -- fig6 table2`. `-j N` runs the
-   selected benches on N parallel domains — each bench is an independent
-   deterministic world, so simulated results are identical in any mode and
-   output is replayed in program order.
+   subset: `dune exec bench/main.exe -- fig6 table2`. `-j N` installs a
+   shared domain pool (Pool.set_ambient) sized to N: whole benches are
+   submitted as pool jobs, and benches that themselves sweep independent
+   configurations (chaos seeds, scaling machines, ablation grid, ...)
+   shard through the *same* pool via nested Pool.run — so parallelism
+   helps even when one long bench dominates. Each job is an independent
+   deterministic world and output replays in submission order, so
+   simulated results and printed output are byte-identical in any mode
+   (only the host-side timing table varies). The one exception is micro:
+   bechamel aborts if any other domain allocates while it samples
+   (see micro.ml), so micro always runs serially after the pool joins —
+   in every mode, so transcripts still agree byte-for-byte.
 
    Every run also reports host-side performance (wall-clock and simulated
    events/sec per bench) and writes it to BENCH_sim.json so the perf
@@ -47,77 +55,29 @@ type timing = {
 let logical t = t.executed + t.fused
 
 (* Run one bench, capturing wall-clock, the simulated events it cost and
-   what it allocated. [Engine.domain_events_executed]/[domain_events_fused]
-   and the minor-heap counters are per-domain, so the deltas are this
-   bench's own even when siblings run on other domains. *)
+   what it allocated. The [Pool.total_*] counters are the bench's own even
+   when siblings run on other domains: they read this domain's engine/GC
+   counters plus whatever its *nested* pool runs absorbed from worker
+   domains, so a bench that shards (chaos, scaling, micro, ...) still
+   reports its full event and allocation cost. *)
 let instrumented name f () =
-  let ev0 = Engine.domain_events_executed () in
-  let fu0 = Engine.domain_events_fused () in
-  let gc0 = Gc.quick_stat () in
+  let ev0 = Pool.total_executed () in
+  let fu0 = Pool.total_fused () in
+  let mi0 = Pool.total_minor_words () in
+  let pr0 = Pool.total_promoted_words () in
+  let ma0 = Pool.total_major_collections () in
   let t0 = Unix.gettimeofday () in
   f ();
   let wall_s = Unix.gettimeofday () -. t0 in
-  let gc1 = Gc.quick_stat () in
   {
     name;
     wall_s;
-    executed = Engine.domain_events_executed () - ev0;
-    fused = Engine.domain_events_fused () - fu0;
-    minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
-    promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
-    major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+    executed = Pool.total_executed () - ev0;
+    fused = Pool.total_fused () - fu0;
+    minor_words = Pool.total_minor_words () -. mi0;
+    promoted_words = Pool.total_promoted_words () -. pr0;
+    major_collections = Pool.total_major_collections () - ma0;
   }
-
-let run_serial selected =
-  List.map (fun (name, _, f) -> instrumented name f ()) selected
-
-(* Benches that must not share the process with other running domains:
-   bechamel's measurement loop waits for the major heap to quiesce, which
-   never happens while sibling domains allocate. These run on the main
-   domain after the pool has joined. *)
-let serial_only = [ "micro" ]
-
-(* Worker pool over domains: each worker claims the next un-run bench,
-   runs it with output buffered, and parks the transcript; the main domain
-   then replays transcripts in program order so -j output is byte-identical
-   to the serial run (modulo the timing table). *)
-let run_parallel jobs selected =
-  let benches = Array.of_list selected in
-  let n = Array.length benches in
-  let next = Atomic.make 0 in
-  let results : (Buffer.t * timing) option array = Array.make n None in
-  let run_buffered i =
-    let name, _, f = benches.(i) in
-    let buf = Buffer.create 4096 in
-    let timing = Common.redirect_to buf (instrumented name f) in
-    results.(i) <- Some (buf, timing)
-  in
-  let parallel_ok i =
-    let name, _, _ = benches.(i) in
-    not (List.mem name serial_only)
-  in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        if parallel_ok i then run_buffered i;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let domains =
-    List.init (min jobs (max 1 n)) (fun _ -> Domain.spawn worker)
-  in
-  List.iter Domain.join domains;
-  for i = 0 to n - 1 do
-    if not (parallel_ok i) then run_buffered i
-  done;
-  Array.to_list results
-  |> List.map (fun r ->
-         let buf, timing = Option.get r in
-         print_string (Buffer.contents buf);
-         timing)
 
 let rate events wall_s = if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
 
@@ -159,6 +119,7 @@ let report ~jobs ~timings ~harness_wall =
                 promoted_words = t.promoted_words;
                 major_collections = t.major_collections;
               };
+          jobs;
         })
       timings
   in
@@ -212,8 +173,24 @@ let () =
               exit 1)
           names
     in
-    let t0 = Unix.gettimeofday () in
-    let timings =
-      if jobs = 1 then run_serial selected else run_parallel jobs selected
+    (* One ambient pool for the whole run: top-level benches are its jobs,
+       and sweep benches shard through it via nested Pool.run. [jobs] = 1
+       installs no pool, so everything runs inline on this domain. micro
+       runs after the pool has joined — bechamel's GC stabilization
+       aborts if any other domain allocates concurrently (micro.ml) — and
+       runs last in serial mode too so output order matches any -j. *)
+    let pooled, serial_tail =
+      List.partition (fun (name, _, _) -> name <> "micro") selected
     in
-    report ~jobs ~timings ~harness_wall:(Unix.gettimeofday () -. t0)
+    let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+    Pool.set_ambient pool;
+    let jobs_used = match pool with None -> 1 | Some p -> Pool.size p in
+    let t0 = Unix.gettimeofday () in
+    let timings = Pool.run (List.map (fun (name, _, f) -> instrumented name f) pooled) in
+    Pool.set_ambient None;
+    Option.iter Pool.shutdown pool;
+    let tail_timings =
+      List.map (fun (name, _, f) -> instrumented name f ()) serial_tail
+    in
+    let harness_wall = Unix.gettimeofday () -. t0 in
+    report ~jobs:jobs_used ~timings:(timings @ tail_timings) ~harness_wall

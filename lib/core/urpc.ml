@@ -15,7 +15,19 @@ let k_normal = 0
 let k_dup = 1
 let k_dropped = 2
 
-type 'a delivery = { payload : 'a; slot_addr : int; lines : int; kind : int }
+(* Mutable and freelist-linked: one record travels sender -> wire queue ->
+   receive mailbox and is recycled through the channel's [free] list once
+   the receiver has read the payload, so steady-state messaging allocates
+   nothing per message. [visible_at] rides in the record rather than a
+   (time, delivery) tuple on the wire queue. *)
+type 'a delivery = {
+  mutable payload : 'a;
+  mutable slot_addr : int;
+  mutable lines : int;
+  mutable kind : int;
+  mutable visible_at : int;
+  mutable next_free : 'a delivery option;
+}
 
 type 'a t = {
   m : Machine.t;
@@ -32,7 +44,9 @@ type 'a t = {
   (* In-flight messages awaiting visibility, drained by one persistent
      per-channel sequencer task (spawned on first send). [visible_at] is
      monotonic per channel, so queue order is delivery order. *)
-  wire_q : (int * 'a delivery) Queue.t;
+  wire_q : 'a delivery Queue.t;
+  (* Recycled delivery records (capped in practice by ring slots + 1). *)
+  mutable free : 'a delivery option;
   mutable wire_spawned : bool;
   mutable wire_waker : Engine.waker option;  (* parked sequencer, if idle *)
   mutable last_visible : int;
@@ -86,6 +100,7 @@ let create_prealloc (type a) m ~sender ~receiver ?(slots = 16) ?(prefetch = fals
     prefetch;
     chan_name = name;
     wire_q = Queue.create ();
+    free = None;
     wire_spawned = false;
     wire_waker = None;
     last_visible = 0;
@@ -131,25 +146,49 @@ let post_message t ~slot_addr ~lines =
    message used to — minus a task creation/teardown and a continuation
    allocation per message, and minus the wake-up event entirely when
    messages are in flight back to back. *)
+(* Pull a delivery record off the channel freelist (or allocate the first
+   few); released by the receiver once the payload has been read, or at the
+   wire for an injected drop. *)
+let get_delivery t ~payload ~slot_addr ~lines ~kind ~visible_at =
+  match t.free with
+  | Some d ->
+    t.free <- d.next_free;
+    d.next_free <- None;
+    d.payload <- payload;
+    d.slot_addr <- slot_addr;
+    d.lines <- lines;
+    d.kind <- kind;
+    d.visible_at <- visible_at;
+    d
+  | None -> { payload; slot_addr; lines; kind; visible_at; next_free = None }
+
+let release_delivery t d =
+  d.next_free <- t.free;
+  t.free <- Some d
+
 let rec wire_loop t =
-  match Queue.take_opt t.wire_q with
-  | Some (visible_at, d) ->
-    Engine.wait_until visible_at;
-    if d.kind = k_dropped then
+  if Queue.is_empty t.wire_q then begin
+    Engine.suspend (fun w -> t.wire_waker <- Some w);
+    wire_loop t
+  end
+  else begin
+    let d = Queue.take t.wire_q in
+    Engine.wait_until d.visible_at;
+    if d.kind = k_dropped then begin
       (* Injected loss: the slot is reclaimed (the sender's ring index
          advances regardless) but the receiver never sees the message. *)
-      Sync.Semaphore.release t.flow
+      Sync.Semaphore.release t.flow;
+      release_delivery t d
+    end
     else begin
       Sync.Mailbox.send t.box d;
       (match t.notify with Some f -> f () | None -> ())
     end;
     wire_loop t
-  | None ->
-    Engine.suspend (fun w -> t.wire_waker <- Some w);
-    wire_loop t
+  end
 
-let wire_post t ~visible_at d =
-  Queue.add (visible_at, d) t.wire_q;
+let wire_post t d =
+  Queue.add d t.wire_q;
   if not t.wire_spawned then begin
     t.wire_spawned <- true;
     (* Name built here, not in [create]: a monitor mesh makes n*(n-1)
@@ -178,7 +217,7 @@ let send t ?(lines = 1) payload =
   if not (Mk_fault.Injector.armed inj) then begin
     t.last_visible <- visible_at;
     t.sent <- t.sent + 1;
-    wire_post t ~visible_at { payload; slot_addr; lines; kind = k_normal }
+    wire_post t (get_delivery t ~payload ~slot_addr ~lines ~kind:k_normal ~visible_at)
   end
   else begin
     (* Fault point: the injector decides this message's fate. Delay is
@@ -195,12 +234,12 @@ let send t ?(lines = 1) payload =
     t.sent <- t.sent + 1;
     match fate with
     | Mk_fault.Injector.Drop ->
-      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_dropped }
+      wire_post t (get_delivery t ~payload ~slot_addr ~lines ~kind:k_dropped ~visible_at)
     | Mk_fault.Injector.Dup ->
-      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_normal };
-      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_dup }
+      wire_post t (get_delivery t ~payload ~slot_addr ~lines ~kind:k_normal ~visible_at);
+      wire_post t (get_delivery t ~payload ~slot_addr ~lines ~kind:k_dup ~visible_at)
     | Mk_fault.Injector.Deliver | Mk_fault.Injector.Delay _ ->
-      wire_post t ~visible_at { payload; slot_addr; lines; kind = k_normal }
+      wire_post t (get_delivery t ~payload ~slot_addr ~lines ~kind:k_normal ~visible_at)
   end
 
 (* Receive-side cost once a message line is visible: fetch each line from
@@ -228,7 +267,9 @@ let charge_receive t (d : 'a delivery) =
   t.received <- t.received + 1;
   (* A duplicate redelivers a slot whose flow credit was already returned. *)
   if d.kind <> k_dup then Sync.Semaphore.release t.flow;
-  d.payload
+  let v = d.payload in
+  release_delivery t d;
+  v
 
 let recv t =
   let d = Sync.Mailbox.recv t.box in

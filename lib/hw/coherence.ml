@@ -72,6 +72,12 @@ type t = {
   (* Fault injector consulted for link degradation; [Injector.none] (and
      one armed-flag read per transaction) on the zero-fault path. *)
   mutable inj : Mk_fault.Injector.t;
+  (* -- access-outcome scratch (see the comment above [prepare_load]) -- *)
+  mutable o_kind : int;  (* 0 = hit, 1 = local, 2 = fabric transaction *)
+  mutable o_lat : int;
+  mutable o_home : int;
+  mutable o_src_port : int;  (* sourcing core's cache port; -1 = none *)
+  mutable o_line : line;  (* per-line storm slot; [dummy_line] = none *)
 }
 
 (* Dword accounting per the HT convention the paper uses for Table 4:
@@ -142,6 +148,11 @@ let create ?cache_lines_per_core plat counters =
     path_refs;
     probe_refs;
     inj = Mk_fault.Injector.none;
+    o_kind = 0;
+    o_lat = 0;
+    o_home = 0;
+    o_src_port = -1;
+    o_line = dummy_line;
   }
 
 let set_fault t inj = t.inj <- inj
@@ -203,9 +214,9 @@ let home_of t ~line =
   | None -> pinned_home_of t line
 
 let get_line t ~core line =
-  match Inttbl.find t.lines line with
-  | l -> l
-  | exception Not_found ->
+  let l = Inttbl.find_or t.lines line dummy_line in
+  if l != dummy_line then l
+  else begin
     let home =
       match pinned_home_of t line with Some n -> n | None -> t.pkg.(core)
     in
@@ -221,6 +232,7 @@ let get_line t ~core line =
     in
     Inttbl.set t.lines line l;
     l
+  end
 
 (* Charge dword traffic along the route between two packages, keeping the
    direction of travel (Table 4 reports per-direction link utilization). *)
@@ -248,9 +260,8 @@ let forget t ~core lid =
   match t.lrus.(core) with Some lru -> Lru.remove lru lid | None -> ()
 
 let evict t ~core victim_lid =
-  match Inttbl.find_opt t.lines victim_lid with
-  | None -> ()
-  | Some v ->
+  let v = Inttbl.find_or t.lines victim_lid dummy_line in
+  if v != dummy_line then begin
     if v.tag = tag_modified && v.excl = core then begin
       (* Dirty eviction: write the line back to its home. *)
       charge_path t t.pkg.(core) v.home data_dwords;
@@ -262,6 +273,7 @@ let evict t ~core victim_lid =
       if Bitset.is_empty v.sharers then v.tag <- tag_invalid;
       if v.owner = core then v.owner <- -1
     end
+  end
 
 (* Record that [core] now caches [lid]; handle any capacity eviction. *)
 let note_presence t ~core lid =
@@ -273,13 +285,33 @@ let note_presence t ~core lid =
      | Some _ | None -> ())
 
 (* What a memory access must do, decided from the line state. State
-   transitions, counters and traffic happen here; how the latency is
-   realized (blocking wait vs posted/async delay) is up to the caller. *)
-type outcome =
-  | Hit
-  | Local of int  (* within a share group: no fabric involvement *)
-  | Txn of { home : int; lat : int; source_port : int option; ln : line option }
-      (* [ln]: serialize this transaction per line (owner-sourced data) *)
+   transitions, counters and traffic happen in [prepare_load]/
+   [prepare_store]; how the latency is realized (blocking wait vs
+   posted/async delay) is up to the caller via [realize_*].
+
+   The decision lives in the [o_*] scratch fields of [t] rather than an
+   allocated variant: a prepare/realize pair runs back-to-back on every
+   simulated load and store, and boxing the latency/home/port/line per
+   access was a measurable slice of the event allocation budget. The only
+   code between a prepare and its realize is straight-line (no scheduling
+   point), except inside [realize_posted] itself, which copies the fields
+   to locals before flushing. Kinds: *)
+let k_hit = 0
+let k_local = 1  (* within a share group: no fabric involvement *)
+let k_txn = 2  (* fabric transaction; [o_line] set = per-line storm slot *)
+
+let set_hit t = t.o_kind <- k_hit
+
+let set_local t lat =
+  t.o_kind <- k_local;
+  t.o_lat <- lat
+
+let set_txn t ~home ~lat ~src_port ~ln =
+  t.o_kind <- k_txn;
+  t.o_lat <- lat;
+  t.o_home <- home;
+  t.o_src_port <- src_port;
+  t.o_line <- ln
 
 (* A posted access moves line state at the caller's *virtual* time while
    the engine clock may lag by the banked charge. Posted accesses only
@@ -310,7 +342,7 @@ let prepare_load t ~core addr =
   note_presence t ~core lid;
   if l.tag = tag_modified then begin
     let o = l.excl in
-    if o = core then Hit
+    if o = core then set_hit t
     else begin
       Perfcounter.count_miss t.counters ~core;
       Perfcounter.count_c2c t.counters ~core;
@@ -318,17 +350,17 @@ let prepare_load t ~core addr =
       Bitset.clear l.sharers;
       Bitset.add l.sharers core;
       Bitset.add l.sharers o;
-      if is_local_group t core o then Local p.Platform.shared_cache_fetch
+      if is_local_group t core o then set_local t p.Platform.shared_cache_fetch
       else begin
         let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
-        Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+        set_txn t ~home:l.home ~lat ~src_port:o ~ln:l
       end
     end
   end
   else if l.tag = tag_shared then begin
-    if Bitset.mem l.sharers core then Hit
+    if Bitset.mem l.sharers core then set_hit t
     else begin
       Perfcounter.count_miss t.counters ~core;
       Bitset.add l.sharers core;
@@ -339,17 +371,17 @@ let prepare_load t ~core addr =
         let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
-        Txn { home = l.home; lat; source_port = Some o; ln = Some l }
+        set_txn t ~home:l.home ~lat ~src_port:o ~ln:l
       end
       else if o >= 0 && o <> core then begin
         Perfcounter.count_c2c t.counters ~core;
-        Local p.Platform.shared_cache_fetch
+        set_local t p.Platform.shared_cache_fetch
       end
       else begin
         Perfcounter.count_dram t.counters ~core;
         let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
         charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
-        Txn { home = l.home; lat; source_port = None; ln = None }
+        set_txn t ~home:l.home ~lat ~src_port:(-1) ~ln:dummy_line
       end
     end
   end
@@ -361,7 +393,7 @@ let prepare_load t ~core addr =
     Bitset.add l.sharers core;
     let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
     charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
-    Txn { home = l.home; lat; source_port = None; ln = None }
+    set_txn t ~home:l.home ~lat ~src_port:(-1) ~ln:dummy_line
   end
 
 let prepare_store t ~core addr =
@@ -374,20 +406,20 @@ let prepare_store t ~core addr =
   l.owner <- core;
   if l.tag = tag_modified then begin
     let o = l.excl in
-    if o = core then Hit
+    if o = core then set_hit t
     else begin
       Perfcounter.count_miss t.counters ~core;
       Perfcounter.count_c2c t.counters ~core;
       forget t ~core:o lid;
       l.excl <- core;
-      if is_local_group t core o then Local p.Platform.shared_cache_fetch
+      if is_local_group t core o then set_local t p.Platform.shared_cache_fetch
       else begin
         let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         (* Migratory write: ownership moves between different cores, so
            successive transfers pipeline (no per-line storm slot). *)
-        Txn { home = l.home; lat; source_port = Some o; ln = None }
+        set_txn t ~home:l.home ~lat ~src_port:o ~ln:dummy_line
       end
     end
   end
@@ -396,7 +428,7 @@ let prepare_store t ~core addr =
       (* Silent E->M upgrade. *)
       l.tag <- tag_modified;
       l.excl <- core;
-      Hit
+      set_hit t
     end
     else begin
       Perfcounter.count_miss t.counters ~core;
@@ -416,12 +448,12 @@ let prepare_store t ~core addr =
         l.sharers;
       l.tag <- tag_modified;
       l.excl <- core;
-      if !far = 0 then Local p.Platform.shared_cache_fetch
+      if !far = 0 then set_local t p.Platform.shared_cache_fetch
       else begin
         (* Invalidation probes broadcast across the fabric; latency bounded
            by the farthest sharer. *)
         charge_probe_broadcast t;
-        Txn { home = l.home; lat = !far; source_port = None; ln = None }
+        set_txn t ~home:l.home ~lat:!far ~src_port:(-1) ~ln:dummy_line
       end
     end
   end
@@ -432,7 +464,7 @@ let prepare_store t ~core addr =
     l.excl <- core;
     let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
     charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
-    Txn { home = l.home; lat; source_port = None; ln = None }
+    set_txn t ~home:l.home ~lat ~src_port:(-1) ~ln:dummy_line
   end
 
 (* Realize an outcome without blocking: reserve the serialized resources
@@ -442,12 +474,16 @@ let prepare_store t ~core addr =
    same cache cannot start until the first response has left), which is
    what serializes reader storms on one line. Both overlap the transfer
    latency itself. *)
-let realize_posted t outcome =
+let realize_posted t =
   let p = t.plat in
-  match outcome with
-  | Hit -> p.Platform.l1_hit
-  | Local lat -> lat
-  | Txn { home; lat; source_port; ln } ->
+  if t.o_kind = k_hit then p.Platform.l1_hit
+  else if t.o_kind = k_local then t.o_lat
+  else begin
+    (* Copy the scratch outcome to locals BEFORE flushing: the flush is a
+       scheduling point that can run other tasks, and their accesses
+       overwrite the shared scratch fields. *)
+    let home = t.o_home and lat = t.o_lat in
+    let src_port = t.o_src_port and ln = t.o_line in
     (* A transaction serializes on shared resources (directory, source
        port, per-line storm slot): those queues must be joined at the true
        simulated time and in true event order, so pay any banked charge
@@ -457,21 +493,21 @@ let realize_posted t outcome =
     let occ = p.Platform.dir_occupancy in
     let dir_done = Resource.reserve_at t.dirs.(home) ~now occ in
     let port_done =
-      match source_port with
-      | Some src -> Resource.reserve_at t.ports.(src) ~now port_occupancy
-      | None -> dir_done
+      if src_port >= 0 then Resource.reserve_at t.ports.(src_port) ~now port_occupancy
+      else dir_done
     in
-    (match ln with
-     | Some l ->
-       (* Owner-sourced transfer: readers of one dirty line are serviced
-          one at a time; each service slot spans directory lookup, port
-          turnaround and the transfer itself. An uncontended access still
-          completes in [lat]. *)
-       let slot_start = max now l.line_busy_until in
-       l.line_busy_until <- slot_start + occ + port_occupancy + lat;
-       let data_at = slot_start + lat in
-       max (max lat (max dir_done port_done - now)) (data_at - now)
-     | None -> max lat (max dir_done port_done - now))
+    if ln != dummy_line then begin
+      (* Owner-sourced transfer: readers of one dirty line are serviced
+         one at a time; each service slot spans directory lookup, port
+         turnaround and the transfer itself. An uncontended access still
+         completes in [lat]. *)
+      let slot_start = max now ln.line_busy_until in
+      ln.line_busy_until <- slot_start + occ + port_occupancy + lat;
+      let data_at = slot_start + lat in
+      max (max lat (max dir_done port_done - now)) (data_at - now)
+    end
+    else max lat (max dir_done port_done - now)
+  end
 
 (* Blocking realization. A blocking access is an *interaction point*, not a
    pure delay: callers use its completion to order their own shared-state
@@ -479,23 +515,25 @@ let realize_posted t outcome =
    work-queue heads), so the whole access — including a Hit — must happen
    at the true simulated time. Banking a Hit here deadlocked the futex
    barrier: the sleeper's arrival slid ahead of the waker's scan. *)
-let realize_blocking t outcome =
-  match outcome with
-  | Hit -> Engine.wait t.plat.Platform.l1_hit
-  | Local lat -> Engine.wait lat
-  | Txn _ -> Engine.wait (realize_posted t outcome)
+let realize_blocking t =
+  if t.o_kind = k_hit then Engine.wait t.plat.Platform.l1_hit
+  else if t.o_kind = k_local then Engine.wait t.o_lat
+  else Engine.wait (realize_posted t)
 
 let load t ~core addr =
   Engine.flush_charge ();
-  realize_blocking t (prepare_load t ~core addr)
+  prepare_load t ~core addr;
+  realize_blocking t
 
 let load_async t ~core addr =
   access_flush t;
-  realize_posted t (prepare_load t ~core addr)
+  prepare_load t ~core addr;
+  realize_posted t
 
 let store t ~core addr =
   Engine.flush_charge ();
-  realize_blocking t (prepare_store t ~core addr)
+  prepare_store t ~core addr;
+  realize_blocking t
 
 (* Blocking store to a line the call site guarantees is effectively
    core-private (URPC ring/channel-state words: one sender task, readers
@@ -506,16 +544,15 @@ let store t ~core addr =
    the shared directory queues and waits. *)
 let store_local t ~core addr =
   access_flush t;
-  let outcome = prepare_store t ~core addr in
-  match outcome with
-  | Hit -> Engine.charge t.plat.Platform.l1_hit
-  | Local lat -> Engine.charge lat
-  | Txn _ -> Engine.wait (realize_posted t outcome)
+  prepare_store t ~core addr;
+  if t.o_kind = k_hit then Engine.charge t.plat.Platform.l1_hit
+  else if t.o_kind = k_local then Engine.charge t.o_lat
+  else Engine.wait (realize_posted t)
 
 let store_posted t ~core addr =
   access_flush t;
-  let outcome = prepare_store t ~core addr in
-  let delay = realize_posted t outcome in
+  prepare_store t ~core addr;
+  let delay = realize_posted t in
   (* The posted-store pipeline drain is a fixed local cost. *)
   Engine.charge store_post_cost;
   max 0 (delay - store_post_cost)

@@ -9,18 +9,24 @@
    patterns — page-aligned addresses map to lines 64 apart — spread over
    the table instead of clustering in a few residue classes.
 
-   No deletion: the line table only grows (lines are never forgotten,
-   only state-changed), which keeps probe sequences valid for free. *)
+   Deletion uses tombstones (-2) so probe runs over deleted slots stay
+   valid: lookups skip them, inserts reuse the first one seen on their
+   probe path, and a rehash (triggered by the occupied count, live keys
+   plus tombstones) drops them all. The coherence line table never
+   deletes, so its probes never even see a tombstone branch taken. *)
 
 type 'a t = {
   dummy : 'a;
-  mutable keys : int array;  (* -1 = empty slot *)
+  mutable keys : int array;  (* -1 = empty slot, -2 = tombstone *)
   mutable vals : 'a array;
   mutable mask : int;  (* capacity - 1; capacity is a power of two *)
-  mutable size : int;
+  mutable size : int;  (* live bindings *)
+  mutable occupied : int;  (* live bindings + tombstones *)
 }
 
 let fib = 0x2545F4914F6CDD1D
+let empty = -1
+let tomb = -2
 
 (* Multiplicative hash folded to the table size; the xor-shift mixes the
    well-scrambled high bits into the low bits the mask keeps. *)
@@ -30,64 +36,111 @@ let slot_of ~mask key =
 
 let create ?(initial_bits = 12) ~dummy () =
   let cap = 1 lsl initial_bits in
-  { dummy; keys = Array.make cap (-1); vals = Array.make cap dummy; mask = cap - 1; size = 0 }
+  {
+    dummy;
+    keys = Array.make cap empty;
+    vals = Array.make cap dummy;
+    mask = cap - 1;
+    size = 0;
+    occupied = 0;
+  }
 
 let length t = t.size
 
-let rec probe keys mask key i =
+(* Lookup probe: the slot holding [key], or -1 if absent. Tombstones are
+   skipped; an empty slot ends the run. *)
+let rec probe_find keys mask key i =
   let k = Array.unsafe_get keys i in
-  if k = key || k = -1 then i else probe keys mask key ((i + 1) land mask)
+  if k = key then i
+  else if k = empty then -1
+  else probe_find keys mask key ((i + 1) land mask)
 
-let index t key = probe t.keys t.mask key (slot_of ~mask:t.mask key)
+(* Insert probe: the slot holding [key] if bound, else the first tombstone
+   of the probe path (slot reuse), else the terminating empty slot. *)
+let rec probe_insert keys mask key i reuse =
+  let k = Array.unsafe_get keys i in
+  if k = key then i
+  else if k = empty then (if reuse >= 0 then reuse else i)
+  else
+    probe_insert keys mask key
+      ((i + 1) land mask)
+      (if k = tomb && reuse < 0 then i else reuse)
 
 let find t key =
   if key < 0 then invalid_arg "Inttbl.find: negative key";
-  let i = index t key in
-  if Array.unsafe_get t.keys i = key then Array.unsafe_get t.vals i
-  else raise Not_found
+  let i = probe_find t.keys t.mask key (slot_of ~mask:t.mask key) in
+  if i >= 0 then Array.unsafe_get t.vals i else raise Not_found
 
 let find_opt t key =
   match find t key with v -> Some v | exception Not_found -> None
 
-let mem t key = key >= 0 && t.keys.(index t key) = key
+(* Option-free lookup for hot paths: the caller supplies the absent value
+   (typically the same sentinel used as [dummy]) and compares physically. *)
+let find_or t key default =
+  if key < 0 then invalid_arg "Inttbl.find_or: negative key";
+  let i = probe_find t.keys t.mask key (slot_of ~mask:t.mask key) in
+  if i >= 0 then Array.unsafe_get t.vals i else default
 
-let grow t =
-  let ncap = (t.mask + 1) * 2 in
-  let nkeys = Array.make ncap (-1) in
+let mem t key =
+  key >= 0 && probe_find t.keys t.mask key (slot_of ~mask:t.mask key) >= 0
+
+(* Rebuild, dropping tombstones; the capacity only doubles when the *live*
+   population needs it, so delete-heavy churn compacts in place. *)
+let rehash t =
+  let ncap =
+    if 2 * (t.size + 1) > t.mask + 1 then (t.mask + 1) * 2 else t.mask + 1
+  in
+  let nkeys = Array.make ncap empty in
   let nvals = Array.make ncap t.dummy in
   let nmask = ncap - 1 in
   for i = 0 to t.mask do
     let k = t.keys.(i) in
     if k >= 0 then begin
-      let j = probe nkeys nmask k (slot_of ~mask:nmask k) in
+      let j = probe_insert nkeys nmask k (slot_of ~mask:nmask k) (-1) in
       nkeys.(j) <- k;
       nvals.(j) <- t.vals.(i)
     end
   done;
   t.keys <- nkeys;
   t.vals <- nvals;
-  t.mask <- nmask
+  t.mask <- nmask;
+  t.occupied <- t.size
 
-(* Insert [key -> v]; overwrites any existing binding. Load factor is kept
-   at or below 1/2 so linear-probe runs stay short. *)
+(* Insert [key -> v]; overwrites any existing binding. Occupancy (live +
+   tombstones) is kept at or below 1/2 so linear-probe runs stay short. *)
 let set t key v =
   if key < 0 then invalid_arg "Inttbl.set: negative key";
-  let i = index t key in
+  let i = probe_insert t.keys t.mask key (slot_of ~mask:t.mask key) (-1) in
   if t.keys.(i) = key then t.vals.(i) <- v
   else begin
-    if 2 * (t.size + 1) > t.mask + 1 then begin
-      grow t;
-      let j = index t key in
+    if t.keys.(i) = empty && 2 * (t.occupied + 1) > t.mask + 1 then begin
+      rehash t;
+      (* A fresh table has no tombstones: the probe lands on an empty. *)
+      let j = probe_insert t.keys t.mask key (slot_of ~mask:t.mask key) (-1) in
       t.keys.(j) <- key;
-      t.vals.(j) <- v
+      t.vals.(j) <- v;
+      t.occupied <- t.occupied + 1
     end
     else begin
+      if t.keys.(i) = empty then t.occupied <- t.occupied + 1;
       t.keys.(i) <- key;
       t.vals.(i) <- v
     end;
     t.size <- t.size + 1
   end
 
+let remove t key =
+  if key < 0 then invalid_arg "Inttbl.remove: negative key";
+  let i = probe_find t.keys t.mask key (slot_of ~mask:t.mask key) in
+  if i >= 0 then begin
+    t.keys.(i) <- tomb;
+    t.vals.(i) <- t.dummy;  (* release the value for the GC *)
+    t.size <- t.size - 1
+  end
+
+(* Slot order: deterministic for a given operation history (probing and
+   tombstone reuse are pure functions of it), which is what keeps
+   iteration-driven output stable across delete/re-add churn. *)
 let iter f t =
   for i = 0 to t.mask do
     if t.keys.(i) >= 0 then f t.keys.(i) t.vals.(i)

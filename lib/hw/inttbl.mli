@@ -1,9 +1,14 @@
 (** Open-addressed hash table for non-negative int keys.
 
-    Power-of-two capacity, linear probing, load factor kept at or below
-    1/2, no deletion. Built for the coherence model's line table, which is
-    probed on every simulated load/store: a lookup scans a flat int array
-    and touches the value array once, with no allocation. *)
+    Power-of-two capacity, linear probing, occupancy (live bindings plus
+    tombstones) kept at or below 1/2. Built for the coherence model's line
+    table, which is probed on every simulated load/store: a lookup scans a
+    flat int array and touches the value array once, with no allocation.
+
+    Deletion marks the slot with a tombstone; a later insert on the same
+    probe path reuses it, and rehashes drop tombstones entirely. Probe
+    behaviour and iteration order are deterministic functions of the
+    operation history. *)
 
 type 'a t
 
@@ -18,9 +23,21 @@ val find : 'a t -> int -> 'a
 (** @raise Not_found if the key is absent. *)
 
 val find_opt : 'a t -> int -> 'a option
+
+val find_or : 'a t -> int -> 'a -> 'a
+(** [find_or t key default] is the bound value, or [default] when the key
+    is absent — no option allocation, for per-event probe paths. Callers
+    typically pass their [dummy] sentinel and compare physically. *)
+
 val mem : _ t -> int -> bool
 
 val set : 'a t -> int -> 'a -> unit
 (** Bind a key, overwriting any existing binding. *)
 
+val remove : 'a t -> int -> unit
+(** Unbind a key (no-op when absent). Leaves a tombstone that keeps other
+    keys' probe runs valid; the slot is reused by later inserts and
+    reclaimed on rehash. *)
+
 val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate in slot order — deterministic for a given operation history. *)

@@ -40,6 +40,9 @@ type t = {
   mutable fq_len : int;
   mutable live : int;
   mutable executed : int;
+  (* Names of live tasks, for Stalled diagnostics: task id -> ~name. *)
+  names : (int, string) Hashtbl.t;
+  mutable next_task : int;
 }
 
 let nop () = ()
@@ -48,7 +51,10 @@ let create () =
   {
     now = 0;
     seq = 0;
-    heap = Heap.create ();
+    (* Pre-sized with the engine's own dummy thunk so the first far-future
+       event of a run does not pay the backing-array allocation mid-flight;
+       the arrays are recycled across runs of a [reset] engine. *)
+    heap = Heap.create ~dummy:nop ();
     wheel = Wheel.create ~dummy:nop;
     fq_seq = Array.make 64 0;
     fq_thunk = Array.make 64 nop;
@@ -56,7 +62,23 @@ let create () =
     fq_len = 0;
     live = 0;
     executed = 0;
+    names = Hashtbl.create 16;
+    next_task = 0;
   }
+
+(* Rewind an *idle* engine (no pending events, no live tasks) to t=0 so its
+   FIFO rings, wheel slots and heap arrays are reused by the next run
+   instead of reallocated — the bechamel engine micro-bench measures
+   spawn+run, not allocator traffic for a fresh engine. [executed] keeps
+   accumulating: it counts the engine's lifetime, not a run. *)
+let reset t =
+  if
+    t.live > 0 || t.fq_len > 0
+    || not (Heap.is_empty t.heap)
+    || not (Wheel.is_empty t.wheel)
+  then invalid_arg "Engine.reset: engine busy (live tasks or pending events)";
+  t.now <- 0;
+  t.seq <- 0
 
 let now t = t.now
 let events_executed t = t.executed
@@ -88,22 +110,26 @@ type charge_cell = {
   mutable pending : int;  (* banked delay, flushed at interaction points *)
   mutable deferred : int;  (* charges banked (would-be wait events) *)
   mutable flushes : int;  (* waits actually performed to drain the bank *)
+  mutable fuse : bool;  (* fusion enabled on this domain *)
 }
-
-let domain_charge : charge_cell Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { pending = 0; deferred = 0; flushes = 0 })
 
 (* Referee switch: MK_NO_FUSION=1 (or [set_fusion false]) makes [charge]
    behave exactly like [wait], so CI can diff full bench outputs
-   fused-vs-unfused. *)
-let fusion =
-  ref
-    (match Sys.getenv_opt "MK_NO_FUSION" with
-     | None | Some "" | Some "0" -> true
-     | Some _ -> false)
+   fused-vs-unfused. The flag lives in the per-domain charge cell — not a
+   process global — so pool workers can run fused and unfused simulations
+   concurrently (the fusion-equivalence property does exactly that), and
+   the hot [charge] path reads it from the cell it already fetched. *)
+let fusion_default =
+  match Sys.getenv_opt "MK_NO_FUSION" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
 
-let set_fusion b = fusion := b
-let fusion_enabled () = !fusion
+let domain_charge : charge_cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { pending = 0; deferred = 0; flushes = 0; fuse = fusion_default })
+
+let set_fusion b = (Domain.DLS.get domain_charge).fuse <- b
+let fusion_enabled () = (Domain.DLS.get domain_charge).fuse
 let pending_charge () = (Domain.DLS.get domain_charge).pending
 
 (* Scheduler events saved by coalescing so far on this domain: each
@@ -206,6 +232,9 @@ let flush_charge () =
    smaller final clock than an unfused one. *)
 let rec exec t (name : string) f =
   t.live <- t.live + 1;
+  let tid = t.next_task in
+  t.next_task <- tid + 1;
+  Hashtbl.replace t.names tid name;
   let open Effect.Deep in
   match_with
     (fun () ->
@@ -215,10 +244,14 @@ let rec exec t (name : string) f =
         flush_charge ();
         raise Halted)
     ()
-    { retc = (fun () -> t.live <- t.live - 1);
+    { retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          Hashtbl.remove t.names tid);
       exnc =
         (fun e ->
           t.live <- t.live - 1;
+          Hashtbl.remove t.names tid;
           (* Drop, don't pay, the bank on a crash: the next slice on this
              domain must not inherit a dead task's pending delay. *)
           (Domain.DLS.get domain_charge).pending <- 0;
@@ -297,8 +330,22 @@ let run t ?until ?(allow_stall = true) () =
     let have_w = not (Wheel.is_empty t.wheel) in
     let have_h = not (Heap.is_empty t.heap) in
     if not have_f && not have_w && not have_h then begin
-      if t.live > 0 && not allow_stall then
-        raise (Stalled (Printf.sprintf "%d task(s) suspended forever at t=%d" t.live t.now))
+      if t.live > 0 && not allow_stall then begin
+        (* Name the stuck tasks (in spawn order, capped) — "3 tasks
+           suspended" alone sends the reader straight to a debugger. *)
+        let ids = Hashtbl.fold (fun id nm acc -> (id, nm) :: acc) t.names [] in
+        let names = List.sort compare ids |> List.map snd in
+        let cap = 8 in
+        let shown = List.filteri (fun i _ -> i < cap) names in
+        let extra = List.length names - List.length shown in
+        let who =
+          String.concat ", " shown
+          ^ (if extra > 0 then Printf.sprintf ", ... (+%d more)" extra else "")
+        in
+        raise
+          (Stalled
+             (Printf.sprintf "%d task(s) suspended forever at t=%d: %s" t.live t.now who))
+      end
     end
     else begin
       (* Next event by (time, seq) across the three fronts. FIFO entries
@@ -368,8 +415,8 @@ let wait n =
   Effect.perform (E_wait n)
 
 let charge n =
-  if !fusion && n > 0 then begin
-    let c = Domain.DLS.get domain_charge in
+  let c = Domain.DLS.get domain_charge in
+  if c.fuse && n > 0 then begin
     c.pending <- c.pending + n;
     c.deferred <- c.deferred + 1
   end

@@ -14,9 +14,17 @@ type t
 
 exception Stalled of string
 (** Raised by {!run} when live tasks remain but no event is pending
-    (every remaining task is suspended forever) and [allow_stall] is false. *)
+    (every remaining task is suspended forever) and [allow_stall] is false.
+    The message names the suspended tasks (their [~name]s, in spawn order,
+    capped at eight) alongside the count and the stall time. *)
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Rewind an idle engine to [t = 0], recycling its FIFO rings, wheel
+    slots and heap arrays for the next run instead of reallocating them.
+    {!events_executed} keeps accumulating across resets.
+    @raise Invalid_argument if tasks are live or events are pending. *)
 
 val now : t -> int
 (** Current simulated time. *)
@@ -42,10 +50,12 @@ val domain_events_fused : unit -> int
     neither as executed nor as fused. *)
 
 val set_fusion : bool -> unit
-(** Enable/disable latency-charge fusion (default: enabled unless the
-    [MK_NO_FUSION] environment variable is set to a non-zero value). With
-    fusion off, {!charge} performs a plain {!wait}: the referee mode CI
-    uses to check that fused and unfused runs are bit-identical. *)
+(** Enable/disable latency-charge fusion on the {e current domain}
+    (default: enabled unless the [MK_NO_FUSION] environment variable is
+    set to a non-zero value). With fusion off, {!charge} performs a plain
+    {!wait}: the referee mode CI uses to check that fused and unfused runs
+    are bit-identical. The flag is per-domain so parallel pool jobs can
+    run in different modes concurrently. *)
 
 val fusion_enabled : unit -> bool
 

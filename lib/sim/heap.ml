@@ -21,7 +21,14 @@ type 'a t = {
    itself uses the zero-allocation primitives below. *)
 type 'a entry = { time : int; seq : int; payload : 'a }
 
-let create () = { times = [||]; seqs = [||]; payloads = [||]; size = 0 }
+(* With [~dummy] the backing arrays are pre-sized at creation (and the
+   payload array has a fill value), so the first push of a run never pays
+   the seed allocation; without it they are seeded lazily by [push]. *)
+let create ?dummy () =
+  match dummy with
+  | None -> { times = [||]; seqs = [||]; payloads = [||]; size = 0 }
+  | Some d ->
+    { times = Array.make 64 0; seqs = Array.make 64 0; payloads = Array.make 64 d; size = 0 }
 
 let length h = h.size
 

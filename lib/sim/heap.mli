@@ -14,7 +14,11 @@ type 'a t
 
 type 'a entry = { time : int; seq : int; payload : 'a }
 
-val create : unit -> 'a t
+val create : ?dummy:'a -> unit -> 'a t
+(** [?dummy] pre-sizes the backing arrays at creation (it fills unused
+    payload slots and is never returned); omitted, the arrays are seeded
+    lazily by the first {!push}. *)
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 

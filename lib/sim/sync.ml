@@ -58,27 +58,30 @@ module Mailbox = struct
   let create () = { items = Queue.create (); waiters = Queue.create () }
 
   let rec wake_one q =
-    match Queue.take_opt q with
-    | None -> ()
-    | Some e ->
+    if not (Queue.is_empty q) then begin
+      let e = Queue.take q in
       if e.stale then wake_one q
       else begin
         e.stale <- true;
         wake e.waker
       end
+    end
 
   let send t v =
     Engine.flush_charge ();
     Queue.add v t.items;
     wake_one t.waiters
 
+  (* [is_empty]/[take] rather than [take_opt]: the mailbox hand-off is on
+     the URPC per-message path, and [take_opt] boxes every received value
+     in an option. *)
   let rec recv t =
     Engine.flush_charge ();
-    match Queue.take_opt t.items with
-    | Some v -> v
-    | None ->
+    if Queue.is_empty t.items then begin
       Engine.suspend (fun w -> Queue.add { stale = false; waker = w } t.waiters);
       recv t
+    end
+    else Queue.take t.items
 
   (* Timed receive. A watchdog task marks the entry stale at the deadline
      and fires its waker; whichever of send/watchdog runs first wins the
@@ -140,7 +143,7 @@ module Semaphore = struct
   let release t =
     Engine.flush_charge ();
     t.count <- t.count + 1;
-    match Queue.take_opt t.waiters with None -> () | Some w -> wake w
+    if not (Queue.is_empty t.waiters) then wake (Queue.take t.waiters)
 
   let available t = t.count
 end
@@ -176,7 +179,7 @@ module Condition = struct
 
   let signal t =
     Engine.flush_charge ();
-    match Queue.take_opt t.waiters with None -> () | Some w -> wake w
+    if not (Queue.is_empty t.waiters) then wake (Queue.take t.waiters)
 
   let broadcast t =
     Engine.flush_charge ();

@@ -161,6 +161,47 @@ let test_stall_detection () =
   Engine.spawn eng2 (fun () -> Engine.suspend (fun _ -> ()));
   Engine.run eng2 ()  (* default tolerates blocked server tasks *)
 
+let test_stalled_names () =
+  (* The Stalled message names the suspended tasks, so a deadlock report
+     points at the culprits instead of just counting them. *)
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"waiter.a" (fun () -> Engine.suspend (fun _ -> ()));
+  Engine.spawn eng ~name:"waiter.b" (fun () ->
+      Engine.wait 5;
+      Engine.suspend (fun _ -> ()));
+  (match Engine.run eng ~allow_stall:false () with
+   | () -> Alcotest.fail "expected Stalled"
+   | exception Engine.Stalled msg ->
+     let has s =
+       let n = String.length s in
+       let rec go i =
+         i + n <= String.length msg && (String.sub msg i n = s || go (i + 1))
+       in
+       go 0
+     in
+     check_bool "names waiter.a" true (has "waiter.a");
+     check_bool "names waiter.b" true (has "waiter.b");
+     check_bool "counts both" true (has "2 task(s)"))
+
+let test_reset () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.wait 37);
+  Engine.run eng ();
+  check_int "ran to 37" 37 (Engine.now eng);
+  Engine.reset eng;
+  check_int "clock rewound" 0 (Engine.now eng);
+  (* A recycled engine replays a fresh schedule identically. *)
+  Engine.spawn eng (fun () -> Engine.wait 12);
+  Engine.run eng ();
+  check_int "second run from 0" 12 (Engine.now eng);
+  (* Busy engines refuse: a suspended-forever task means pending state. *)
+  let eng2 = Engine.create () in
+  Engine.spawn eng2 (fun () -> Engine.suspend (fun _ -> ()));
+  Engine.run eng2 ();
+  match Engine.reset eng2 with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let test_halt () =
   let reached = ref false in
   let eng = Engine.create () in
@@ -283,6 +324,8 @@ let suite =
       tc "run until spills wheel" test_run_until_spills_wheel;
       tc "run until spills fifo batch" test_run_until_spills_fifo_batch;
       tc "stall detection" test_stall_detection;
+      tc "stalled names" test_stalled_names;
+      tc "reset" test_reset;
       tc "halt" test_halt;
       tc "live tasks" test_live_tasks;
       tc "task name" test_task_name;

@@ -1,0 +1,126 @@
+(* The domain pool behind `main.exe -j` and the sharded sweeps: results in
+   submission order, output replayed byte-identically, exceptions
+   re-raised on the submitter, cross-domain counters absorbed. Each test
+   creates and joins its own pool so the process never exits with live
+   workers. *)
+
+open Mk_sim
+open Test_util
+
+let with_pool ~jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_ordered_results () =
+  with_pool ~jobs:4 (fun p ->
+      let r = Pool.run ~pool:p (List.init 20 (fun i () -> i * i)) in
+      check_bool "squares in order" true (r = List.init 20 (fun i -> i * i)))
+
+let test_inline_without_pool () =
+  (* No explicit pool and no ambient pool: run degrades to inline
+     execution on this domain, same results. *)
+  let saved = Pool.ambient () in
+  Pool.set_ambient None;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_ambient saved)
+    (fun () ->
+      let r = Pool.run (List.init 5 (fun i () -> i + 1)) in
+      check_bool "inline" true (r = [ 1; 2; 3; 4; 5 ]))
+
+let test_output_replay_order () =
+  (* Emitted output lands in per-job buffers and replays in submission
+     order — including from nested Pool.run inside a job. *)
+  let buf = Buffer.create 256 in
+  with_pool ~jobs:3 (fun p ->
+      Pool.redirect_to buf (fun () ->
+          ignore
+            (Pool.run ~pool:p
+               (List.init 6 (fun i () ->
+                    Pool.emit (Printf.sprintf "job%d start\n" i);
+                    if i = 2 then
+                      ignore
+                        (Pool.run ~pool:p
+                           [
+                             (fun () -> Pool.emit "nested A\n");
+                             (fun () -> Pool.emit "nested B\n");
+                           ]
+                          : unit list);
+                    Pool.emit (Printf.sprintf "job%d end\n" i)))
+              : unit list)));
+  let expected =
+    String.concat ""
+      (List.init 6 (fun i ->
+           Printf.sprintf "job%d start\n%sjob%d end\n" i
+             (if i = 2 then "nested A\nnested B\n" else "")
+             i))
+  in
+  check_string "deterministic transcript" expected (Buffer.contents buf)
+
+let test_exception_replay () =
+  (* A failing job re-raises on the submitter — but only after every
+     job's output has been replayed, so partial results are visible. *)
+  let buf = Buffer.create 64 in
+  with_pool ~jobs:2 (fun p ->
+      match
+        Pool.redirect_to buf (fun () ->
+            Pool.run ~pool:p
+              [
+                (fun () -> Pool.emit "one\n");
+                (fun () -> failwith "boom");
+                (fun () -> Pool.emit "three\n");
+              ])
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m ->
+        check_string "original exception" "boom" m;
+        check_string "all output replayed" "one\nthree\n" (Buffer.contents buf))
+
+let test_simulation_jobs_deterministic () =
+  (* Independent engines on pool domains produce the same simulated times
+     as inline execution. *)
+  let sim seed () =
+    run_sim (fun () ->
+        Engine.wait (100 + seed);
+        Engine.charge (10 * seed);
+        Engine.flush_charge ();
+        Engine.now_ ())
+  in
+  let jobs = List.init 8 sim in
+  let inline_r = List.map (fun f -> f ()) jobs in
+  with_pool ~jobs:4 (fun p ->
+      check_bool "identical times" true (Pool.run ~pool:p jobs = inline_r))
+
+let test_counter_absorption () =
+  (* Events executed by jobs on worker domains count toward the
+     submitter's totals: a sweep's event/allocation cost is attributed to
+     the bench that sharded it, wherever the shards ran. *)
+  let ev0 = Pool.total_executed () in
+  with_pool ~jobs:4 (fun p ->
+      ignore
+        (Pool.run ~pool:p
+           (List.init 6 (fun _ () ->
+                run_sim (fun () ->
+                    for _ = 1 to 50 do
+                      Engine.wait 1
+                    done)))
+          : unit list));
+  (* >= 300 scheduler events ran somewhere; all must be visible here. *)
+  check_bool "events attributed to submitter" true (Pool.total_executed () - ev0 >= 300)
+
+let test_size_reports_clamp () =
+  with_pool ~jobs:64 (fun p ->
+      let n = Pool.size p in
+      check_bool "at least one domain" true (n >= 1);
+      check_bool "clamped to host" true (n <= Domain.recommended_domain_count ()))
+
+let suite =
+  ( "pool",
+    [
+      tc "ordered results" test_ordered_results;
+      tc "inline without pool" test_inline_without_pool;
+      tc "output replay order" test_output_replay_order;
+      tc "exception replay" test_exception_replay;
+      tc "simulation jobs deterministic" test_simulation_jobs_deterministic;
+      tc "counter absorption" test_counter_absorption;
+      tc "size reports clamp" test_size_reports_clamp;
+    ] )

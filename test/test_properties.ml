@@ -253,6 +253,18 @@ let fusion_observe ~fusion (traces, n_msgs) =
     { snap with Perfcounter.link_dwords = List.sort compare snap.Perfcounter.link_dwords }
   )
 
+(* The two observations run as one 2-job pool batch — fusion on and off
+   concurrently on separate domains when cores allow (the fusion flag is
+   per-domain, so the jobs cannot interfere) — exercising exactly the
+   sharding the bench harness uses. One pool is shared across qcheck
+   cases; OCaml 5 cannot exit the main domain with workers live, so it is
+   joined at exit. *)
+let fusion_pool =
+  lazy
+    (let p = Pool.create ~jobs:2 in
+     at_exit (fun () -> Pool.shutdown p);
+     p)
+
 let qcheck_fusion_equivalence =
   qtest "latency-charge fusion is observationally invisible" ~count:25
     QCheck2.Gen.(
@@ -260,11 +272,16 @@ let qcheck_fusion_equivalence =
         (list_repeat 4 (list_size (int_range 5 25) (pair (int_bound 5) (int_range 1 40))))
         (int_range 1 8))
     (fun workload ->
-      let was = Engine.fusion_enabled () in
-      Fun.protect
-        ~finally:(fun () -> Engine.set_fusion was)
-        (fun () ->
-          fusion_observe ~fusion:true workload = fusion_observe ~fusion:false workload))
+      (* Each job saves/restores its *own* domain's fusion flag. *)
+      let observe fusion () =
+        let was = Engine.fusion_enabled () in
+        Fun.protect
+          ~finally:(fun () -> Engine.set_fusion was)
+          (fun () -> fusion_observe ~fusion workload)
+      in
+      match Pool.run ~pool:(Lazy.force fusion_pool) [ observe true; observe false ] with
+      | [ a; b ] -> a = b
+      | _ -> assert false)
 
 (* -- pbuf/codec: UDP+IP+Ethernet stack-up and tear-down is lossless -- *)
 
