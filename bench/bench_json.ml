@@ -1,4 +1,4 @@
-(* Reader/writer for BENCH_sim.json (schema bench_sim/v3).
+(* Reader/writer for BENCH_sim.json (schema bench_sim/v4).
 
    The file is both produced and consumed here, so instead of pulling in a
    JSON library the reader line-matches the exact shape the writer emits
@@ -20,7 +20,14 @@
    when *this* bench's numbers were recorded. A merged file can mix runs
    (`-j 2 micro` after a serial full run), so the top-level "jobs" alone
    cannot say which entries' wall-clocks are comparable. 0 = unknown
-   (entry read from a pre-v3 file). *)
+   (entry read from a pre-v3 file).
+
+   v4 additions: [mode] — how this bench's work was executed ("serial",
+   "pool", or "pdes" when it ran sharded windows whose wall-clock depends
+   on MK_PDES/--pdes) — and [barriers], the PDES window-barrier count.
+   Only same-mode entries have comparable wall-clocks (compare.ml skips
+   mismatches). Pre-v4 entries read back with [barriers = 0] and [mode]
+   derived from [jobs] ("pool" when > 1, else "serial"). *)
 
 type gc = { minor_words : float; promoted_words : float; major_collections : int }
 
@@ -30,11 +37,44 @@ type entry = {
   events : int;  (* logical: executed + fused *)
   executed : int;
   fused : int;
+  barriers : int;  (* PDES window barriers; 0 = did not run sharded *)
+  mode : string;  (* "serial" | "pool" | "pdes" *)
   gc : gc option;
   jobs : int;  (* harness -j when this entry was recorded; 0 = unknown *)
 }
 
+let mode_of_jobs jobs = if jobs > 1 then "pool" else "serial"
+
 let rate e = if e.wall_s > 0.0 then float_of_int e.events /. e.wall_s else 0.0
+
+let parse_line_v4 line =
+  match
+    Scanf.sscanf line
+      " {%S: %S, %S: %f, %S: %d, %S: %d, %S: %d, %S: %f, %S: %f, %S: %f, %S: %d, %S: %d, \
+       %S: %S, %S: %d"
+      (fun k1 name k2 wall_s k3 events k4 executed k5 fused _k6 _rate k7 minor k8 promoted
+           k9 major k10 jobs k11 mode k12 barriers ->
+        if
+          k1 = "name" && k2 = "wall_s" && k3 = "events" && k4 = "executed" && k5 = "fused"
+          && k7 = "minor_words" && k8 = "promoted_words" && k9 = "major_collections"
+          && k10 = "jobs" && k11 = "mode" && k12 = "barriers"
+        then
+          Some
+            {
+              name;
+              wall_s;
+              events;
+              executed;
+              fused;
+              barriers;
+              mode;
+              gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
+              jobs;
+            }
+        else None)
+  with
+  | entry -> entry
+  | exception _ -> None
 
 let parse_line_v3 line =
   match
@@ -54,6 +94,8 @@ let parse_line_v3 line =
               events;
               executed;
               fused;
+              barriers = 0;
+              mode = mode_of_jobs jobs;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
             }
@@ -78,6 +120,8 @@ let parse_line_v2 line =
               events;
               executed;
               fused;
+              barriers = 0;
+              mode = "serial";
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs = 0;
             }
@@ -90,17 +134,31 @@ let parse_line_v1 line =
   match
     Scanf.sscanf line " {%S: %S, %S: %f, %S: %d" (fun k1 name k2 wall_s k3 events ->
         if k1 = "name" && k2 = "wall_s" && k3 = "events" then
-          Some { name; wall_s; events; executed = events; fused = 0; gc = None; jobs = 0 }
+          Some
+            {
+              name;
+              wall_s;
+              events;
+              executed = events;
+              fused = 0;
+              barriers = 0;
+              mode = "serial";
+              gc = None;
+              jobs = 0;
+            }
         else None)
   with
   | entry -> entry
   | exception _ -> None
 
 let parse_line line =
-  match parse_line_v3 line with
+  match parse_line_v4 line with
   | Some e -> Some e
   | None ->
-    (match parse_line_v2 line with Some e -> Some e | None -> parse_line_v1 line)
+    (match parse_line_v3 line with
+    | Some e -> Some e
+    | None ->
+      (match parse_line_v2 line with Some e -> Some e | None -> parse_line_v1 line))
 
 let read path =
   match open_in path with
@@ -130,7 +188,7 @@ let write path ~jobs entries =
   let oc = open_out path in
   let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
   let total_events = List.fold_left (fun a e -> a + e.events) 0 entries in
-  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v3\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v4\",\n  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"benches\": [\n";
   List.iteri
     (fun i e ->
@@ -142,9 +200,9 @@ let write path ~jobs entries =
       Printf.fprintf oc
         "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"executed\": %d, \"fused\": \
          %d, \"events_per_sec\": %.0f, \"minor_words\": %.0f, \"promoted_words\": %.0f, \
-         \"major_collections\": %d, \"jobs\": %d}%s\n"
+         \"major_collections\": %d, \"jobs\": %d, \"mode\": %S, \"barriers\": %d}%s\n"
         e.name e.wall_s e.events e.executed e.fused (rate e) g.minor_words g.promoted_words
-        g.major_collections e.jobs
+        g.major_collections e.jobs e.mode e.barriers
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Printf.fprintf oc "  ],\n";

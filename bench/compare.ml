@@ -71,6 +71,13 @@ let () =
       | None ->
         Printf.printf "%-10s %14.0f %14s %9s %11s\n" b.name (Mk_benches.Bench_json.rate b) "-"
           "-" "-"
+      (* Only like-for-like execution modes compare: a "pdes" run's
+         wall-clock depends on the domain count, a "pool" run's on -j.
+         A mode mismatch is noted and skipped, never gated. *)
+      | Some c when c.mode <> b.mode ->
+        Printf.printf "%-10s %14.0f %14.0f %9s %11s  (mode %s vs %s: skipped)\n" b.name
+          (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.mode
+          c.mode
       | Some c ->
         let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
         let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in

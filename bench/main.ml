@@ -44,6 +44,7 @@ type timing = {
   wall_s : float;
   executed : int;  (* scheduler events actually dispatched *)
   fused : int;  (* latency charges coalesced away by Engine.charge *)
+  barriers : int;  (* PDES window barriers (0 unless the bench sharded) *)
   minor_words : float;
   promoted_words : float;
   major_collections : int;
@@ -63,6 +64,7 @@ let logical t = t.executed + t.fused
 let instrumented name f () =
   let ev0 = Pool.total_executed () in
   let fu0 = Pool.total_fused () in
+  let ba0 = Pool.total_barriers () in
   let mi0 = Pool.total_minor_words () in
   let pr0 = Pool.total_promoted_words () in
   let ma0 = Pool.total_major_collections () in
@@ -74,10 +76,22 @@ let instrumented name f () =
     wall_s;
     executed = Pool.total_executed () - ev0;
     fused = Pool.total_fused () - fu0;
+    barriers = Pool.total_barriers () - ba0;
     minor_words = Pool.total_minor_words () -. mi0;
     promoted_words = Pool.total_promoted_words () -. pr0;
     major_collections = Pool.total_major_collections () - ma0;
   }
+
+(* How this bench's work was executed, for the like-for-like comparison in
+   compare.ml: a bench that ran PDES window barriers on a parallel domain
+   team is "pdes" (its wall-clock depends on MK_PDES/--pdes; with one
+   domain the sharded loop runs inline and stays comparable to serial
+   baselines), else pooled runs are "pool" and single-domain runs
+   "serial". *)
+let mode ~jobs t =
+  if t.barriers > 0 && Pdes.configured_domains () > 1 then "pdes"
+  else if jobs > 1 then "pool"
+  else "serial"
 
 let rate events wall_s = if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
 
@@ -85,12 +99,12 @@ let json_path = "BENCH_sim.json"
 
 let report ~jobs ~timings ~harness_wall =
   Printf.printf "\n==== Simulator performance (host side) ====\n";
-  Printf.printf "%-10s %9s %12s %10s %12s %12s %6s\n" "bench" "wall(s)" "events" "fused"
-    "events/s" "minorMw" "majGC";
+  Printf.printf "%-10s %9s %12s %10s %9s %12s %12s %6s\n" "bench" "wall(s)" "events"
+    "fused" "barriers" "events/s" "minorMw" "majGC";
   List.iter
     (fun t ->
-      Printf.printf "%-10s %9.3f %12d %10d %12.2e %12.1f %6d\n" t.name t.wall_s (logical t)
-        t.fused
+      Printf.printf "%-10s %9.3f %12d %10d %9d %12.2e %12.1f %6d\n" t.name t.wall_s
+        (logical t) t.fused t.barriers
         (rate (logical t) t.wall_s)
         (t.minor_words /. 1e6) t.major_collections)
     timings;
@@ -112,6 +126,8 @@ let report ~jobs ~timings ~harness_wall =
           events = logical t;
           executed = t.executed;
           fused = t.fused;
+          barriers = t.barriers;
+          mode = mode ~jobs t;
           gc =
             Some
               {
@@ -130,24 +146,35 @@ let report ~jobs ~timings ~harness_wall =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N] [--seed N] [list | all | <bench>...]\n       benches: %s\n"
+    "usage: main.exe [-j N] [--seed N] [--pdes N] [--large] [list | all | <bench>...]\n\
+    \       benches: %s\n"
     (String.concat " " (List.map (fun (n, _, _) -> n) all));
   exit 1
 
-(* Pull `--seed N` (replay one chaos seed) out of the argument list
-   wherever it appears. *)
-let rec extract_seed acc = function
+(* Pull the flag arguments (`--seed N` chaos replay, `--pdes N` PDES
+   domain count, `--large` 256-core scaling point) out of the argument
+   list wherever they appear. *)
+let rec extract_flags acc = function
   | "--seed" :: n :: rest ->
     (match int_of_string_opt n with
      | Some s ->
        Chaos.seed_override := Some s;
-       List.rev_append acc rest
+       extract_flags acc rest
      | None -> usage ())
-  | a :: rest -> extract_seed (a :: acc) rest
+  | "--pdes" :: n :: rest ->
+    (match int_of_string_opt n with
+     | Some d when d >= 1 ->
+       Pdes.set_domains_override (Some d);
+       extract_flags acc rest
+     | _ -> usage ())
+  | "--large" :: rest ->
+    Scaling.large := true;
+    extract_flags acc rest
+  | a :: rest -> extract_flags (a :: acc) rest
   | [] -> List.rev acc
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl |> extract_seed [] in
+  let args = Array.to_list Sys.argv |> List.tl |> extract_flags [] in
   let jobs, args =
     match args with
     | "-j" :: n :: rest ->

@@ -12,6 +12,145 @@ let machines =
   |> List.map (fun (cores, pkgs) ->
          (cores, Platform.synthetic_mesh ~packages:pkgs ~cores_per_package:4))
 
+(* `--large` adds the 256-core deep-tree PDES point (too slow for every
+   CI run; the 64-core point always runs so the referee gate covers the
+   sharded path). *)
+let large = ref false
+
+(* -- windowed conservative PDES: one simulation sharded across domains --
+
+   A deep synthetic-tree machine split into 4 shards (contiguous package
+   ranges; see {!Mk.Shard}), running ONE logical simulation: a two-level
+   multicast unmap. Root core 0 sends a round token to a leader core per
+   shard over cross-shard URPC; each leader fans out over local URPC to
+   every core of its shard; each core invalidates the round's TLB entry
+   and read-modify-writes its own package-homed lines; acks aggregate
+   back leader-first. The same sharded simulation runs whatever the
+   domain count ([MK_PDES] / `--pdes N` pick execution placement only),
+   so the reported latency, event and window counts are byte-identical —
+   only host wall-clock changes. *)
+
+let pdes_shards = 4
+let pdes_rounds = 10
+let pdes_line_work = 12 (* load/store pairs per core per round *)
+
+let pdes_unmap ~packages =
+  let plat = Platform.synthetic_tree ~packages ~cores_per_package:4 in
+  let sh = Shard.create ~n_shards:pdes_shards plat in
+  let ncores = Platform.n_cores plat in
+  let shard_cores =
+    Array.init pdes_shards (fun s ->
+        List.filter (fun c -> Shard.shard_of_core sh c = s) (List.init ncores Fun.id))
+  in
+  let root = 0 in
+  (* One leader core per shard; shard 0's leader is distinct from the
+     root so every shard runs the same leader loop. *)
+  let leader =
+    Array.init pdes_shards (fun s ->
+        match shard_cores.(s) with
+        | c :: next :: _ when c = root -> next
+        | c :: _ -> c
+        | [] -> assert false)
+  in
+  (* Each core gets two lines homed on its own package: sharded-workload
+     rule — only blocking accesses may cross the cut, and these never
+     do. *)
+  let addrs =
+    Array.init ncores (fun core ->
+        let m = Shard.machine_of_core sh core in
+        let node = Platform.package_of plat core in
+        (Machine.alloc_lines m ~node 1, Machine.alloc_lines m ~node 1))
+  in
+  let work ~core ~round =
+    let m = Shard.machine_of_core sh core in
+    let a, b = addrs.(core) in
+    Tlb.fill m.Machine.tlbs.(core) ~vpage:round;
+    ignore (Tlb.invalidate m.Machine.tlbs.(core) ~vpage:round : bool);
+    Engine.charge plat.Platform.tlb_invlpg;
+    for _ = 1 to pdes_line_work do
+      Coherence.load m.Machine.coh ~core a;
+      Coherence.store m.Machine.coh ~core a;
+      Coherence.load m.Machine.coh ~core b;
+      Coherence.store m.Machine.coh ~core b
+    done
+  in
+  let down =
+    Array.init pdes_shards (fun s ->
+        Shard.link_urpc sh ~sender:root ~receiver:leader.(s) ())
+  in
+  let up =
+    Array.init pdes_shards (fun s ->
+        Shard.link_urpc sh ~sender:leader.(s) ~receiver:root ())
+  in
+  (* Local fan-out: leader <-> every other core of its shard (the root
+     coordinates only). *)
+  let fanout =
+    Array.init pdes_shards (fun s ->
+        let m = Shard.machine sh s in
+        List.filter_map
+          (fun c ->
+            if c = leader.(s) || c = root then None
+            else
+              Some
+                ( c,
+                  Urpc.create m ~sender:leader.(s) ~receiver:c (),
+                  Urpc.create m ~sender:c ~receiver:leader.(s) () ))
+          shard_cores.(s))
+  in
+  let lat = Stats.create () in
+  Pdes.spawn (Shard.pdes sh) ~shard:0 ~name:"pdes.root" (fun () ->
+      for r = 1 to pdes_rounds do
+        let t0 = Engine.now_ () in
+        Array.iter (fun (l : int Shard.link) -> Urpc.send l.Shard.tx r) down;
+        Array.iter (fun (l : int Shard.link) -> ignore (Urpc.recv l.Shard.rx : int)) up;
+        Stats.add_int lat (Engine.now_ () - t0)
+      done);
+  Array.iteri
+    (fun s l ->
+      Pdes.spawn (Shard.pdes sh) ~shard:s ~name:"pdes.leader" (fun () ->
+          for _ = 1 to pdes_rounds do
+            let r = Urpc.recv (l : int Shard.link).Shard.rx in
+            List.iter (fun (_, d, _) -> Urpc.send d r) fanout.(s);
+            work ~core:leader.(s) ~round:r;
+            List.iter (fun (_, _, a) -> ignore (Urpc.recv a : int)) fanout.(s);
+            Urpc.send up.(s).Shard.tx r
+          done))
+    down;
+  Array.iteri
+    (fun s chans ->
+      List.iter
+        (fun (c, d, a) ->
+          Engine.spawn (Shard.engine sh s) ~name:"pdes.core" (fun () ->
+              for _ = 1 to pdes_rounds do
+                let r = Urpc.recv d in
+                work ~core:c ~round:r;
+                Urpc.send a r
+              done))
+        chans)
+    fanout;
+  (* Report *logical* events (executed + fused, as the harness does):
+     raw executed counts depend on the fusion mode, and this table is
+     referee output for both the fusion and the PDES CI gates. *)
+  let ev0 = Pool.total_executed () + Pool.total_fused () in
+  Shard.exec sh;
+  let events = Pool.total_executed () + Pool.total_fused () - ev0 in
+  (Stats.mean lat, events, Shard.barriers sh, Shard.lookahead sh)
+
+let pdes_points () = if !large then [ 16; 64 ] else [ 16 ]
+
+let run_pdes () =
+  (* No domain count in the header: execution placement is host-side, and
+     this output is byte-diffed serial-vs-parallel in CI. *)
+  Common.sub (Printf.sprintf "PDES sharded multicast unmap (%d shards)" pdes_shards);
+  Common.printf "%6s %8s %12s %10s %11s %10s\n" "cores" "rounds" "unmap(cyc)" "events"
+    "windows" "lookahead";
+  List.iter
+    (fun packages ->
+      let mean, events, windows, la = pdes_unmap ~packages in
+      Common.printf "%6d %8d %12.0f %10d %11d %10d\n%!" (packages * 4) pdes_rounds mean
+        events windows la)
+    (pdes_points ())
+
 let unmap_all plat ~ncores =
   let os = Os.boot ~measure_latencies:false plat in
   Os.run os (fun () ->
@@ -80,4 +219,5 @@ let run () =
       Common.printf "%6d %14.0f %14.0f %18.0f\n%!" ncores v.((3 * i) + 0)
         v.((3 * i) + 1)
         v.((3 * i) + 2))
-    machines
+    machines;
+  run_pdes ()

@@ -1,0 +1,163 @@
+open Mk_sim
+open Mk_hw
+
+(* One logical machine sharded for windowed conservative PDES (see
+   {!Pdes}): the platform's packages are split into [n_shards] contiguous
+   ranges ({!Topology.contiguous_partition}), each shard gets a full
+   [Machine.t] over its own engine, and the three cross-core mechanisms —
+   blocking coherence to a remote-homed line, IPIs to a remote core, URPC
+   across the cut — are rewired to travel as timestamped {!Pdes.send}
+   messages instead of direct calls.
+
+   The lookahead bound is the minimum one-way interconnect leg between any
+   two packages of different shards: [cc_base + hop_one_way * hops], the
+   same cost model the coherence fabric charges, taken at the minimum
+   cross-shard hop distance via {!Topology.min_cross_latency}. Every
+   cross-shard message below carries at least one such leg, so the bound
+   is sound by construction (and {!Pdes.send} re-checks it). *)
+
+type 'a link = {
+  tx : 'a Urpc.t;  (* lives on the sender's shard *)
+  rx : 'a Urpc.t;  (* lives on the receiver's shard; == tx when same shard *)
+}
+
+type t = {
+  pdes : Pdes.t;
+  plat : Platform.t;
+  machines : Machine.t array;  (* one full-platform machine per shard *)
+  shard_of_pkg : int array;
+  shard_of_core : int array;
+  leg : int array array;  (* (pkg a).(pkg b) -> one-way message leg, cycles *)
+}
+
+let n_shards t = Array.length t.machines
+let pdes t = t.pdes
+let lookahead t = Pdes.lookahead t.pdes
+let shard_of_core t core = t.shard_of_core.(core)
+let shard_of_pkg t p = t.shard_of_pkg.(p)
+
+let machine t i =
+  if i < 0 || i >= Array.length t.machines then invalid_arg "Shard.machine: bad shard";
+  t.machines.(i)
+
+let machine_of_core t core = t.machines.(t.shard_of_core.(core))
+let engine t i = Pdes.engine t.pdes i
+let leg_latency t a b = t.leg.(a).(b)
+
+(* -- cross-shard wiring -- *)
+
+let install_coherence t i =
+  let m = t.machines.(i) in
+  let my_eng = Pdes.engine t.pdes i in
+  Coherence.set_remote_home m.Machine.coh
+    ~is_remote:(fun home -> t.shard_of_pkg.(home) <> i)
+    ~route:(fun ~core ~line ~home ~write ~wake ->
+      (* Request leg to the home shard's directory; service there at the
+         arrival time; reply leg back, carrying the service latency. The
+         requesting task stays parked the whole round trip. *)
+      let src_pkg = Platform.package_of t.plat core in
+      let home_shard = t.shard_of_pkg.(home) in
+      let req_at = Engine.now my_eng + t.leg.(src_pkg).(home) in
+      Pdes.send t.pdes ~dst:home_shard ~src_core:core ~at:req_at (fun () ->
+          let lat =
+            Coherence.remote_service t.machines.(home_shard).Machine.coh ~now:req_at
+              ~core ~line ~write
+          in
+          Pdes.send t.pdes ~dst:i ~src_core:core
+            ~at:(req_at + lat + t.leg.(home).(src_pkg))
+            (fun () -> wake ())))
+
+let install_ipi t i =
+  let m = t.machines.(i) in
+  let my_eng = Pdes.engine t.pdes i in
+  let la = Pdes.lookahead t.pdes in
+  Ipi.set_remote m.Machine.ipi
+    ~is_remote:(fun dst -> t.shard_of_core.(dst) <> i)
+    ~route:(fun ~src ~dst ~vector ~wire ->
+      (* The IPI wire cost can undercut a coherence leg (interrupts are
+         small command packets); the conservative window still needs the
+         full lookahead, so a faster wire is held to the bound. *)
+      let ds = t.shard_of_core.(dst) in
+      let at = Engine.now my_eng + max wire la in
+      Pdes.send t.pdes ~dst:ds ~src_core:src ~at (fun () ->
+          Ipi.deliver t.machines.(ds).Machine.ipi ~eng:(Pdes.engine t.pdes ds) ~src ~dst
+            ~vector))
+
+let create ~n_shards:k plat =
+  let npkg = plat.Platform.n_packages in
+  if k <= 0 then invalid_arg "Shard.create: n_shards must be positive";
+  if k > npkg then invalid_arg "Shard.create: more shards than packages";
+  let topo = plat.Platform.topo in
+  let part = Topology.contiguous_partition topo ~parts:k in
+  let leg =
+    Array.init npkg (fun a ->
+        Array.init npkg (fun b ->
+            plat.Platform.cc_base + (plat.Platform.hop_one_way * Topology.hops topo a b)))
+  in
+  let la =
+    if k = 1 then plat.Platform.cc_base
+    else begin
+      let m = Topology.min_cross_latency topo ~part in
+      let best = ref max_int in
+      Array.iteri
+        (fun a row ->
+          Array.iteri (fun b h -> if a <> b && h < !best then best := h) row)
+        m;
+      plat.Platform.cc_base + (plat.Platform.hop_one_way * !best)
+    end
+  in
+  let pdes = Pdes.create ~n_shards:k ~lookahead:la in
+  let machines = Array.init k (fun i -> Machine.create ~eng:(Pdes.engine pdes i) plat) in
+  let t =
+    {
+      pdes;
+      plat;
+      machines;
+      shard_of_pkg = part;
+      shard_of_core =
+        Array.init (Platform.n_cores plat) (fun c ->
+            part.(Platform.package_of plat c));
+      leg;
+    }
+  in
+  for i = 0 to k - 1 do
+    install_coherence t i;
+    install_ipi t i
+  done;
+  t
+
+(* -- URPC across the cut --
+
+   One logical channel becomes a (sender-half, receiver-half) pair: the
+   sender half runs the real send path (ring stores, flow control, wire
+   sequencing) on the sender's shard; at each message's visibility time
+   the payload crosses as a Pdes message carrying one interconnect leg and
+   materializes in the receiver half's ring, where the receiver pays the
+   normal fetch + dispatch path. Each half's buffer is homed on its own
+   side of the cut, so neither ring ever triggers remote coherence. *)
+let link_urpc (type a) t ~sender ~receiver ?slots ?name () : a link =
+  let ss = t.shard_of_core.(sender) and rs = t.shard_of_core.(receiver) in
+  if ss = rs then begin
+    let ch : a Urpc.t =
+      Urpc.create t.machines.(ss) ~sender ~receiver ?slots ?name ()
+    in
+    { tx = ch; rx = ch }
+  end
+  else begin
+    let spkg = Platform.package_of t.plat sender in
+    let rpkg = Platform.package_of t.plat receiver in
+    let tx : a Urpc.t =
+      Urpc.create t.machines.(ss) ~sender ~receiver ?slots ~node:spkg ?name ()
+    in
+    let rx : a Urpc.t =
+      Urpc.create t.machines.(rs) ~sender ~receiver ?slots ~node:rpkg ?name ()
+    in
+    let leg = t.leg.(spkg).(rpkg) in
+    Urpc.set_remote_delivery tx (fun ~visible_at payload ->
+        Pdes.send t.pdes ~dst:rs ~src_core:sender ~at:(visible_at + leg) (fun () ->
+            Urpc.deliver_remote rx payload));
+    { tx; rx }
+  end
+
+let exec ?domains t = Pdes.exec ?domains t.pdes
+let barriers t = Pdes.barriers t.pdes

@@ -1,0 +1,65 @@
+(** A logical machine sharded for windowed conservative PDES.
+
+    Splits a platform's packages into contiguous ranges
+    ({!Mk_hw.Topology.contiguous_partition}), builds one full
+    {!Mk_hw.Machine.t} per shard over a {!Mk_sim.Pdes} executor, and
+    rewires the cross-core mechanisms that can cross the cut — blocking
+    coherence to a remote-homed line, IPIs to a remote core, URPC channels
+    — to travel as timestamped cross-shard messages carrying at least one
+    interconnect leg ([cc_base + hop_one_way * hops]). The minimum
+    cross-shard leg is the executor's lookahead, so the conservative
+    windows are sound by construction.
+
+    Workload rules for a sharded run: a core's tasks run on its shard's
+    machine ({!machine_of_core}); memory a core allocates and touches with
+    the posted/async/banked access variants must stay homed on its own
+    shard's packages (blocking {!Mk_hw.Coherence.load}/[store] may touch
+    any shard); cross-shard messaging goes through {!link_urpc} or IPIs. *)
+
+type t
+
+type 'a link = {
+  tx : 'a Urpc.t;  (** sender half — send on the sender's shard *)
+  rx : 'a Urpc.t;  (** receiver half — recv on the receiver's shard *)
+}
+(** A URPC channel across (or within) the cut; [tx == rx] when sender and
+    receiver share a shard. *)
+
+val create : n_shards:int -> Mk_hw.Platform.t -> t
+(** Shard [plat] into [n_shards] contiguous package ranges. Raises
+    [Invalid_argument] when [n_shards] is non-positive or exceeds the
+    package count. *)
+
+val n_shards : t -> int
+
+val pdes : t -> Mk_sim.Pdes.t
+val lookahead : t -> int
+(** The executor's window bound: the minimum one-way cross-shard leg. *)
+
+val machine : t -> int -> Mk_hw.Machine.t
+(** The shard's machine (full platform; only its own cores are active). *)
+
+val machine_of_core : t -> int -> Mk_hw.Machine.t
+val engine : t -> int -> Mk_sim.Engine.t
+val shard_of_core : t -> int -> int
+val shard_of_pkg : t -> int -> int
+
+val leg_latency : t -> int -> int -> int
+(** [leg_latency t a b]: one-way message leg between packages [a] and [b]
+    under the coherence cost model. *)
+
+val link_urpc :
+  t -> sender:int -> receiver:int -> ?slots:int -> ?name:string -> unit -> 'a link
+(** Build a URPC channel from [sender] to [receiver]. Same shard: one
+    ordinary channel. Across shards: a sender-half/receiver-half pair
+    linked at the wire — each message leaves the sender shard at its
+    visibility time, crosses as a Pdes message carrying one interconnect
+    leg, and materializes in the receiver half's ring. Each half's buffer
+    is homed on its own side, so the rings never trigger remote
+    coherence. *)
+
+val exec : ?domains:int -> t -> unit
+(** Run the sharded simulation to completion ({!Mk_sim.Pdes.exec}). *)
+
+val barriers : t -> int
+(** Window barriers executed so far. *)

@@ -53,6 +53,9 @@ type 'a t = {
   mutable sent : int;
   mutable received : int;
   mutable notify : (unit -> unit) option;
+  (* PDES cross-shard delivery (sender half): messages leave the shard at
+     their visibility time instead of entering the receive mailbox. *)
+  mutable remote_delivery : (visible_at:int -> 'a -> unit) option;
 }
 
 (* Reserve the buffer memory of a channel without building it. Buffer
@@ -107,6 +110,7 @@ let create_prealloc (type a) m ~sender ~receiver ?(slots = 16) ?(prefetch = fals
     sent = 0;
     received = 0;
     notify = None;
+    remote_delivery = None;
   }
 
 let create m ~sender ~receiver ?slots ?node ?prefetch ?name () =
@@ -117,6 +121,7 @@ let create m ~sender ~receiver ?slots ?node ?prefetch ?name () =
     ~recv_base ()
 
 let set_notify t f = t.notify <- Some f
+let set_remote_delivery t f = t.remote_delivery <- Some f
 
 let sender t = t.src
 let receiver t = t.dst
@@ -181,8 +186,19 @@ let rec wire_loop t =
       release_delivery t d
     end
     else begin
-      Sync.Mailbox.send t.box d;
-      (match t.notify with Some f -> f () | None -> ())
+      match t.remote_delivery with
+      | Some hook ->
+        (* Cross-shard: the message leaves this shard at its visibility
+           time; the flow credit returns at the wire (the real receiver —
+           another shard's receiver-half channel — cannot touch this
+           semaphore). A duplicate redelivers a slot whose credit was
+           already returned, same rule as [charge_receive]. *)
+        hook ~visible_at:d.visible_at d.payload;
+        if d.kind <> k_dup then Sync.Semaphore.release t.flow;
+        release_delivery t d
+      | None ->
+        Sync.Mailbox.send t.box d;
+        (match t.notify with Some f -> f () | None -> ())
     end;
     wire_loop t
   end
@@ -270,6 +286,19 @@ let charge_receive t (d : 'a delivery) =
   let v = d.payload in
   release_delivery t d;
   v
+
+(* Arrival half of a cross-shard message: materialize it in this
+   (receiver-half) channel's ring and post it to the receive mailbox.
+   Effect-free, so a delivered {!Pdes} message thunk can call it at the
+   message's arrival time. Tagged [k_dup] because this channel's flow
+   semaphore never lent a credit for it — the sender half released its own
+   credit at the wire. *)
+let deliver_remote t ?(lines = 1) payload =
+  let slot_addr = t.slot_addrs.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.slot_addrs;
+  let d = get_delivery t ~payload ~slot_addr ~lines ~kind:k_dup ~visible_at:0 in
+  Sync.Mailbox.send t.box d;
+  match t.notify with Some f -> f () | None -> ()
 
 let recv t =
   let d = Sync.Mailbox.recv t.box in

@@ -100,6 +100,24 @@ val set_notify : _ t -> (unit -> unit) -> unit
     poll cycles in the simulator (the real system's poll loop; its cost is
     charged by the consumer, see {!Monitor}). *)
 
+val set_remote_delivery : 'a t -> (visible_at:int -> 'a -> unit) -> unit
+(** PDES cross-shard linkage, sender half: instead of entering the local
+    receive mailbox, each message leaves the shard at its visibility time
+    through the callback (which ships it as a timestamped {!Pdes} message
+    ending in the receiver shard's {!deliver_remote}). The flow credit
+    returns at the wire — the real receiver lives on another shard and
+    cannot release this channel's semaphore. The callback runs in the
+    channel's wire-sequencer task but must not block. *)
+
+val deliver_remote : 'a t -> ?lines:int -> 'a -> unit
+(** PDES cross-shard linkage, receiver half: materialize an arriving
+    message in this channel's ring and post it to the receive mailbox —
+    the receiver then pays the normal fetch + dispatch path. Effect-free,
+    so a delivered cross-shard message thunk can call it at the arrival
+    time. The pair ([set_remote_delivery] on a sender-half channel,
+    [deliver_remote] on a receiver-half channel of another shard) splits
+    one logical channel at the wire. *)
+
 val send_sw_cost : int
 (** Cycles of marshalling/stub code on the send side (per message). *)
 

@@ -39,6 +39,16 @@ let dummy_line =
     line_busy_until = 0;
   }
 
+(* Cross-shard routing for a PDES-sharded run: lines pinned to a package
+   another shard owns are serviced by that shard's directory, reached via
+   timestamped messages rather than a direct call (see {!Pdes}). Both
+   callbacks run outside task context and must not perform task effects. *)
+type remote_route = {
+  rr_is_remote : int -> bool;  (* package -> owned by another shard? *)
+  rr_route :
+    core:int -> line:int -> home:int -> write:bool -> wake:Engine.waker -> unit;
+}
+
 type t = {
   plat : Platform.t;
   counters : Perfcounter.t;
@@ -72,6 +82,9 @@ type t = {
   (* Fault injector consulted for link degradation; [Injector.none] (and
      one armed-flag read per transaction) on the zero-fault path. *)
   mutable inj : Mk_fault.Injector.t;
+  (* PDES cross-shard routing; [None] (one field read per blocking access)
+     outside sharded runs. *)
+  mutable remote : remote_route option;
   (* -- access-outcome scratch (see the comment above [prepare_load]) -- *)
   mutable o_kind : int;  (* 0 = hit, 1 = local, 2 = fabric transaction *)
   mutable o_lat : int;
@@ -148,6 +161,7 @@ let create ?cache_lines_per_core plat counters =
     path_refs;
     probe_refs;
     inj = Mk_fault.Injector.none;
+    remote = None;
     o_kind = 0;
     o_lat = 0;
     o_home = 0;
@@ -156,6 +170,9 @@ let create ?cache_lines_per_core plat counters =
   }
 
 let set_fault t inj = t.inj <- inj
+
+let set_remote_home t ~is_remote ~route =
+  t.remote <- Some { rr_is_remote = is_remote; rr_route = route }
 
 (* Extra transfer latency from an injected degraded/partitioned link
    between two packages; 0 unless a fault plan is armed. *)
@@ -474,6 +491,25 @@ let prepare_store t ~core addr =
    same cache cannot start until the first response has left), which is
    what serializes reader storms on one line. Both overlap the transfer
    latency itself. *)
+let realize_txn_at t ~now ~home ~lat ~src_port ~ln =
+  let occ = t.plat.Platform.dir_occupancy in
+  let dir_done = Resource.reserve_at t.dirs.(home) ~now occ in
+  let port_done =
+    if src_port >= 0 then Resource.reserve_at t.ports.(src_port) ~now port_occupancy
+    else dir_done
+  in
+  if ln != dummy_line then begin
+    (* Owner-sourced transfer: readers of one dirty line are serviced
+       one at a time; each service slot spans directory lookup, port
+       turnaround and the transfer itself. An uncontended access still
+       completes in [lat]. *)
+    let slot_start = max now ln.line_busy_until in
+    ln.line_busy_until <- slot_start + occ + port_occupancy + lat;
+    let data_at = slot_start + lat in
+    max (max lat (max dir_done port_done - now)) (data_at - now)
+  end
+  else max lat (max dir_done port_done - now)
+
 let realize_posted t =
   let p = t.plat in
   if t.o_kind = k_hit then p.Platform.l1_hit
@@ -489,25 +525,22 @@ let realize_posted t =
        simulated time and in true event order, so pay any banked charge
        before reserving. Hit/Local touch nothing shared and skip this. *)
     Engine.flush_charge ();
-    let now = Engine.now_ () in
-    let occ = p.Platform.dir_occupancy in
-    let dir_done = Resource.reserve_at t.dirs.(home) ~now occ in
-    let port_done =
-      if src_port >= 0 then Resource.reserve_at t.ports.(src_port) ~now port_occupancy
-      else dir_done
-    in
-    if ln != dummy_line then begin
-      (* Owner-sourced transfer: readers of one dirty line are serviced
-         one at a time; each service slot spans directory lookup, port
-         turnaround and the transfer itself. An uncontended access still
-         completes in [lat]. *)
-      let slot_start = max now ln.line_busy_until in
-      ln.line_busy_until <- slot_start + occ + port_occupancy + lat;
-      let data_at = slot_start + lat in
-      max (max lat (max dir_done port_done - now)) (data_at - now)
-    end
-    else max lat (max dir_done port_done - now)
+    realize_txn_at t ~now:(Engine.now_ ()) ~home ~lat ~src_port ~ln
   end
+
+(* Effect-free service of a remote core's request at this (home) shard:
+   prepare + realize with the caller supplying the shard engine's current
+   time. Runs from a delivered cross-shard message thunk, outside any task
+   context, so it must not flush or wait — there is no bank to flush and
+   the returned latency travels back inside the reply message timestamp. *)
+let remote_service t ~now ~core ~line ~write =
+  let addr = line * t.plat.Platform.cacheline in
+  if write then prepare_store t ~core addr else prepare_load t ~core addr;
+  if t.o_kind = k_hit then t.plat.Platform.l1_hit
+  else if t.o_kind = k_local then t.o_lat
+  else
+    realize_txn_at t ~now ~home:t.o_home ~lat:t.o_lat ~src_port:t.o_src_port
+      ~ln:t.o_line
 
 (* Blocking realization. A blocking access is an *interaction point*, not a
    pure delay: callers use its completion to order their own shared-state
@@ -520,10 +553,32 @@ let realize_blocking t =
   else if t.o_kind = k_local then Engine.wait t.o_lat
   else Engine.wait (realize_posted t)
 
+(* A blocking access whose line is pinned to a package another shard owns:
+   park the task and hand (line, home, waker) to the route callback, which
+   ships the request across the shard boundary and eventually invokes the
+   waker at the reply's arrival time. Only [load]/[store] support remote
+   homes — the posted/async/banked variants rely on same-shard visibility
+   arguments that do not survive a shard boundary, and the shard layer
+   keeps their lines (URPC rings, private heaps) home-local by
+   construction. *)
+let remote_blocking rr ~core ~line ~home ~write =
+  Engine.flush_charge ();
+  Engine.suspend (fun wake -> rr.rr_route ~core ~line ~home ~write ~wake)
+
 let load t ~core addr =
   Engine.flush_charge ();
-  prepare_load t ~core addr;
-  realize_blocking t
+  (match t.remote with
+  | Some rr -> (
+    let lid = line_of_addr t addr in
+    match pinned_home_of t lid with
+    | Some home when rr.rr_is_remote home ->
+      remote_blocking rr ~core ~line:lid ~home ~write:false
+    | _ ->
+      prepare_load t ~core addr;
+      realize_blocking t)
+  | None ->
+    prepare_load t ~core addr;
+    realize_blocking t)
 
 let load_async t ~core addr =
   access_flush t;
@@ -532,8 +587,18 @@ let load_async t ~core addr =
 
 let store t ~core addr =
   Engine.flush_charge ();
-  prepare_store t ~core addr;
-  realize_blocking t
+  (match t.remote with
+  | Some rr -> (
+    let lid = line_of_addr t addr in
+    match pinned_home_of t lid with
+    | Some home when rr.rr_is_remote home ->
+      remote_blocking rr ~core ~line:lid ~home ~write:true
+    | _ ->
+      prepare_store t ~core addr;
+      realize_blocking t)
+  | None ->
+    prepare_store t ~core addr;
+    realize_blocking t)
 
 (* Blocking store to a line the call site guarantees is effectively
    core-private (URPC ring/channel-state words: one sender task, readers

@@ -46,6 +46,30 @@ val set_home_range : t -> first_line:int -> last_line:int -> node:int -> unit
 
 val home_of : t -> line:int -> int option
 
+val set_remote_home :
+  t ->
+  is_remote:(int -> bool) ->
+  route:(core:int -> line:int -> home:int -> write:bool -> wake:Mk_sim.Engine.waker -> unit) ->
+  unit
+(** PDES cross-shard routing: when a blocking {!load}/{!store} touches a
+    line whose *pinned* home package satisfies [is_remote], the access is
+    not serviced here — the task parks and [route] receives the request
+    plus the task's waker; the shard layer ships it to the owning shard
+    (see {!Shard}) and invokes the waker when the reply arrives. [route]
+    runs outside task context and must not perform task effects. The
+    posted/async/banked access variants do not support remote homes: their
+    soundness arguments (single writer, visibility gated within one
+    engine) do not cross a shard boundary, so callers must keep such lines
+    home-local — the shard layer's allocators do. *)
+
+val remote_service : t -> now:int -> core:int -> line:int -> write:bool -> int
+(** Service a remote core's blocking access at this (home) shard's
+    directory: full state transition, counters and traffic, returning the
+    access latency in cycles. Effect-free — [now] is the servicing shard
+    engine's current time (for directory/port queueing), supplied by the
+    caller because this runs from a delivered cross-shard message thunk,
+    outside any task. *)
+
 val load : t -> core:int -> int -> unit
 (** [load t ~core addr]: blocks the calling task for the access latency and
     updates line state, counters and link traffic. *)

@@ -1,11 +1,20 @@
 open Mk_sim
 
+(* Cross-shard delivery for a PDES-sharded run: an IPI to a core another
+   shard owns leaves this shard as a timestamped message (see {!Pdes}) and
+   re-enters the owning shard through [deliver]. *)
+type remote_route = {
+  ri_is_remote : int -> bool;  (* dst core -> owned by another shard? *)
+  ri_route : src:int -> dst:int -> vector:int -> wire:int -> unit;
+}
+
 type t = {
   plat : Platform.t;
   cores : Resource.t array;
   handlers : (int * int, src:int -> unit) Hashtbl.t;  (* (core, vector) *)
   mutable sent : int;
   mutable inj : Mk_fault.Injector.t;
+  mutable remote : remote_route option;
 }
 
 let apic_write_cost = 100
@@ -19,35 +28,39 @@ let create plat ~core_resources =
     handlers = Hashtbl.create 16;
     sent = 0;
     inj = Mk_fault.Injector.none;
+    remote = None;
   }
 
 let set_fault t inj = t.inj <- inj
 
+let set_remote t ~is_remote ~route =
+  t.remote <- Some { ri_is_remote = is_remote; ri_route = route }
+
 let register t ~core ~vector f = Hashtbl.replace t.handlers (core, vector) f
 
-let send t ~src ~dst ~vector =
+let wire_cost t ~src ~dst =
+  let wire =
+    t.plat.Platform.ipi_wire
+    + (t.plat.Platform.hop_one_way * Platform.hops_between t.plat src dst)
+  in
+  if Mk_fault.Injector.armed t.inj then
+    wire
+    + Mk_fault.Injector.link_penalty t.inj
+        ~src_pkg:(Platform.package_of t.plat src)
+        ~dst_pkg:(Platform.package_of t.plat dst)
+  else wire
+
+(* Arrival half: trap the target core and run its handler. Effect-free up
+   to the spawn, so the cross-shard path can call it from a delivered
+   message thunk. *)
+let deliver t ~eng ~src ~dst ~vector =
   let handler =
     match Hashtbl.find_opt t.handlers (dst, vector) with
     | Some f -> f
     | None ->
       invalid_arg (Printf.sprintf "Ipi.send: no handler for vector %d on core %d" vector dst)
   in
-  t.sent <- t.sent + 1;
-  Engine.charge apic_write_cost;
-  let wire =
-    t.plat.Platform.ipi_wire
-    + (t.plat.Platform.hop_one_way * Platform.hops_between t.plat src dst)
-  in
-  let wire =
-    if Mk_fault.Injector.armed t.inj then
-      wire
-      + Mk_fault.Injector.link_penalty t.inj
-          ~src_pkg:(Platform.package_of t.plat src)
-          ~dst_pkg:(Platform.package_of t.plat dst)
-    else wire
-  in
-  Engine.spawn_ ~name:(Printf.sprintf "ipi%d->%d" src dst) (fun () ->
-      Engine.charge wire;
+  Engine.spawn eng ~name:(Printf.sprintf "ipi%d->%d" src dst) (fun () ->
       if
         Mk_fault.Injector.armed t.inj
         && Mk_fault.Injector.core_dead t.inj ~core:dst
@@ -61,5 +74,42 @@ let send t ~src ~dst ~vector =
         let (_ : int) = Resource.acquire t.cores.(dst) t.plat.Platform.trap in
         handler ~src
       end)
+
+let send t ~src ~dst ~vector =
+  match t.remote with
+  | Some rr when rr.ri_is_remote dst ->
+    (* Cross-shard: the handler lives on the owning shard. Pay the APIC
+       write at the true simulated time (the route callback timestamps the
+       departure off the engine clock), then hand off the wire leg. *)
+    t.sent <- t.sent + 1;
+    Engine.charge apic_write_cost;
+    Engine.flush_charge ();
+    rr.ri_route ~src ~dst ~vector ~wire:(wire_cost t ~src ~dst)
+  | _ ->
+    let handler =
+      match Hashtbl.find_opt t.handlers (dst, vector) with
+      | Some f -> f
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Ipi.send: no handler for vector %d on core %d" vector dst)
+    in
+    t.sent <- t.sent + 1;
+    Engine.charge apic_write_cost;
+    let wire = wire_cost t ~src ~dst in
+    Engine.spawn_ ~name:(Printf.sprintf "ipi%d->%d" src dst) (fun () ->
+        Engine.charge wire;
+        if
+          Mk_fault.Injector.armed t.inj
+          && Mk_fault.Injector.core_dead t.inj ~core:dst
+        then
+          (* A stopped core takes no interrupts: the IPI vanishes at the
+             target's (dead) APIC. *)
+          (Mk_fault.Injector.stats t.inj).ipi_dropped <-
+            (Mk_fault.Injector.stats t.inj).ipi_dropped + 1
+        else begin
+          (* The target stops what it is doing for trap entry + handler. *)
+          let (_ : int) = Resource.acquire t.cores.(dst) t.plat.Platform.trap in
+          handler ~src
+        end)
 
 let sent t = t.sent

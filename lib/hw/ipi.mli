@@ -25,6 +25,21 @@ val send : t -> src:int -> dst:int -> vector:int -> unit
     delivery after the wire delay. Raises [Invalid_argument] if the target
     has no handler for [vector]. *)
 
+val set_remote : t -> is_remote:(int -> bool) -> route:(src:int -> dst:int -> vector:int -> wire:int -> unit) -> unit
+(** PDES cross-shard delivery: when {!send} targets a core satisfying
+    [is_remote], the sender still pays the APIC-write cost but the wire
+    leg and handler are handed to [route] (with [wire] the computed wire
+    delay), which ships them to the owning shard as a timestamped message
+    ending in that shard's {!deliver}. [route] runs in the sending task's
+    context but must not block. *)
+
+val deliver : t -> eng:Mk_sim.Engine.t -> src:int -> dst:int -> vector:int -> unit
+(** Arrival half of a cross-shard IPI on the owning shard: trap [dst] and
+    run its registered handler, exactly like local delivery after the wire
+    delay. Effect-free (spawns the trap task on [eng]), so it can be
+    called from a delivered cross-shard message thunk. Raises
+    [Invalid_argument] if no handler is registered. *)
+
 val apic_write_cost : int
 (** Cycles the sender spends writing the interrupt command register. *)
 

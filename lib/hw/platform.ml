@@ -141,6 +141,23 @@ let synthetic_mesh ~packages ~cores_per_package =
     topo = Topology.create ~n:packages ~links:!links;
   }
 
+let synthetic_tree ~packages ~cores_per_package =
+  (* Complete binary tree over the packages: deep NUMA (diameter grows as
+     log n but worst-case paths cross the root), the shape the PDES
+     scaling study shards along subtrees. *)
+  let links = ref [] in
+  for p = 1 to packages - 1 do
+    links := (((p - 1) / 2), p) :: !links
+  done;
+  {
+    amd_8x4 with
+    name = Printf.sprintf "synthetic %dx%d tree" packages cores_per_package;
+    n_packages = packages;
+    cores_per_package;
+    cores_per_share_group = cores_per_package;
+    topo = Topology.create ~n:packages ~links:!links;
+  }
+
 let all = [ intel_2x4; amd_2x2; amd_4x4; amd_8x4 ]
 
 let n_cores t = t.n_packages * t.cores_per_package

@@ -54,6 +54,11 @@ val synthetic_mesh : packages:int -> cores_per_package:int -> t
 (** A future-hardware machine: 2D mesh interconnect, shared LLC per package.
     Used by the scaling-extension benches (§7 directions). *)
 
+val synthetic_tree : packages:int -> cores_per_package:int -> t
+(** A future-hardware machine: complete-binary-tree interconnect (deep
+    NUMA — log-depth but root-crossing worst-case paths). The PDES scaling
+    bench shards it along subtrees. *)
+
 val all : t list
 (** The four paper platforms. *)
 

@@ -90,3 +90,35 @@ let path_directed t s d =
 let path t s d = List.map norm (path_directed t s d)
 
 let neighbors t u = t.adj.(u)
+
+(* Deterministic contiguous partition of the node ids into [parts] classes
+   of near-equal size (the first [n mod parts] classes get the extra
+   node). Contiguous ranges keep home-node pinning shard-local for bump
+   allocators, which is why the PDES sharding uses exactly this rule. *)
+let contiguous_partition t ~parts =
+  if parts <= 0 then invalid_arg "Topology.contiguous_partition: parts must be positive";
+  Array.init t.n (fun v -> min (parts - 1) (v * parts / t.n))
+
+(* Per partition-class-pair minimum hop cost: [m.(a).(b)] is the smallest
+   hop distance between any node of class [a] and any node of class [b]
+   (0 on the diagonal). The smallest off-diagonal entry is the guaranteed
+   lookahead of a conservative PDES sharded along [part]: no interaction
+   between two different classes can take effect in fewer hops. *)
+let min_cross_latency t ~part =
+  if Array.length part <> t.n then
+    invalid_arg "Topology.min_cross_latency: partition size mismatch";
+  let k = Array.fold_left (fun acc c -> max acc (c + 1)) 0 part in
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Topology.min_cross_latency: negative class")
+    part;
+  let m = Array.make_matrix k k max_int in
+  for i = 0 to k - 1 do
+    m.(i).(i) <- 0
+  done;
+  for u = 0 to t.n - 1 do
+    for v = 0 to t.n - 1 do
+      let a = part.(u) and b = part.(v) in
+      if a <> b && t.dist.(u).(v) < m.(a).(b) then m.(a).(b) <- t.dist.(u).(v)
+    done
+  done;
+  m

@@ -32,3 +32,21 @@ val path_directed : t -> int -> int -> (int * int) list
 (** Same, but each hop keeps its direction of travel. *)
 
 val neighbors : t -> int -> int list
+
+val contiguous_partition : t -> parts:int -> int array
+(** Deterministic node -> class map splitting the node ids into [parts]
+    contiguous ranges of near-equal size. This is the PDES shard
+    assignment rule: contiguous package ranges keep bump-allocated home
+    ranges shard-local. Raises [Invalid_argument] when [parts <= 0];
+    with [parts >= n_nodes] every node is its own class (ids [0..n-1]). *)
+
+val min_cross_latency : t -> part:int array -> int array array
+(** [min_cross_latency t ~part] is the per class-pair minimum hop cost
+    under the [part] node -> class map: entry [(a, b)] is the smallest
+    {!hops} between any node of class [a] and any node of class [b], with
+    [0] on the diagonal (and [max_int] for a class pair with no nodes —
+    only possible when [part] skips class ids). The minimum off-diagonal
+    entry is the guaranteed lookahead window of a conservative PDES
+    sharded along [part]; it is also reusable as a placement distance
+    table (SKB). Raises [Invalid_argument] if [part] is not exactly
+    [n_nodes] entries or contains a negative class. *)

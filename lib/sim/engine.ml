@@ -84,6 +84,23 @@ let now t = t.now
 let events_executed t = t.executed
 let live_tasks t = t.live
 
+(* Earliest pending event across the three fronts (FIFO entries are due at
+   the current time). [None] = idle engine. This is what a windowed
+   executor (Pdes) uses to pick the next lookahead horizon without popping
+   anything. *)
+let next_time t =
+  let nt = ref max_int in
+  if t.fq_len > 0 then nt := t.now;
+  if not (Wheel.is_empty t.wheel) then begin
+    let wt = Wheel.min_time t.wheel in
+    if wt < !nt then nt := wt
+  end;
+  if not (Heap.is_empty t.heap) then begin
+    let ht = Heap.min_time t.heap in
+    if ht < !nt then nt := ht
+  end;
+  if !nt = max_int then None else Some !nt
+
 (* Events executed by every engine on this domain: lets the bench harness
    attribute events/sec to a bench without threading engine handles out,
    and stays correct when benches run on parallel domains. *)
@@ -375,12 +392,23 @@ let run t ?until ?(allow_stall = true) () =
       let ntime = !ntime in
       match limit with
       | Some lim when ntime > lim ->
-        (* Stopped early: keep any still-queued same-time or near-future
-           events heap-held so the clock can be moved without losing their
-           (time, seq). *)
-        fifo_spill t;
-        wheel_spill t;
-        t.now <- lim
+        if lim >= t.now then
+          (* Forward stop (the common case; a PDES window barrier does this
+             once per window). The FIFO is necessarily empty — its entries
+             are due at [t.now <= lim] and would have run — and the wheel
+             can stay put: every pending wheel time lies in
+             (lim, lim + window), so pushes after the clock moves to [lim]
+             cannot collide with an occupied slot (and Wheel.push refuses
+             and falls back to the heap if one ever did). *)
+          t.now <- lim
+        else begin
+          (* Rewinding stop ([until] before the current time): spill
+             everything into the heap so (time, seq) survives the
+             re-anchoring. *)
+          fifo_spill t;
+          wheel_spill t;
+          t.now <- lim
+        end
       | _ ->
         let thunk =
           if !src = src_fifo then fifo_pop t

@@ -29,6 +29,11 @@ val reset : t -> unit
 val now : t -> int
 (** Current simulated time. *)
 
+val next_time : t -> int option
+(** Time of the earliest pending event (FIFO/wheel/heap), without popping
+    it; [None] when the engine is idle. A windowed executor uses this to
+    compute the next conservative lookahead horizon. *)
+
 val events_executed : t -> int
 (** Total number of events dispatched so far (debugging / perf metric). *)
 

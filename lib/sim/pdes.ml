@@ -1,0 +1,323 @@
+(* Windowed conservative parallel discrete-event simulation.
+
+   One logical simulation is split into [n_shards] shards, each with its
+   own {!Engine.t} (and, at the hardware layer, its own machine covering a
+   contiguous range of simulated cores). Shards only interact through
+   timestamped cross-shard messages with a minimum latency of [lookahead]
+   cycles — in the multikernel model that bound is physical: the cheapest
+   cross-shard interaction is a cache-coherence or interconnect round trip
+   whose cost is a function of the topology (see
+   {!Topology.min_cross_latency}).
+
+   Execution alternates window runs and exchange barriers:
+
+   - exchange: deliver every message sent during the previous window into
+     its destination shard's event queue, in (timestamp, src_core, seq)
+     order so the destination engine's internal sequence numbers — and
+     therefore its tie-breaking — are independent of which domain produced
+     the messages, or how the previous window's shard runs interleaved;
+   - window: [horizon <- tmin + lookahead] where [tmin] is the earliest
+     pending event across all shards, then run every shard independently
+     up to [horizon - 1]. Any message a shard sends is stamped at least
+     [lookahead] after the event that sent it, hence at or after
+     [horizon]: nothing sent during the window can affect the window, so
+     the shards need no synchronization inside it.
+
+   The same loop body runs whether the shards execute inline on the
+   calling domain or across a team of worker domains; shard state is only
+   ever touched by one domain per window and handed over at the barrier.
+   A PDES run is therefore byte-identical for every domain count — the
+   referee property the CI gate checks — and [domains = 1] doubles as the
+   serial referee, exactly like the pool's [-j 1].
+
+   The worker team is spawned per {!exec} rather than borrowed from
+   {!Pool}: a pool's submitter-helper discipline assumes jobs are
+   independent, but shard window jobs are *not* — they rendezvous at the
+   barrier. A helper that claimed shard job 0 would block in its barrier
+   wait, unable to claim shard jobs 1..3, and the batch would deadlock
+   under pool contention. Dedicated domains make the rendezvous safe; the
+   pool still sees the run's costs because {!exec} folds every worker's
+   counters back through {!Pool.absorb} and reports its window count via
+   {!Pool.note_barriers}. *)
+
+type msg = {
+  at : int;  (* absolute delivery time *)
+  src_core : int;  (* simulated core that caused the send *)
+  mseq : int;  (* per-source-shard sequence number *)
+  fn : unit -> unit;  (* runs on the destination engine at [at] *)
+}
+
+type shard = {
+  eng : Engine.t;
+  buf : Buffer.t;  (* captured output, replayed in shard order *)
+  outbox : msg list array;  (* per destination shard, newest first *)
+  mutable send_seq : int;
+  mutable err : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  shards : shard array;
+  lookahead : int;
+  mutable horizon : int;  (* exclusive upper bound of the last window *)
+  mutable barriers : int;  (* windows executed, across exec calls *)
+}
+
+let create ~n_shards ~lookahead =
+  if n_shards <= 0 then invalid_arg "Pdes.create: n_shards must be positive";
+  if lookahead <= 0 then invalid_arg "Pdes.create: lookahead must be positive";
+  {
+    shards =
+      Array.init n_shards (fun _ ->
+          {
+            eng = Engine.create ();
+            buf = Buffer.create 256;
+            outbox = Array.make n_shards [];
+            send_seq = 0;
+            err = None;
+          });
+    lookahead;
+    horizon = 0;
+    barriers = 0;
+  }
+
+let n_shards t = Array.length t.shards
+let lookahead t = t.lookahead
+let barriers t = t.barriers
+
+let engine t i =
+  if i < 0 || i >= Array.length t.shards then invalid_arg "Pdes.engine: bad shard";
+  t.shards.(i).eng
+
+let spawn t ~shard ?name f = Engine.spawn (engine t shard) ?name f
+
+(* Which shard the current domain is executing a window for; [send] uses
+   it to pick the source outbox (and sequence counter) without threading
+   the shard index through every hardware-layer hook. *)
+let cur_key : (t * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let send t ~dst ~src_core ~at fn =
+  if dst < 0 || dst >= Array.length t.shards then invalid_arg "Pdes.send: bad dst shard";
+  if at < t.horizon then
+    invalid_arg
+      (Printf.sprintf "Pdes.send: lookahead violation (at=%d < horizon=%d)" at t.horizon);
+  (* Outside a window (setup before the first exchange) any outbox works —
+     horizon is still 0 and the first exchange drains them all. *)
+  let src =
+    match Domain.DLS.get cur_key with Some (t', i) when t' == t -> i | _ -> 0
+  in
+  let s = t.shards.(src) in
+  s.outbox.(dst) <- { at; src_core; mseq = s.send_seq; fn } :: s.outbox.(dst);
+  s.send_seq <- s.send_seq + 1
+
+(* -- window execution -- *)
+
+let run_shard t i ~until =
+  let s = t.shards.(i) in
+  let saved = Domain.DLS.get cur_key in
+  Domain.DLS.set cur_key (Some (t, i));
+  (match Pool.redirect_to s.buf (fun () -> Engine.run s.eng ~until ()) with
+  | () -> ()
+  | exception e -> s.err <- Some (e, Printexc.get_raw_backtrace ()));
+  Domain.DLS.set cur_key saved
+
+(* Deliver every pending cross-shard message. Per destination, messages
+   from all source outboxes are merged and sorted by (at, src_core, mseq)
+   — a total order, since a core belongs to exactly one shard and that
+   shard's [mseq] is strictly increasing — so the destination engine
+   assigns its tie-breaking sequence numbers in an order independent of
+   shard scheduling. *)
+let exchange t =
+  let n = Array.length t.shards in
+  for dst = 0 to n - 1 do
+    let pending = ref [] in
+    for src = 0 to n - 1 do
+      match t.shards.(src).outbox.(dst) with
+      | [] -> ()
+      | l ->
+        pending := List.rev_append l !pending;
+        t.shards.(src).outbox.(dst) <- []
+    done;
+    match !pending with
+    | [] -> ()
+    | l ->
+      let l =
+        List.sort
+          (fun a b ->
+            let c = compare a.at b.at in
+            if c <> 0 then c
+            else
+              let c = compare a.src_core b.src_core in
+              if c <> 0 then c else compare a.mseq b.mseq)
+          l
+      in
+      let eng = t.shards.(dst).eng in
+      List.iter (fun m -> Engine.schedule_at eng ~at:m.at m.fn) l
+  done
+
+let global_min t =
+  Array.fold_left
+    (fun acc s ->
+      match Engine.next_time s.eng with
+      | None -> acc
+      | Some nt -> ( match acc with None -> Some nt | Some a -> Some (min a nt)))
+    None t.shards
+
+let check_errors t =
+  Array.iter
+    (fun s ->
+      match s.err with
+      | Some (e, bt) ->
+        s.err <- None;
+        Printexc.raise_with_backtrace e bt
+      | None -> ())
+    t.shards
+
+let finish t ~rounds =
+  t.barriers <- t.barriers + rounds;
+  Pool.note_barriers rounds;
+  Array.iter
+    (fun s ->
+      Pool.emit (Buffer.contents s.buf);
+      Buffer.clear s.buf)
+    t.shards
+
+(* -- worker team --
+
+   Round-based SPMD: the main domain publishes a horizon and bumps the
+   round counter; each worker runs its fixed subset of shards (shard [s]
+   always runs on domain [s mod d], so a shard's output buffer and engine
+   are touched by one domain only) and bumps the done counter; the main
+   domain runs its own subset and spins until all workers report. All
+   cross-domain handoffs are ordered by those atomics, which per the OCaml
+   memory model also publish the plain shard state written before them. *)
+
+type worker_total = {
+  mutable w_executed : int;
+  mutable w_fused : int;
+  mutable w_minor : float;
+  mutable w_promoted : float;
+  mutable w_major : int;
+}
+
+let exec_team t ~domains:d =
+  let n = Array.length t.shards in
+  let round = Atomic.make 0 in
+  let horizon_pub = Atomic.make 0 in
+  let done_n = Atomic.make 0 in
+  let fusion = Engine.fusion_enabled () in
+  let totals =
+    Array.init (d - 1) (fun _ ->
+        { w_executed = 0; w_fused = 0; w_minor = 0.0; w_promoted = 0.0; w_major = 0 })
+  in
+  let worker w () =
+    Engine.set_fusion fusion;
+    let ev0 = Engine.domain_events_executed () and fu0 = Engine.domain_events_fused () in
+    let g0 = Gc.quick_stat () in
+    let my_round = ref 0 in
+    let rec loop () =
+      while Atomic.get round = !my_round do
+        Domain.cpu_relax ()
+      done;
+      incr my_round;
+      let h = Atomic.get horizon_pub in
+      if h >= 0 then begin
+        let i = ref w in
+        while !i < n do
+          run_shard t !i ~until:(h - 1);
+          i := !i + d
+        done;
+        Atomic.incr done_n;
+        loop ()
+      end
+    in
+    loop ();
+    let g1 = Gc.quick_stat () in
+    let tot = totals.(w - 1) in
+    tot.w_executed <- Engine.domain_events_executed () - ev0;
+    tot.w_fused <- Engine.domain_events_fused () - fu0;
+    tot.w_minor <- g1.Gc.minor_words -. g0.Gc.minor_words;
+    tot.w_promoted <- g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    tot.w_major <- g1.Gc.major_collections - g0.Gc.major_collections
+  in
+  let workers = List.init (d - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+  let quit () =
+    Atomic.set horizon_pub (-1);
+    Atomic.incr round;
+    List.iter Domain.join workers;
+    Array.iter
+      (fun w ->
+        Pool.absorb ~executed:w.w_executed ~fused:w.w_fused ~minor:w.w_minor
+          ~promoted:w.w_promoted ~major:w.w_major ())
+      totals
+  in
+  let rounds = ref 0 in
+  let rec loop () =
+    exchange t;
+    match global_min t with
+    | None -> quit ()
+    | Some tmin ->
+      t.horizon <- tmin + t.lookahead;
+      Atomic.set done_n 0;
+      Atomic.set horizon_pub t.horizon;
+      Atomic.incr round;
+      let i = ref 0 in
+      while !i < n do
+        run_shard t !i ~until:(t.horizon - 1);
+        i := !i + d
+      done;
+      while Atomic.get done_n < d - 1 do
+        Domain.cpu_relax ()
+      done;
+      incr rounds;
+      if Array.exists (fun s -> s.err <> None) t.shards then begin
+        quit ();
+        finish t ~rounds:!rounds;
+        check_errors t
+      end
+      else loop ()
+  in
+  loop ();
+  finish t ~rounds:!rounds;
+  check_errors t
+
+let exec_serial t =
+  let n = Array.length t.shards in
+  let rounds = ref 0 in
+  let rec loop () =
+    exchange t;
+    match global_min t with
+    | None -> ()
+    | Some tmin ->
+      t.horizon <- tmin + t.lookahead;
+      for i = 0 to n - 1 do
+        run_shard t i ~until:(t.horizon - 1)
+      done;
+      incr rounds;
+      if Array.exists (fun s -> s.err <> None) t.shards then begin
+        finish t ~rounds:!rounds;
+        check_errors t
+      end
+      else loop ()
+  in
+  loop ();
+  finish t ~rounds:!rounds;
+  check_errors t
+
+(* -- domain-count configuration (MK_PDES env, --pdes flag) -- *)
+
+let domains_override = ref None
+let set_domains_override d = domains_override := d
+
+let configured_domains () =
+  match !domains_override with
+  | Some d -> max 1 d
+  | None -> (
+    match Sys.getenv_opt "MK_PDES" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with Some d when d > 0 -> d | _ -> 1))
+
+let exec ?domains t =
+  let d = match domains with Some d -> max 1 d | None -> configured_domains () in
+  let d = min d (Array.length t.shards) in
+  if d <= 1 then exec_serial t else exec_team t ~domains:d

@@ -1,0 +1,79 @@
+(** Windowed conservative parallel discrete-event simulation.
+
+    Splits {e one} logical simulation into shards — each with its own
+    {!Engine.t} — that only interact through timestamped cross-shard
+    messages carrying at least [lookahead] cycles of latency. Execution
+    alternates exchange barriers (deliver pending messages in a canonical
+    order) and windows (run every shard independently up to
+    [horizon = tmin + lookahead], where [tmin] is the earliest pending
+    event anywhere): nothing sent during a window can take effect inside
+    it, so the shards need no synchronization within a window.
+
+    The same loop body runs the shards inline ([domains = 1], the serial
+    referee) or on a dedicated team of worker domains; shard state is
+    handed over only at the barriers, and message delivery order is
+    canonical, so the run is byte-identical for every domain count.
+
+    The lookahead bound is physical in the multikernel model: the cheapest
+    cross-shard interaction is an interconnect round trip whose minimum
+    cost {!Topology.min_cross_latency} derives from the hop distances
+    between the shards' package ranges. *)
+
+type t
+
+val create : n_shards:int -> lookahead:int -> t
+(** A sharded simulation: [n_shards] fresh engines, all at time 0, and a
+    guaranteed minimum cross-shard message latency of [lookahead > 0]
+    cycles. Raises [Invalid_argument] on a non-positive argument. *)
+
+val n_shards : t -> int
+val lookahead : t -> int
+
+val engine : t -> int -> Engine.t
+(** The shard's engine, for building per-shard machines and spawning
+    setup tasks. Raises [Invalid_argument] on a bad index. *)
+
+val spawn : t -> shard:int -> ?name:string -> (unit -> unit) -> unit
+(** [Engine.spawn] on the shard's engine. *)
+
+val send : t -> dst:int -> src_core:int -> at:int -> (unit -> unit) -> unit
+(** Queue a cross-shard message: [fn] runs on shard [dst]'s engine at
+    absolute time [at], delivered at the next exchange barrier. Messages
+    are merged per destination in [(at, src_core, per-source sequence)]
+    order — unique because a core belongs to exactly one shard — so
+    delivery order (and the destination engine's tie-breaking) does not
+    depend on how the sending windows interleaved. [fn] runs outside any
+    task context: it may mutate state, call [Engine.spawn] /
+    [Engine.schedule_at] and {!send}, but must not perform task effects.
+
+    Raises [Invalid_argument] if [at] precedes the current window horizon
+    — a lookahead violation, meaning the caller used a cross-shard latency
+    below the [lookahead] the executor was created with. Callable during
+    setup (before {!exec}), where the horizon is still 0. *)
+
+val exec : ?domains:int -> t -> unit
+(** Run the sharded simulation to completion (no pending events or
+    messages anywhere). [domains] (default {!configured_domains}; clamped
+    to [n_shards]) picks how many OCaml domains execute the windows:
+    [1] runs every shard inline on the caller, [> 1] spawns a short-lived
+    team of [domains - 1] workers with shard [s] pinned to domain
+    [s mod domains]. The team is dedicated rather than pooled because
+    shard window jobs rendezvous at the exchange barrier — a {!Pool}
+    submitter-helper that claimed one shard job would block in the barrier
+    and deadlock the batch; worker counters are folded back through
+    {!Pool.absorb} so enclosing measurements are placement-independent.
+
+    Captured shard output is replayed in shard order on return; if a shard
+    raised, the remaining shards finish the window, output is replayed,
+    and the lowest-numbered shard's exception is re-raised. *)
+
+val barriers : t -> int
+(** Exchange barriers (= windows) executed so far, summed across {!exec}
+    calls. Also reported to {!Pool.note_barriers} for the bench harness. *)
+
+val set_domains_override : int option -> unit
+(** Process-wide override of the default domain count ([--pdes N] in the
+    bench driver); [None] restores the [MK_PDES] environment default. *)
+
+val configured_domains : unit -> int
+(** The override if set, else the [MK_PDES] environment variable, else 1. *)

@@ -41,11 +41,37 @@ type foreign = {
   mutable f_minor : float;
   mutable f_promoted : float;
   mutable f_major : int;
+  mutable f_barriers : int;  (* PDES window barriers (Pdes reports here) *)
 }
 
 let foreign_key : foreign Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { f_executed = 0; f_fused = 0; f_minor = 0.0; f_promoted = 0.0; f_major = 0 })
+      {
+        f_executed = 0;
+        f_fused = 0;
+        f_minor = 0.0;
+        f_promoted = 0.0;
+        f_major = 0;
+        f_barriers = 0;
+      })
+
+(* Fold counters produced on other domains into this domain's totals. The
+   pool's own merge uses it for jobs that ran elsewhere; Pdes uses it for
+   the worker-domain halves of a sharded window run, so an enclosing
+   measurement reads the same totals wherever the shards executed. *)
+let absorb ?(executed = 0) ?(fused = 0) ?(minor = 0.0) ?(promoted = 0.0) ?(major = 0) () =
+  let fo = Domain.DLS.get foreign_key in
+  fo.f_executed <- fo.f_executed + executed;
+  fo.f_fused <- fo.f_fused + fused;
+  fo.f_minor <- fo.f_minor +. minor;
+  fo.f_promoted <- fo.f_promoted +. promoted;
+  fo.f_major <- fo.f_major + major
+
+(* Window barriers executed by PDES runs on (or absorbed into) this
+   domain: lives here rather than in Pdes so the per-job counter capture
+   below needs no dependency on it. *)
+let note_barriers n = (Domain.DLS.get foreign_key).f_barriers <- (Domain.DLS.get foreign_key).f_barriers + n
+let total_barriers () = (Domain.DLS.get foreign_key).f_barriers
 
 let total_executed () =
   Engine.domain_events_executed () + (Domain.DLS.get foreign_key).f_executed
@@ -187,6 +213,7 @@ type 'a cell = {
   mutable d_minor : float;
   mutable d_promoted : float;
   mutable d_major : int;
+  mutable d_barriers : int;
 }
 
 (* Execute one job on whatever domain claimed it: capture its output and
@@ -197,7 +224,7 @@ let exec_cell cell f () =
   cell.dom <- (Domain.self () :> int);
   let ev0 = total_executed () and fu0 = total_fused () in
   let mi0 = total_minor_words () and pr0 = total_promoted_words () in
-  let ma0 = total_major_collections () in
+  let ma0 = total_major_collections () and ba0 = total_barriers () in
   (match redirect_to cell.buf f with
   | v -> cell.outcome <- Some (Ok v)
   | exception e ->
@@ -207,7 +234,8 @@ let exec_cell cell f () =
   cell.d_fused <- total_fused () - fu0;
   cell.d_minor <- total_minor_words () -. mi0;
   cell.d_promoted <- total_promoted_words () -. pr0;
-  cell.d_major <- total_major_collections () - ma0
+  cell.d_major <- total_major_collections () - ma0;
+  cell.d_barriers <- total_barriers () - ba0
 
 let run ?pool fs =
   match fs with
@@ -225,6 +253,7 @@ let run ?pool fs =
             d_minor = 0.0;
             d_promoted = 0.0;
             d_major = 0;
+            d_barriers = 0;
           })
         fs
       |> Array.of_list
@@ -249,7 +278,8 @@ let run ?pool fs =
           fo.f_fused <- fo.f_fused + c.d_fused;
           fo.f_minor <- fo.f_minor +. c.d_minor;
           fo.f_promoted <- fo.f_promoted +. c.d_promoted;
-          fo.f_major <- fo.f_major + c.d_major
+          fo.f_major <- fo.f_major + c.d_major;
+          fo.f_barriers <- fo.f_barriers + c.d_barriers
         end)
       cells;
     Array.iter

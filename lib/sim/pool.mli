@@ -75,3 +75,17 @@ val total_fused : unit -> int
 val total_minor_words : unit -> float
 val total_promoted_words : unit -> float
 val total_major_collections : unit -> int
+
+val absorb :
+  ?executed:int -> ?fused:int -> ?minor:float -> ?promoted:float -> ?major:int -> unit -> unit
+(** Fold counters produced on {e other} domains into this domain's foreign
+    cell. The pool's ordered merge uses it internally; {!Pdes.exec} uses it
+    for the worker-domain halves of a sharded window run, so an enclosing
+    measurement reads the same totals wherever the shards executed. *)
+
+val note_barriers : int -> unit
+(** Record [n] PDES window barriers against this domain's totals. *)
+
+val total_barriers : unit -> int
+(** Window barriers executed by (or absorbed into) this domain. The bench
+    harness reports the delta per run; 0 for non-PDES runs. *)

@@ -85,7 +85,10 @@ let scaling_golden =
       {|    32          11408          12794              35783|};
       {|    64          14807          24084              69428|};
       {|    96          18675          31446             103043|};
-      {|   128          22797          40166             136628|} ]
+      {|   128          22797          40166             136628|};
+      {|-- PDES sharded multicast unmap (4 shards) --|};
+      {| cores   rounds   unmap(cyc)     events     windows  lookahead|};
+      {|    64       10        11038      45504         389        265|} ]
 
 let test_fig6 () = check_golden "fig6" fig6_golden (capture Mk_benches.Fig6.run)
 

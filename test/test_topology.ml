@@ -52,6 +52,70 @@ let test_duplicate_links_ignored () =
   let t = Topology.create ~n:2 ~links:[ (0, 1); (1, 0); (0, 1) ] in
   check_int "one link" 1 (Array.length (Topology.links t))
 
+let test_contiguous_partition () =
+  let t = ring 8 in
+  let p = Topology.contiguous_partition t ~parts:4 in
+  Alcotest.(check (array int)) "even split" [| 0; 0; 1; 1; 2; 2; 3; 3 |] p;
+  let p = Topology.contiguous_partition t ~parts:3 in
+  Alcotest.(check (array int)) "uneven split stays contiguous" [| 0; 0; 0; 1; 1; 1; 2; 2 |] p;
+  let p = Topology.contiguous_partition t ~parts:1 in
+  Alcotest.(check (array int)) "single class" (Array.make 8 0) p;
+  let t1 = Topology.create ~n:1 ~links:[] in
+  Alcotest.(check (array int)) "more parts than nodes" [| 0 |]
+    (Topology.contiguous_partition t1 ~parts:4);
+  check_bool "rejects zero parts" true
+    (match Topology.contiguous_partition t ~parts:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_min_cross_latency () =
+  let t = ring 8 in
+  let part = Topology.contiguous_partition t ~parts:4 in
+  let m = Topology.min_cross_latency t ~part in
+  check_int "diagonal" 0 m.(1).(1);
+  (* Adjacent quarters of the ring touch: nodes 1 and 2 are one hop. *)
+  check_int "adjacent classes" 1 m.(0).(1);
+  check_int "symmetric" m.(1).(0) m.(0).(1);
+  (* Opposite quarters of the ring: the closest nodes are 3 hops apart. *)
+  check_int "opposite classes" 3 m.(0).(2);
+  (* The amd ladder split in half: packages {0..3} vs {4..7}. *)
+  let amd = Platform.amd_8x4.Platform.topo in
+  let part = Topology.contiguous_partition amd ~parts:2 in
+  let m = Topology.min_cross_latency amd ~part in
+  check_int "ladder halves touch" 1 m.(0).(1);
+  check_bool "rejects size mismatch" true
+    (match Topology.min_cross_latency t ~part:[| 0; 1 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "rejects negative class" true
+    (match Topology.min_cross_latency t ~part:(Array.make 8 (-1)) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let qcheck_min_cross_latency_is_min =
+  qtest "min_cross_latency matches brute force" ~count:50
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 1 4))
+    (fun (n, parts) ->
+      let t = ring n in
+      let parts = min parts n in
+      let part = Topology.contiguous_partition t ~parts in
+      let m = Topology.min_cross_latency t ~part in
+      let ok = ref true in
+      for a = 0 to parts - 1 do
+        for b = 0 to parts - 1 do
+          let brute = ref (if a = b then 0 else max_int) in
+          if a <> b then
+            for u = 0 to n - 1 do
+              for v = 0 to n - 1 do
+                if part.(u) = a && part.(v) = b && Topology.hops t u v < !brute then
+                  brute := Topology.hops t u v
+              done
+            done;
+          if m.(a).(b) <> !brute then ok := false
+        done
+      done;
+      !ok)
+
 let qcheck_triangle_inequality =
   qtest "hop counts obey the triangle inequality" ~count:50
     QCheck2.Gen.(int_range 3 8)
@@ -77,5 +141,8 @@ let suite =
       tc "fully connected" test_fully_connected;
       tc "rejects bad input" test_rejects_bad_input;
       tc "duplicate links" test_duplicate_links_ignored;
+      tc "contiguous partition" test_contiguous_partition;
+      tc "min cross latency" test_min_cross_latency;
+      qcheck_min_cross_latency_is_min;
       qcheck_triangle_inequality;
     ] )
