@@ -15,7 +15,7 @@ let vaddr = 0x400000
 (* -- (a) page tables -- *)
 
 let unmap_with_mode pt_mode ~touchers =
-  let os = Os.boot ~measure_latencies:false Platform.amd_8x4 in
+  let os = Os.boot ~measure_latencies:Os.No_measure Platform.amd_8x4 in
   Os.run os (fun () ->
       let cores = List.init 32 Fun.id in
       let dom = Os.spawn_domain ~pt_mode os ~name:"abl" ~cores in
@@ -63,7 +63,7 @@ let page_tables () =
 (* -- (b) barriers -- *)
 
 let barrier_round impl ~ncores =
-  let os = Os.boot ~measure_latencies:false Platform.amd_4x4 in
+  let os = Os.boot ~measure_latencies:Os.No_measure Platform.amd_4x4 in
   let m = Os.machine os in
   Os.run os (fun () ->
       let cores = List.init ncores Fun.id in

@@ -1,4 +1,4 @@
-(* Reader/writer for BENCH_sim.json (schema bench_sim/v4).
+(* Reader/writer for BENCH_sim.json (schema bench_sim/v5).
 
    The file is both produced and consumed here, so instead of pulling in a
    JSON library the reader line-matches the exact shape the writer emits
@@ -27,7 +27,13 @@
    on MK_PDES/--pdes) — and [barriers], the PDES window-barrier count.
    Only same-mode entries have comparable wall-clocks (compare.ml skips
    mismatches). Pre-v4 entries read back with [barriers = 0] and [mode]
-   derived from [jobs] ("pool" when > 1, else "serial"). *)
+   derived from [jobs] ("pool" when > 1, else "serial").
+
+   v5 addition: [shards] — the PDES shard count the bench's simulations
+   ran over (high-water mark when a bench boots several machines; 0 =
+   nothing sharded). Two "pdes"-mode entries are only wall-clock
+   comparable over the same cut, so compare.ml skips shard mismatches
+   too. Pre-v5 entries read back with [shards = 0] (unknown). *)
 
 type gc = { minor_words : float; promoted_words : float; major_collections : int }
 
@@ -38,6 +44,7 @@ type entry = {
   executed : int;
   fused : int;
   barriers : int;  (* PDES window barriers; 0 = did not run sharded *)
+  shards : int;  (* PDES shard count (high-water); 0 = unsharded/unknown *)
   mode : string;  (* "serial" | "pool" | "pdes" *)
   gc : gc option;
   jobs : int;  (* harness -j when this entry was recorded; 0 = unknown *)
@@ -46,6 +53,36 @@ type entry = {
 let mode_of_jobs jobs = if jobs > 1 then "pool" else "serial"
 
 let rate e = if e.wall_s > 0.0 then float_of_int e.events /. e.wall_s else 0.0
+
+let parse_line_v5 line =
+  match
+    Scanf.sscanf line
+      " {%S: %S, %S: %f, %S: %d, %S: %d, %S: %d, %S: %f, %S: %f, %S: %f, %S: %d, %S: %d, \
+       %S: %S, %S: %d, %S: %d"
+      (fun k1 name k2 wall_s k3 events k4 executed k5 fused _k6 _rate k7 minor k8 promoted
+           k9 major k10 jobs k11 mode k12 barriers k13 shards ->
+        if
+          k1 = "name" && k2 = "wall_s" && k3 = "events" && k4 = "executed" && k5 = "fused"
+          && k7 = "minor_words" && k8 = "promoted_words" && k9 = "major_collections"
+          && k10 = "jobs" && k11 = "mode" && k12 = "barriers" && k13 = "shards"
+        then
+          Some
+            {
+              name;
+              wall_s;
+              events;
+              executed;
+              fused;
+              barriers;
+              shards;
+              mode;
+              gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
+              jobs;
+            }
+        else None)
+  with
+  | entry -> entry
+  | exception _ -> None
 
 let parse_line_v4 line =
   match
@@ -67,6 +104,7 @@ let parse_line_v4 line =
               executed;
               fused;
               barriers;
+              shards = 0;
               mode;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
@@ -95,6 +133,7 @@ let parse_line_v3 line =
               executed;
               fused;
               barriers = 0;
+              shards = 0;
               mode = mode_of_jobs jobs;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
@@ -121,6 +160,7 @@ let parse_line_v2 line =
               executed;
               fused;
               barriers = 0;
+              shards = 0;
               mode = "serial";
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs = 0;
@@ -142,6 +182,7 @@ let parse_line_v1 line =
               executed = events;
               fused = 0;
               barriers = 0;
+              shards = 0;
               mode = "serial";
               gc = None;
               jobs = 0;
@@ -152,13 +193,16 @@ let parse_line_v1 line =
   | exception _ -> None
 
 let parse_line line =
-  match parse_line_v4 line with
+  match parse_line_v5 line with
   | Some e -> Some e
   | None ->
-    (match parse_line_v3 line with
+    (match parse_line_v4 line with
     | Some e -> Some e
     | None ->
-      (match parse_line_v2 line with Some e -> Some e | None -> parse_line_v1 line))
+      (match parse_line_v3 line with
+      | Some e -> Some e
+      | None ->
+        (match parse_line_v2 line with Some e -> Some e | None -> parse_line_v1 line)))
 
 let read path =
   match open_in path with
@@ -188,7 +232,7 @@ let write path ~jobs entries =
   let oc = open_out path in
   let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
   let total_events = List.fold_left (fun a e -> a + e.events) 0 entries in
-  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v4\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v5\",\n  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"benches\": [\n";
   List.iteri
     (fun i e ->
@@ -200,9 +244,10 @@ let write path ~jobs entries =
       Printf.fprintf oc
         "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"executed\": %d, \"fused\": \
          %d, \"events_per_sec\": %.0f, \"minor_words\": %.0f, \"promoted_words\": %.0f, \
-         \"major_collections\": %d, \"jobs\": %d, \"mode\": %S, \"barriers\": %d}%s\n"
+         \"major_collections\": %d, \"jobs\": %d, \"mode\": %S, \"barriers\": %d, \
+         \"shards\": %d}%s\n"
         e.name e.wall_s e.events e.executed e.fused (rate e) g.minor_words g.promoted_words
-        g.major_collections e.jobs e.mode e.barriers
+        g.major_collections e.jobs e.mode e.barriers e.shards
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Printf.fprintf oc "  ],\n";

@@ -36,6 +36,12 @@ type seed_result = {
   sr_urpc_delayed : int;
 }
 
+(* The OS under test boots sharded, one shard per package of the 4x4 —
+   the same structure as every sharded boot, so the chaos numbers are
+   byte-identical whether the windows run serially or on an MK_PDES /
+   --pdes domain team. *)
+let n_shards = 4
+
 let run_seed seed =
   let plat = Platform.amd_4x4 in
   let n = Platform.n_cores plat in
@@ -47,9 +53,17 @@ let run_seed seed =
       ~horizon ()
   in
   let victims = Plan.victims plan in
-  let inj = Injector.create ~plan ~seed () in
-  let os = Os.boot ~fault:inj ~measure_latencies:false plat in
-  let m = Os.machine os in
+  (* One injector per shard machine, all driven by the same plan: stops
+     fire on the victim's own shard engine, and each shard rolls its URPC
+     drop/dup/delay dice independently (seed mixed with the shard index). *)
+  let injs =
+    Array.init n_shards (fun s ->
+        Injector.create ~plan ~seed:((seed * n_shards) + s) ())
+  in
+  let os =
+    Os.boot ~shards:n_shards ~faults:injs ~measure_latencies:Os.No_measure plat
+  in
+  let sh = match Os.shard os with Some sh -> sh | None -> assert false in
   let ok = ref 0 and failed = ref 0 and failovers = ref 0 in
   let detect_worst = ref 0 and recover_worst = ref 0 in
   let respawns = ref 0 in
@@ -65,7 +79,17 @@ let run_seed seed =
             Engine.wait 1_000;  (* simulated request processing *)
             (x * 2) + 1)
       in
-      Injector.arm inj m.Machine.eng;
+      (* Arm each shard's injector from a task *on that shard* — scheduling
+         stop events on a remote shard's engine mid-window would race the
+         window executor. [only] keeps stop callbacks local: a victim's
+         death fires on its own shard; the death announcement fan spreads
+         the news. *)
+      for s = 0 to n_shards - 1 do
+        Os.call os ~core:(Shard.first_core sh s) (fun () ->
+            Injector.arm
+              ~only:(fun c -> Shard.shard_of_core sh c = s)
+              injs.(s) (Shard.engine sh s))
+      done;
       let done_box = Sync.Mailbox.create () in
       List.iter
         (fun c ->
@@ -96,7 +120,9 @@ let run_seed seed =
       List.iter
         (fun v ->
           let stop =
-            match Injector.stop_time inj ~core:v with
+            (* The victim's own shard's injector fired (and timed) its
+               stop. *)
+            match Injector.stop_time injs.(Shard.shard_of_core sh v) ~core:v with
             | Some s -> s
             | None -> failwith "chaos: victim without a stop time"
           in
@@ -131,7 +157,8 @@ let run_seed seed =
         failwith
           (Printf.sprintf "chaos seed %d: service was never failed over" seed);
       respawns := Ft_service.respawns svc);
-  let st = Injector.stats inj in
+  (* URPC fault totals across all shard injectors. *)
+  let sum f = Array.fold_left (fun a i -> a + f (Injector.stats i)) 0 injs in
   {
     sr_seed = seed;
     sr_victims = victims;
@@ -141,9 +168,9 @@ let run_seed seed =
     sr_failed = !failed;
     sr_failovers = !failovers;
     sr_respawns = !respawns;
-    sr_urpc_dropped = st.Injector.urpc_dropped;
-    sr_urpc_duplicated = st.Injector.urpc_duplicated;
-    sr_urpc_delayed = st.Injector.urpc_delayed;
+    sr_urpc_dropped = sum (fun st -> st.Injector.urpc_dropped);
+    sr_urpc_duplicated = sum (fun st -> st.Injector.urpc_duplicated);
+    sr_urpc_delayed = sum (fun st -> st.Injector.urpc_delayed);
   }
 
 let json_path = "CHAOS_sim.json"

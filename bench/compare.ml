@@ -78,6 +78,12 @@ let () =
         Printf.printf "%-10s %14.0f %14.0f %9s %11s  (mode %s vs %s: skipped)\n" b.name
           (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.mode
           c.mode
+      (* Same idea for the sharding cut: a 4-shard run's wall-clock is not
+         comparable to an unsharded (or differently sharded) baseline. *)
+      | Some c when c.shards <> b.shards ->
+        Printf.printf "%-10s %14.0f %14.0f %9s %11s  (shards %d vs %d: skipped)\n" b.name
+          (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.shards
+          c.shards
       | Some c ->
         let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
         let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in

@@ -12,7 +12,7 @@ let iters = 25
 let vaddr = 0x200000
 
 let barrelfish_point plat ~ncores =
-  let os = Os.boot ~measure_latencies:true plat in
+  let os = Os.boot ~measure_latencies:Os.Exhaustive plat in
   let cores = List.init ncores Fun.id in
   Os.run os (fun () ->
       let dom = Os.spawn_domain os ~name:"unmapper" ~cores in

@@ -45,6 +45,7 @@ type timing = {
   executed : int;  (* scheduler events actually dispatched *)
   fused : int;  (* latency charges coalesced away by Engine.charge *)
   barriers : int;  (* PDES window barriers (0 unless the bench sharded) *)
+  shards : int;  (* PDES shard count, high-water (0 unless the bench sharded) *)
   minor_words : float;
   promoted_words : float;
   major_collections : int;
@@ -69,7 +70,7 @@ let instrumented name f () =
   let pr0 = Pool.total_promoted_words () in
   let ma0 = Pool.total_major_collections () in
   let t0 = Unix.gettimeofday () in
-  f ();
+  let (), shards = Pool.with_shards f in
   let wall_s = Unix.gettimeofday () -. t0 in
   {
     name;
@@ -77,6 +78,7 @@ let instrumented name f () =
     executed = Pool.total_executed () - ev0;
     fused = Pool.total_fused () - fu0;
     barriers = Pool.total_barriers () - ba0;
+    shards;
     minor_words = Pool.total_minor_words () -. mi0;
     promoted_words = Pool.total_promoted_words () -. pr0;
     major_collections = Pool.total_major_collections () - ma0;
@@ -127,6 +129,7 @@ let report ~jobs ~timings ~harness_wall =
           executed = t.executed;
           fused = t.fused;
           barriers = t.barriers;
+          shards = t.shards;
           mode = mode ~jobs t;
           gc =
             Some

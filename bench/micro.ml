@@ -62,7 +62,7 @@ let test_2pc =
   (* Boot once: what Figure 8 times is the agreement round, and 2PC
      rounds are idempotent on a live mesh, so each iteration measures a
      round trip rather than a full OS boot (SKB population included). *)
-  let os = Os.boot ~measure_latencies:false Platform.amd_2x2 in
+  let os = Os.boot ~measure_latencies:Os.No_measure Platform.amd_2x2 in
   let mon = Os.monitor os ~core:0 in
   let plan = Os.default_plan os ~root:0 ~members:[ 0; 1; 2; 3 ] in
   Test.make ~name:"monitor.2pc round (fig8)"

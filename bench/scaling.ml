@@ -152,7 +152,7 @@ let run_pdes () =
     (pdes_points ())
 
 let unmap_all plat ~ncores =
-  let os = Os.boot ~measure_latencies:false plat in
+  let os = Os.boot ~measure_latencies:Os.No_measure plat in
   Os.run os (fun () ->
       let cores = List.init ncores Fun.id in
       let dom = Os.spawn_domain os ~name:"scale" ~cores in
@@ -174,7 +174,7 @@ let unmap_all plat ~ncores =
       Stats.mean s)
 
 let twopc plat ~ncores =
-  let os = Os.boot ~measure_latencies:false plat in
+  let os = Os.boot ~measure_latencies:Os.No_measure plat in
   Os.run os (fun () ->
       let mon = Os.monitor os ~core:0 in
       let plan = Os.default_plan os ~root:0 ~members:(List.init ncores Fun.id) in

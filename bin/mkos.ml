@@ -86,7 +86,7 @@ let ping_cmd =
   let src_arg = Arg.(value & opt int 0 & info [ "s"; "src" ] ~doc:"Source core.") in
   let dst_arg = Arg.(value & opt int 1 & info [ "d"; "dst" ] ~doc:"Destination core.") in
   let run plat src dst =
-    let os = Os.boot ~measure_latencies:false plat in
+    let os = Os.boot ~measure_latencies:Os.No_measure plat in
     let rtt =
       Os.run os (fun () ->
           let mon = Os.monitor os ~core:src in

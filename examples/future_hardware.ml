@@ -33,7 +33,7 @@ let () =
     [ 8; 16; 32; 48; 64 ];
 
   (* The whole OS boots unchanged on the new machine. *)
-  let os = Os.boot ~measure_latencies:false plat in
+  let os = Os.boot ~measure_latencies:Os.No_measure plat in
   Os.run os (fun () ->
       let dom = Os.spawn_domain os ~name:"wide" ~cores:(List.init 64 Fun.id) in
       (match Os.alloc_map_frame os dom ~core:0 ~vaddr:0x200000 ~bytes:4096 with

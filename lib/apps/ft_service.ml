@@ -24,35 +24,43 @@ type ('req, 'resp) t = {
   mutable respawns : int;
 }
 
+(* Runs in the coordinating task (the Ft recover task on failover);
+   sharded, the pieces that live on the home core's shard — the server
+   loops and the name-service registration RPC — are reached via
+   [Os.call]. *)
 let spawn_incarnation t ~home =
   let inc = t.incarnation + 1 in
   t.incarnation <- inc;
   t.home <- home;
-  let m = Os.machine t.os in
+  let m = Os.machine_of_core t.os home in
   let inj = m.Mk_hw.Machine.fault in
   (* The incarnation is pinned to the core it was spawned on: once that
-     core stops, the server consumes-and-dies instead of replying. *)
+     core stops, the server consumes-and-dies instead of replying. The
+     draw consults the home shard's injector — where the server loop runs. *)
   let should_halt () = Mk_fault.Injector.core_dead inj ~core:home in
   ignore
     (Os.spawn_domain t.os ~name:(Printf.sprintf "%s#%d" t.name inc) ~cores:[ home ]
       : Dom.t);
+  let shard = Os.shard t.os in
   let binds =
     List.map
       (fun c ->
         let rb =
-          Flounder.Reliable.connect m
+          Flounder.Reliable.connect ?shard m
             ~name:(Printf.sprintf "%s#%d.c%d" t.name inc c)
             ~client:c ~server:home ~base_timeout:t.base_timeout
             ~max_attempts:t.max_attempts ~req_lines:t.req_lines
             ~resp_lines:t.resp_lines ()
         in
-        Flounder.Reliable.export rb ~should_halt t.handler;
+        Os.call t.os ~core:home (fun () ->
+            Flounder.Reliable.export rb ~should_halt t.handler);
         (inc, c, rb))
       t.client_cores
   in
   t.bindings <- binds @ t.bindings;
-  Name_service.register (Os.name_service t.os) ~from_core:home ~name:t.name
-    ~tag:inc
+  Os.call t.os ~core:home (fun () ->
+      Name_service.register (Os.name_service t.os) ~from_core:home ~name:t.name
+        ~tag:inc)
 
 let start os ft ~name ~home ~client_cores ?(req_lines = 1) ?(resp_lines = 1)
     ?(base_timeout = 10_000) ?(max_attempts = 4) handler =

@@ -21,12 +21,12 @@ let reduction m line (ctx : Runtime.worker_ctx) =
   ctx.Runtime.barrier ()
 
 let cg (rt : Runtime.t) ~cores =
-  let m = rt.Runtime.rt_machine in
   let n = List.length cores in
   let niter = 75 and total = 14_500_000_000 and serial_frac = 0.04 in
-  let red_line = Machine.alloc_lines m 1 in
+  let red_line = rt.Runtime.rt_alloc 1 in
   elapsed (fun () ->
       rt.Runtime.run_team ~cores (fun ctx ->
+          let m = rt.Runtime.rt_machine_of ctx.Runtime.wcore in
           let work =
             split_work ~total ~serial_frac ~n ~rank:ctx.Runtime.rank / niter
           in
@@ -41,14 +41,14 @@ let cg (rt : Runtime.t) ~cores =
           done))
 
 let ft (rt : Runtime.t) ~cores =
-  let m = rt.Runtime.rt_machine in
   let n = List.length cores in
   let niter = 6 and total = 48_000_000_000 and serial_frac = 0.02 in
   (* Each worker owns a block of the array others read during transpose. *)
-  let blocks = List.map (fun c -> (c, Machine.alloc_lines m 32)) cores in
-  let cl = m.Machine.plat.Platform.cacheline in
+  let blocks = List.map (fun c -> (c, rt.Runtime.rt_alloc 32)) cores in
+  let cl = rt.Runtime.rt_machine.Machine.plat.Platform.cacheline in
   elapsed (fun () ->
       rt.Runtime.run_team ~cores (fun ctx ->
+          let m = rt.Runtime.rt_machine_of ctx.Runtime.wcore in
           let work =
             split_work ~total ~serial_frac ~n ~rank:ctx.Runtime.rank / (niter * 3)
           in
@@ -75,14 +75,14 @@ let ft (rt : Runtime.t) ~cores =
           done))
 
 let is_sort (rt : Runtime.t) ~cores =
-  let m = rt.Runtime.rt_machine in
   let n = List.length cores in
   let niter = 40 and total = 2_750_000_000 and serial_frac = 0.02 in
   (* The shared bucket array: a handful of lines every worker updates. *)
-  let buckets = Machine.alloc_lines m 16 in
-  let cl = m.Machine.plat.Platform.cacheline in
+  let buckets = rt.Runtime.rt_alloc 16 in
+  let cl = rt.Runtime.rt_machine.Machine.plat.Platform.cacheline in
   elapsed (fun () ->
       rt.Runtime.run_team ~cores (fun ctx ->
+          let m = rt.Runtime.rt_machine_of ctx.Runtime.wcore in
           let work =
             split_work ~total ~serial_frac ~n ~rank:ctx.Runtime.rank / niter
           in

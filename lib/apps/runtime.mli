@@ -16,9 +16,21 @@ type worker_ctx = {
 type t = {
   rt_name : string;
   rt_machine : Mk_hw.Machine.t;
+  rt_machine_of : int -> Mk_hw.Machine.t;
+      (** The machine a given worker core's accesses charge — its shard's
+          under a sharded OS, {!rt_machine} otherwise. *)
+  rt_alloc : int -> int;
+      (** Allocate workload cache lines every worker may touch: the shared
+          arena ({!Mk.Shard.alloc_shared}) under a sharded OS, plain
+          {!Mk_hw.Machine.alloc_lines} otherwise. Call before [run_team]. *)
+  rt_call : 'a. src_core:int -> (unit -> 'a) -> 'a;
+      (** Run a closure over shared host state (work queues) in the
+          coordinator's shard context; the identity unsharded. *)
   run_team : cores:int list -> (worker_ctx -> unit) -> unit;
       (** Start one worker per core, wait for all to finish. Task context
-          required. *)
+          required. Under a sharded OS each worker runs on its own core's
+          shard and the team barrier is message-based over split URPC
+          links. *)
 }
 
 val name : t -> string

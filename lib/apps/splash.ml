@@ -7,15 +7,15 @@ let elapsed f =
   Engine.now_ () - t0
 
 let barnes_hut (rt : Runtime.t) ~cores =
-  let m = rt.Runtime.rt_machine in
   let n = List.length cores in
   let steps = 4 and total = 4_600_000_000 in
   let tree_frac = 0.08 in  (* tree build, done by rank 0 *)
   (* The shared octree: a block of lines everyone reads during forces. *)
-  let tree = Machine.alloc_lines m 64 in
-  let cl = m.Machine.plat.Platform.cacheline in
+  let tree = rt.Runtime.rt_alloc 64 in
+  let cl = rt.Runtime.rt_machine.Machine.plat.Platform.cacheline in
   elapsed (fun () ->
       rt.Runtime.run_team ~cores (fun ctx ->
+          let m = rt.Runtime.rt_machine_of ctx.Runtime.wcore in
           let per_step = total / steps in
           let build = int_of_float (float_of_int per_step *. tree_frac) in
           let force = (per_step - build) / n in
@@ -37,18 +37,29 @@ let barnes_hut (rt : Runtime.t) ~cores =
           done))
 
 let radiosity (rt : Runtime.t) ~cores =
-  let m = rt.Runtime.rt_machine in
   let total = 17_000_000_000 and tasks = 2048 in
   let task_work = total / tasks in
-  let queue_line = Machine.alloc_lines m 1 in
+  let queue_line = rt.Runtime.rt_alloc 1 in
   elapsed (fun () ->
       let remaining = ref tasks in
       rt.Runtime.run_team ~cores (fun ctx ->
+          let m = rt.Runtime.rt_machine_of ctx.Runtime.wcore in
           let rec work () =
-            (* Dequeue under the shared queue head line (lock + RMW). *)
+            (* Dequeue under the shared queue head line (lock + RMW); the
+               claim itself (test-and-decrement of the host-side counter)
+               goes through [rt_call], which funnels it to the coordinating
+               shard when the team spans a PDES cut — the counter stays
+               single-writer. Identity (and hence byte-identical to the old
+               inline claim) unsharded. *)
             Coherence.store m.Machine.coh ~core:ctx.Runtime.wcore queue_line;
-            if !remaining > 0 then begin
-              decr remaining;
+            if
+              rt.Runtime.rt_call ~src_core:ctx.Runtime.wcore (fun () ->
+                  if !remaining > 0 then begin
+                    decr remaining;
+                    true
+                  end
+                  else false)
+            then begin
               Machine.compute m ~core:ctx.Runtime.wcore task_work;
               work ()
             end

@@ -10,6 +10,7 @@
 type ('req, 'resp) binding
 
 val connect :
+  ?shard:Shard.t ->
   Mk_hw.Machine.t ->
   name:string ->
   client:int ->
@@ -19,7 +20,11 @@ val connect :
   unit ->
   ('req, 'resp) binding
 (** Create a client-side binding (a channel pair). [req_lines]/[resp_lines]
-    are the marshalled sizes in cache lines (default 1). *)
+    are the marshalled sizes in cache lines (default 1). With [shard] the
+    channels are built through {!Shard.link_urpc} — each half's ring on
+    its owning shard, split at the wire when client and server live on
+    different shards — and {!export}'s server loop runs on the server
+    core's shard machine; the given machine is ignored. *)
 
 val export : ('req, 'resp) binding -> ('req -> 'resp) -> unit
 (** Start the server loop: for each request, run the handler in the server
@@ -54,6 +59,7 @@ module Reliable : sig
   type ('req, 'resp) t
 
   val connect :
+    ?shard:Shard.t ->
     Mk_hw.Machine.t ->
     name:string ->
     client:int ->
@@ -65,7 +71,7 @@ module Reliable : sig
     unit ->
     ('req, 'resp) t
   (** [base_timeout] (default 30k cycles) is the first attempt's response
-      timeout; each retry doubles it. *)
+      timeout; each retry doubles it. [shard] as in the plain {!connect}. *)
 
   val export : ('req, 'resp) t -> ?should_halt:(unit -> bool) -> ('req -> 'resp) -> unit
   (** Start the server loop. [should_halt] is polled per request: when it

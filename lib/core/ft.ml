@@ -37,33 +37,59 @@ let pick_new_home t =
   | c :: _ -> c
   | [] -> (match live with c :: _ -> c | [] -> failwith "Ft: no live cores")
 
+(* Announce through the mesh so every monitor stops heartbeating the
+   dead core. Best-effort (fire-and-forget fan): recovery must not
+   block on a protocol that can itself lose messages. Runs in a task on
+   the detector's shard (= the only shard, unsharded). *)
+let announce t ~by ~core ~at =
+  Os.mark_dead t.os ~core;
+  let mon = Os.monitor t.os ~core:by in
+  let members = List.filter (fun c -> c <> by) (Os.live_cores t.os) in
+  let plan = Os.default_plan t.os ~root:by ~members in
+  ignore
+    (Monitor.run_fan_async mon ~plan
+       ~op:(Monitor.Op_set_replica { key = Monitor.dead_replica_key core; value = at })
+      : unit Sync.Ivar.t)
+
+(* Failover: respawn everything homed on the corpse. Runs on the
+   deduplicating shard (shard 0 / the coordinator), where the liveness view
+   has already dropped the dead core. *)
+let recover t ~core =
+  List.iter
+    (fun s ->
+      if s.s_home = core then begin
+        let new_home = pick_new_home t in
+        s.s_home <- new_home;
+        s.s_respawn new_home
+      end)
+    t.services;
+  t.recovered_at.(core) <- Engine.now_ ()
+
 let handle_death t ~by ~core ~at =
-  if t.detected_at.(core) < 0 then begin
-    t.detected_at.(core) <- at;
-    t.detected_by.(core) <- by;
-    t.deaths <- t.deaths + 1;
-    Os.mark_dead t.os ~core;
-    (* Announce through the mesh so every monitor stops heartbeating the
-       dead core. Best-effort (fire-and-forget fan): recovery must not
-       block on a protocol that can itself lose messages. *)
-    let mon = Os.monitor t.os ~core:by in
-    let members = List.filter (fun c -> c <> by) (Os.live_cores t.os) in
-    let plan = Os.default_plan t.os ~root:by ~members in
-    ignore
-      (Monitor.run_fan_async mon ~plan
-         ~op:(Monitor.Op_set_replica { key = Monitor.dead_replica_key core; value = at })
-        : unit Sync.Ivar.t);
-    (* Service failover: respawn everything homed on the corpse. *)
-    List.iter
-      (fun s ->
-        if s.s_home = core then begin
-          let new_home = pick_new_home t in
-          s.s_home <- new_home;
-          s.s_respawn new_home
+  match Os.shard t.os with
+  | None ->
+    if t.detected_at.(core) < 0 then begin
+      t.detected_at.(core) <- at;
+      t.detected_by.(core) <- by;
+      t.deaths <- t.deaths + 1;
+      announce t ~by ~core ~at;
+      recover t ~core
+    end
+  | Some sh ->
+    (* Detections race across shards; shard 0 is the dedup authority.
+       Funnelling the whole record through one shard keeps detected_* and
+       the service list single-writer; the announcement fan still runs
+       from the detector's own monitor, reached back via [Os.call]. *)
+    Shard.post sh ~src_core:by ~core:0 (fun () ->
+        if t.detected_at.(core) < 0 then begin
+          t.detected_at.(core) <- at;
+          t.detected_by.(core) <- by;
+          t.deaths <- t.deaths + 1;
+          Os.mark_dead t.os ~core;
+          Engine.spawn (Shard.engine sh 0) ~name:"ft.recover" (fun () ->
+              Os.call t.os ~src_core:0 ~core:by (fun () -> announce t ~by ~core ~at);
+              recover t ~core)
         end)
-      t.services;
-    t.recovered_at.(core) <- Engine.now_ ()
-  end
 
 let attach ?(hb_interval = 20_000) ?(threshold = 4.0) ~until os =
   let n = Os.n_cores os in
@@ -83,10 +109,21 @@ let attach ?(hb_interval = 20_000) ?(threshold = 4.0) ~until os =
     Monitor.start_ft (Os.monitor os ~core:c) ~interval:hb_interval ~threshold
       ~until ~on_death:(fun ~core ~at -> handle_death t ~by:c ~core ~at)
   done;
-  (* Wire the fault plan's core stops to the monitors they stop. *)
-  let inj = (Os.machine os).Mk_hw.Machine.fault in
-  Mk_fault.Injector.on_core_stop inj (fun core ->
-      Monitor.kill (Os.monitor os ~core));
+  (* Wire the fault plan's core stops to the monitors they stop. Sharded:
+     every shard machine carries its own injector (armed with an
+     [?only]-its-cores filter), so each stop event fires on the victim's
+     own shard and kills a same-shard monitor. *)
+  let wire inj =
+    Mk_fault.Injector.on_core_stop inj (fun core ->
+        Monitor.kill (Os.monitor os ~core))
+  in
+  (match Os.shard os with
+   | None -> wire (Os.machine os).Mk_hw.Machine.fault
+   | Some sh ->
+     for s = 0 to Shard.n_shards sh - 1 do
+       let inj = (Shard.machine sh s).Mk_hw.Machine.fault in
+       if inj != Mk_fault.Injector.none then wire inj
+     done);
   t
 
 let register_service t ~name ~home ~respawn =

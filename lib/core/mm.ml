@@ -8,24 +8,33 @@ type t = {
   mutable used : int;
   mutable peers : t array;
   mutable monitors : Monitor.t array;
+  mutable donor_ok : int -> int -> bool;
 }
 
-let init m drivers ~mem_per_core =
+let init ?machine_of m drivers ~mem_per_core =
+  let machine_of = match machine_of with Some f -> f | None -> fun _ -> m in
   Array.map
     (fun driver ->
       let core = Cpu_driver.core driver in
+      let m = machine_of core in
       let node = Platform.package_of m.Machine.plat core in
       let base = Machine.alloc_bytes m ~node mem_per_core in
       let root = Cap.Db.mint_ram (Cpu_driver.capdb driver) ~base ~bytes:mem_per_core in
       { driver; core_id = core; root; pool = mem_per_core; used = 0;
-        peers = [||]; monitors = [||] })
+        peers = [||]; monitors = [||]; donor_ok = (fun _ _ -> true) })
     drivers
 
 let core t = t.core_id
 let pool_bytes t = t.pool
 let free_bytes t = t.pool - t.used
 
-let set_peers ts ~monitors = Array.iter (fun t -> t.peers <- ts; t.monitors <- monitors) ts
+let set_peers ?donor_ok ts ~monitors =
+  Array.iter
+    (fun t ->
+      t.peers <- ts;
+      t.monitors <- monitors;
+      match donor_ok with Some f -> t.donor_ok <- f | None -> ())
+    ts
 
 let local_carve t ~bytes =
   match Cpu_driver.cap_retype t.driver t.root ~to_:Cap.RAM ~count:1 ~bytes_each:bytes with
@@ -41,7 +50,8 @@ let borrow t ~bytes =
   let best = ref None in
   Array.iter
     (fun p ->
-      if p.core_id <> t.core_id && free_bytes p >= bytes then
+      if p.core_id <> t.core_id && t.donor_ok t.core_id p.core_id
+         && free_bytes p >= bytes then
         match !best with
         | Some b when free_bytes b >= free_bytes p -> ()
         | _ -> best := Some p)

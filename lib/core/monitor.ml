@@ -78,6 +78,17 @@ type t = {
   peer_slot_base : int array;  (* reserved ring base per destination *)
   peer_send_base : int array;
   peer_recv_base : int array;
+  (* Sharded boot ([connect ?shard]): a mesh edge that crosses the PDES
+     cut is split at the wire like any {!Shard.link_urpc} channel. The
+     sender half lives in the sender's [peers]; these hold the receiver
+     halves, indexed by *source* core, reserved at connect time and
+     materialized by the first arriving message. *)
+  rx_peers : msg Urpc.t option array;
+  rx_slot_base : int array;
+  rx_send_base : int array;
+  rx_recv_base : int array;
+  mutable shard : Shard.t option;
+  mutable on_replica : (key:string -> value:int -> unit) option;
   mutable mesh : t array;  (* all monitors, indexed by core; set by [connect] *)
   inbox : Sync.Semaphore.t;
   mutable scan_idx : int;
@@ -111,6 +122,12 @@ let create m driver =
     peer_slot_base = Array.make (Machine.n_cores m) (-1);
     peer_send_base = Array.make (Machine.n_cores m) (-1);
     peer_recv_base = Array.make (Machine.n_cores m) (-1);
+    rx_peers = Array.make (Machine.n_cores m) None;
+    rx_slot_base = Array.make (Machine.n_cores m) (-1);
+    rx_send_base = Array.make (Machine.n_cores m) (-1);
+    rx_recv_base = Array.make (Machine.n_cores m) (-1);
+    shard = None;
+    on_replica = None;
     mesh = [||];
     inbox = Sync.Semaphore.create 0;
     scan_idx = 0;
@@ -151,14 +168,45 @@ let chan_to t dst =
       (* First use of this mesh edge: build the channel over the buffers
          reserved at connect time. Host-side construction only — buffer
          addresses (the simulated state) were fixed by [connect]. *)
+      let name = "mon" ^ string_of_int t.core_id ^ "->" ^ string_of_int dst in
       let ch =
-        Urpc.create_prealloc t.m ~sender:t.core_id ~receiver:dst
-          ~name:("mon" ^ string_of_int t.core_id ^ "->" ^ string_of_int dst)
+        Urpc.create_prealloc t.m ~sender:t.core_id ~receiver:dst ~name
           ~slot_base:t.peer_slot_base.(dst) ~send_base:t.peer_send_base.(dst)
           ~recv_base:t.peer_recv_base.(dst) ()
       in
       let mdst = t.mesh.(dst) in
-      Urpc.set_notify ch (fun () -> Sync.Semaphore.release mdst.inbox);
+      (match t.shard with
+      | Some sh when Shard.shard_of_core sh dst <> Shard.shard_of_core sh t.core_id ->
+        (* Edge crosses the PDES cut: this is only the sender half. Each
+           message leaves at its visibility time as a timestamped Pdes
+           message; the receiver half materializes lazily on *its* shard,
+           inside the delivery thunk, over the buffers [connect]
+           reserved. *)
+        let plat = t.m.Machine.plat in
+        let spkg = Platform.package_of plat t.core_id in
+        let dpkg = Platform.package_of plat dst in
+        let leg = Shard.leg_latency sh spkg dpkg in
+        let rs = Shard.shard_of_core sh dst in
+        let src = t.core_id in
+        Urpc.set_remote_delivery ch (fun ~visible_at payload ->
+            Pdes.send (Shard.pdes sh) ~dst:rs ~src_core:src ~at:(visible_at + leg)
+              (fun () ->
+                let rx =
+                  match mdst.rx_peers.(src) with
+                  | Some rx -> rx
+                  | None ->
+                    let rx =
+                      Urpc.create_prealloc mdst.m ~sender:src ~receiver:dst ~name
+                        ~slot_base:mdst.rx_slot_base.(src)
+                        ~send_base:mdst.rx_send_base.(src)
+                        ~recv_base:mdst.rx_recv_base.(src) ()
+                    in
+                    Urpc.set_notify rx (fun () -> Sync.Semaphore.release mdst.inbox);
+                    mdst.rx_peers.(src) <- Some rx;
+                    rx
+                in
+                Urpc.deliver_remote rx payload))
+      | _ -> Urpc.set_notify ch (fun () -> Sync.Semaphore.release mdst.inbox));
       t.peers.(dst) <- Some ch;
       ch
     end
@@ -178,7 +226,9 @@ let apply_fan_op t op =
         if Tlb.invalidate tlb ~vpage then
           Engine.charge t.m.Machine.plat.Platform.tlb_invlpg)
       vpages
-  | Op_set_replica { key; value } -> Hashtbl.replace t.replicas key value
+  | Op_set_replica { key; value } ->
+    Hashtbl.replace t.replicas key value;
+    (match t.on_replica with Some f -> f ~key ~value | None -> ())
   | Op_pt_update { vpages } ->
     (* Replicated-table mode: edit the local replica's entries and drop any
        stale translation the TLB still caches. *)
@@ -366,10 +416,18 @@ let run_loop t =
   let n = Array.length t.mesh - 1 in
   (* Incoming channels in sender order (the scan order), resolved through
      the senders' peer tables: an edge nobody has sent on yet is simply
-     not materialized, which for the scan is the same as empty. *)
+     not materialized, which for the scan is the same as empty. A
+     cross-shard edge must NOT be resolved through the sender (that would
+     read another shard's state mid-window): its receiver half lives in
+     our own [rx_peers], reserved at connect time ([rx_slot_base] >= 0)
+     and materialized by the first arriving message. *)
   let in_chan j =
     let src = if j < t.core_id then j else j + 1 in
-    t.mesh.(src).peers.(t.core_id)
+    match t.rx_peers.(src) with
+    | Some _ as c -> c
+    | None ->
+      if t.rx_slot_base.(src) >= 0 then None
+      else t.mesh.(src).peers.(t.core_id)
   in
   let rec next_msg scanned idx =
     if scanned > n then None
@@ -401,8 +459,9 @@ let run_loop t =
   in
   loop ()
 
-let connect monitors =
+let connect ?shard monitors =
   let n = Array.length monitors in
+  Array.iter (fun m -> m.shard <- shard) monitors;
   (* The full mesh is n*(n-1) channels — host-side cost matters at 128
      cores, so only the buffer reservations (which fix the simulated
      memory layout, in src-major order) happen here; channel records are
@@ -412,15 +471,35 @@ let connect monitors =
     let plat = msrc.m.Machine.plat in
     for dst = 0 to n - 1 do
       if src <> dst then begin
-        (* Buffers NUMA-local to the receiver: the monitor mesh is what the
-           NUMA-aware protocols of §5.1 run over. *)
-        let slot_base, send_base, recv_base =
-          Urpc.preallocate msrc.m ~sender:src ~receiver:dst
-            ~node:(Platform.package_of plat dst) ()
-        in
-        msrc.peer_slot_base.(dst) <- slot_base;
-        msrc.peer_send_base.(dst) <- send_base;
-        msrc.peer_recv_base.(dst) <- recv_base
+        match shard with
+        | Some sh when Shard.shard_of_core sh src <> Shard.shard_of_core sh dst ->
+          (* Edge across the PDES cut: two halves, each homed on its own
+             side so neither ring triggers remote coherence. *)
+          let mdst = monitors.(dst) in
+          let slot_base, send_base, recv_base =
+            Urpc.preallocate msrc.m ~sender:src ~receiver:dst
+              ~node:(Platform.package_of plat src) ()
+          in
+          msrc.peer_slot_base.(dst) <- slot_base;
+          msrc.peer_send_base.(dst) <- send_base;
+          msrc.peer_recv_base.(dst) <- recv_base;
+          let slot_base, send_base, recv_base =
+            Urpc.preallocate mdst.m ~sender:src ~receiver:dst
+              ~node:(Platform.package_of plat dst) ()
+          in
+          mdst.rx_slot_base.(src) <- slot_base;
+          mdst.rx_send_base.(src) <- send_base;
+          mdst.rx_recv_base.(src) <- recv_base
+        | _ ->
+          (* Buffers NUMA-local to the receiver: the monitor mesh is what
+             the NUMA-aware protocols of §5.1 run over. *)
+          let slot_base, send_base, recv_base =
+            Urpc.preallocate msrc.m ~sender:src ~receiver:dst
+              ~node:(Platform.package_of plat dst) ()
+          in
+          msrc.peer_slot_base.(dst) <- slot_base;
+          msrc.peer_send_base.(dst) <- send_base;
+          msrc.peer_recv_base.(dst) <- recv_base
       end
     done
   done;
@@ -500,6 +579,7 @@ let send_cap t ~dst cap =
 
 let set_replica t key value = Hashtbl.replace t.replicas key value
 let get_replica t key = Hashtbl.find_opt t.replicas key
+let set_on_replica t f = t.on_replica <- Some f
 
 let register_wake t domid w = Hashtbl.replace t.wakers domid w
 

@@ -45,10 +45,16 @@ val core : t -> int
 val driver : t -> Cpu_driver.t
 val machine : t -> Mk_hw.Machine.t
 
-val connect : t array -> unit
+val connect : ?shard:Shard.t -> t array -> unit
 (** Build the full mesh of monitor URPC channels (buffers NUMA-local to
     each receiver) and start every monitor's dispatch loop. Call once at
-    boot with all monitors. *)
+    boot with all monitors. With [shard] (a sharded boot), a mesh edge
+    whose endpoints live on different shards is split at the wire: the
+    sender half's ring is homed on the sender's package in the sender's
+    shard machine, the receiver half on the receiver's side, and each
+    message crosses as a timestamped Pdes message carrying one
+    interconnect leg — the monitors' dispatch loops never read another
+    shard's state. *)
 
 val chan_to : t -> int -> msg Urpc.t
 (** The outgoing channel to a peer monitor (for channel-setup services). *)
@@ -80,6 +86,12 @@ val send_cap : t -> dst:int -> Cap.t -> (unit, Types.error) result
 val set_replica : t -> string -> int -> unit
 val get_replica : t -> string -> int option
 (** The generic replicated key/value state updated by [Op_set_replica]. *)
+
+val set_on_replica : t -> (key:string -> value:int -> unit) -> unit
+(** Hook fired whenever an [Op_set_replica] is applied on this monitor
+    (locally or via a fan). A sharded {!Os} uses it to keep each shard's
+    liveness view in sync from the death announcements, without reading
+    another shard's state. *)
 
 val register_wake : t -> Types.domid -> (unit -> unit) -> unit
 (** Register the waker the monitor calls when a [Wake] message arrives for

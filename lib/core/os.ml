@@ -7,8 +7,11 @@ type mon_req =
 
 type mon_resp = (unit, Types.error) result
 
+type measure = No_measure | Representative | Exhaustive
+
 type t = {
-  m : Machine.t;
+  m : Machine.t;  (* the machine; shard 0's under a sharded boot *)
+  sh : Shard.t option;
   drivers : Cpu_driver.t array;
   monitors : Monitor.t array;
   the_skb : Skb.t;
@@ -18,11 +21,16 @@ type t = {
   mutable next_domid : int;
   doms : (int, Dom.t) Hashtbl.t;
   (* Cores believed alive. A core leaves this set when the failure manager
-     (Ft) marks it dead; routing plans are built over live members only. *)
-  alive : bool array;
+     (Ft) marks it dead; routing plans are built over live members only.
+     One view per shard (a single one unsharded): each shard only reads and
+     writes its own, kept in sync by the mesh-wide death announcements
+     (every monitor applying the [dead:<core>] replica fires the
+     [on_replica] hook on its own shard). *)
+  alive : bool array array;
 }
 
 let machine t = t.m
+let shard t = t.sh
 let platform t = t.m.Machine.plat
 let skb t = t.the_skb
 let name_service t = t.ns
@@ -32,11 +40,35 @@ let monitor t ~core = t.monitors.(core)
 let mm t ~core = t.mms.(core)
 let domains t = Hashtbl.fold (fun _ d acc -> d :: acc) t.doms []
 
-let alive t ~core = t.alive.(core)
-let mark_dead t ~core = t.alive.(core) <- false
+let machine_of_core t core =
+  match t.sh with None -> t.m | Some sh -> Shard.machine_of_core sh core
+
+(* Run [f] in [core]'s shard context (direct call unsharded, same-shard, or
+   in host context). [src_core] attributes the interconnect legs of a
+   cross-shard transfer. *)
+let call t ?(src_core = 0) ~core f =
+  match t.sh with None -> f () | Some sh -> Shard.call sh ~src_core ~core f
+
+let post t ?(src_core = 0) ~core fn =
+  match t.sh with None -> fn () | Some sh -> Shard.post sh ~src_core ~core fn
+
+(* The liveness view of the shard whose window is executing; shard 0's
+   (= the only one unsharded) from host context. *)
+let view t =
+  match t.sh with
+  | None -> t.alive.(0)
+  | Some sh -> (
+    match Pdes.current (Shard.pdes sh) with
+    | None -> t.alive.(0)
+    | Some s -> t.alive.(s))
+
+let alive t ~core = (view t).(core)
+let mark_dead t ~core = (view t).(core) <- false
+
 let live_cores t =
-  Array.to_list (Array.init (Array.length t.alive) Fun.id)
-  |> List.filter (fun c -> t.alive.(c))
+  let v = view t in
+  Array.to_list (Array.init (Array.length v) Fun.id)
+  |> List.filter (fun c -> v.(c))
 
 let latency t ~src ~dst =
   if src = dst then 0
@@ -49,7 +81,8 @@ let plan t proto ~root ~members =
   (* Routing-tree repair: dead cores drop out of every plan, so fans and
      agreements route around them. With every core alive the filter is the
      identity (same list, same plan — zero-fault runs are unchanged). *)
-  let members = List.filter (fun c -> t.alive.(c)) members in
+  let v = view t in
+  let members = List.filter (fun c -> v.(c)) members in
   match proto with
   | Routing.Broadcast ->
     invalid_arg "Os.plan: broadcast has no tree plan (use Urpc.Broadcast)"
@@ -64,8 +97,15 @@ let default_plan t ~root ~members = plan t Routing.Numa_multicast ~root ~members
 
 let run t ?(name = "main") f =
   let result = ref None in
-  Engine.spawn t.m.Machine.eng ~name (fun () -> result := Some (f ()));
-  Machine.run t.m;
+  (match t.sh with
+   | None ->
+     Engine.spawn t.m.Machine.eng ~name (fun () -> result := Some (f ()));
+     Machine.run t.m
+   | Some sh ->
+     (* The main task lives on shard 0; work reaches the other shards
+        through the cross-shard hooks ([call]/[post], URPC, IPIs). *)
+     Engine.spawn (Shard.engine sh 0) ~name (fun () -> result := Some (f ()));
+     Shard.exec sh);
   match !result with
   | Some r -> r
   | None -> failwith "Os.run: main task did not complete (deadlock?)"
@@ -84,8 +124,79 @@ let monitor_endpoint t core =
       | Req_protect { dom; vaddr; bytes; writable } ->
         Vspace.protect (Dom.vspace dom) ~monitor:mon ~plan_for ~vaddr ~bytes ~writable)
 
-let boot ?eng ?fault ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 1024)
-    plat =
+(* -- Boot-time online measurement (§4.9) -- *)
+
+(* Representative probing: the platforms are homogeneous (identical
+   packages, uniform share groups), so a pair's steady-state round trip is
+   determined by its ordered package pair — and, inside a package, by
+   whether the cores share a cache. Probing one representative pair per
+   class and deriving the full n·(n−1) fact set gives the same fact shape
+   without the quadratic ping storm (~2M round trips at 1024 cores). *)
+let probe_class plat ~src ~dst =
+  let ps = Platform.package_of plat src and pd = Platform.package_of plat dst in
+  if ps = pd then (-1, -1, Platform.shares_cache plat src dst)
+  else (ps, pd, false)
+
+let probe_key plat measure ~src ~dst =
+  match measure with
+  | Exhaustive -> (src, dst, false)
+  | _ -> probe_class plat ~src ~dst
+
+let probe_pairs plat measure =
+  let n = Platform.n_cores plat in
+  match measure with
+  | No_measure -> []
+  | Exhaustive ->
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst -> if src = dst then None else Some (src, dst))
+          (List.init n Fun.id))
+      (List.init n Fun.id)
+  | Representative ->
+    let cpp = plat.Platform.cores_per_package in
+    let p = plat.Platform.n_packages in
+    let first q = q * cpp in
+    (* Intra-package classes: probe both directions from package 0's first
+       core (homogeneity makes the package choice immaterial). *)
+    let intra =
+      if cpp < 2 then []
+      else
+        List.concat_map
+          (fun shared ->
+            let rec partner c =
+              if c >= cpp then None
+              else if Platform.shares_cache plat 0 c = shared then Some c
+              else partner (c + 1)
+            in
+            match partner 1 with
+            | Some c -> [ (0, c); (c, 0) ]
+            | None -> [])
+          [ true; false ]
+    in
+    let inter =
+      List.concat_map
+        (fun ps ->
+          List.filter_map
+            (fun pd -> if ps = pd then None else Some (first ps, first pd))
+            (List.init p Fun.id))
+        (List.init p Fun.id)
+    in
+    intra @ inter
+
+(* Derive and assert the full ordered-pair fact set from the probed
+   round trips (same loop order as the exhaustive path). *)
+let assert_latency_facts the_skb plat measure rtt_of =
+  let n = Platform.n_cores plat in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then
+        let rtt = rtt_of (probe_key plat measure ~src ~dst) in
+        Skb.assert_urpc_latency the_skb ~src ~dst ~cycles:(rtt / 2)
+    done
+  done
+
+let boot_unsharded ?eng ?fault ~measure ~mem_per_core plat =
   let m = Machine.create ?eng ?fault plat in
   let n = Machine.n_cores m in
   let drivers = Array.init n (fun core -> Cpu_driver.boot m ~core) in
@@ -99,6 +210,7 @@ let boot ?eng ?fault ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 10
   let t =
     {
       m;
+      sh = None;
       drivers;
       monitors;
       the_skb;
@@ -107,76 +219,196 @@ let boot ?eng ?fault ?(measure_latencies = true) ?(mem_per_core = 64 * 1024 * 10
       endpoints = [||];
       next_domid = 1;
       doms = Hashtbl.create 8;
-      alive = Array.make n true;
+      alive = [| Array.make n true |];
     }
   in
   t.endpoints <- Array.init n (fun core -> monitor_endpoint t core);
-  (* Online measurement (§4.9): round-trip each monitor pair once and
-     record the one-way latency as an SKB fact. *)
-  if measure_latencies then
-    Engine.spawn m.Machine.eng ~name:"boot.measure" (fun () ->
-        for src = 0 to n - 1 do
-          for dst = 0 to n - 1 do
-            if src <> dst then begin
-              (* First ping warms the channel (cold misses on the ring and
-                 bookkeeping lines); the second is the steady-state figure. *)
-              let (_ : int) = Monitor.ping monitors.(src) dst in
-              let rtt = Monitor.ping monitors.(src) dst in
-              Skb.assert_urpc_latency the_skb ~src ~dst ~cycles:(rtt / 2)
-            end
-          done
-        done);
+  (* Online measurement (§4.9): round-trip monitor pairs and record the
+     one-way latency as an SKB fact. *)
+  (match measure with
+   | No_measure -> ()
+   | Exhaustive ->
+     Engine.spawn m.Machine.eng ~name:"boot.measure" (fun () ->
+         for src = 0 to n - 1 do
+           for dst = 0 to n - 1 do
+             if src <> dst then begin
+               (* First ping warms the channel (cold misses on the ring and
+                  bookkeeping lines); the second is the steady-state figure. *)
+               let (_ : int) = Monitor.ping monitors.(src) dst in
+               let rtt = Monitor.ping monitors.(src) dst in
+               Skb.assert_urpc_latency the_skb ~src ~dst ~cycles:(rtt / 2)
+             end
+           done
+         done)
+   | Representative ->
+     Engine.spawn m.Machine.eng ~name:"boot.measure" (fun () ->
+         let rtt = Hashtbl.create 64 in
+         List.iter
+           (fun (src, dst) ->
+             let (_ : int) = Monitor.ping monitors.(src) dst in
+             let r = Monitor.ping monitors.(src) dst in
+             Hashtbl.replace rtt (probe_key plat measure ~src ~dst) r)
+           (probe_pairs plat measure);
+         assert_latency_facts the_skb plat measure (Hashtbl.find rtt)));
   Machine.run m;
   t
+
+let dead_key_core key =
+  match String.index_opt key ':' with
+  | Some i when String.sub key 0 i = "dead" ->
+    int_of_string_opt (String.sub key (i + 1) (String.length key - i - 1))
+  | _ -> None
+
+let boot_sharded ?faults ~n_shards ~measure ~mem_per_core plat =
+  let sh = Shard.create ?faults ~n_shards plat in
+  let n = Platform.n_cores plat in
+  let machine_of = Shard.machine_of_core sh in
+  (* Placement: each core's cpu driver, monitor, memory pool and LRPC
+     endpoint live on its own shard's machine; the NS and SKB are homed on
+     shard 0 and reached over the split URPC wire / post-boot host reads. *)
+  let drivers = Array.init n (fun core -> Cpu_driver.boot (machine_of core) ~core) in
+  let monitors = Array.init n (fun c -> Monitor.create (machine_of c) drivers.(c)) in
+  Monitor.connect ~shard:sh monitors;
+  let mms = Mm.init ~machine_of (Shard.machine sh 0) drivers ~mem_per_core in
+  let same_shard a b = Shard.shard_of_core sh a = Shard.shard_of_core sh b in
+  Mm.set_peers ~donor_ok:same_shard mms ~monitors;
+  let the_skb = Skb.create () in
+  Skb.populate_platform the_skb plat;
+  let ns = Name_service.create ~shard:sh (Shard.machine sh 0) ~home_core:0 in
+  let t =
+    {
+      m = Shard.machine sh 0;
+      sh = Some sh;
+      drivers;
+      monitors;
+      the_skb;
+      mms;
+      ns;
+      endpoints = [||];
+      next_domid = 1;
+      doms = Hashtbl.create 8;
+      alive = Array.init (Shard.n_shards sh) (fun _ -> Array.make n true);
+    }
+  in
+  t.endpoints <- Array.init n (fun core -> monitor_endpoint t core);
+  (* Death announcements keep every shard's liveness view in sync: each
+     monitor applying the replica update marks the core dead in its own
+     shard's view — no shard reads another's. *)
+  Array.iteri
+    (fun c mon ->
+      let s = Shard.shard_of_core sh c in
+      Monitor.set_on_replica mon (fun ~key ~value:_ ->
+          match dead_key_core key with
+          | Some core -> t.alive.(s).(core) <- false
+          | None -> ()))
+    monitors;
+  (* Measurement: one probe task per shard pings that shard's share of the
+     pairs (in canonical order) into a host-side table; the facts are
+     derived and asserted after the boot windows quiesce, so the SKB —
+     homed with shard 0 — is only written from host context. *)
+  let pairs = probe_pairs plat measure in
+  let res = Array.make (List.length pairs) 0 in
+  let by_shard = Array.make (Shard.n_shards sh) [] in
+  List.iteri
+    (fun i (src, dst) ->
+      let s = Shard.shard_of_core sh src in
+      by_shard.(s) <- (i, src, dst) :: by_shard.(s))
+    pairs;
+  Array.iteri
+    (fun s lst ->
+      match List.rev lst with
+      | [] -> ()
+      | lst ->
+        Engine.spawn (Shard.engine sh s) ~name:"boot.measure" (fun () ->
+            List.iter
+              (fun (i, src, dst) ->
+                let (_ : int) = Monitor.ping monitors.(src) dst in
+                res.(i) <- Monitor.ping monitors.(src) dst)
+              lst))
+    by_shard;
+  Shard.exec sh;
+  if measure <> No_measure then begin
+    let rtt = Hashtbl.create 64 in
+    List.iteri
+      (fun i (src, dst) ->
+        Hashtbl.replace rtt (probe_key plat measure ~src ~dst) res.(i))
+      pairs;
+    assert_latency_facts the_skb plat measure (Hashtbl.find rtt)
+  end;
+  t
+
+let boot ?eng ?fault ?shards ?faults ?(measure_latencies = Representative)
+    ?(mem_per_core = 64 * 1024 * 1024) plat =
+  match shards with
+  | None ->
+    (match faults with
+     | Some _ -> invalid_arg "Os.boot: ?faults requires ?shards"
+     | None -> ());
+    boot_unsharded ?eng ?fault ~measure:measure_latencies ~mem_per_core plat
+  | Some n_shards ->
+    (match (eng, fault) with
+     | None, None -> ()
+     | _ -> invalid_arg "Os.boot: ?eng/?fault do not apply to a sharded boot");
+    boot_sharded ?faults ~n_shards ~measure:measure_latencies ~mem_per_core plat
 
 let spawn_domain ?pt_mode t ~name ~cores =
   (match cores with [] -> invalid_arg "Os.spawn_domain: empty core list" | _ -> ());
   let domid = t.next_domid in
   t.next_domid <- domid + 1;
   let home = List.hd cores in
-  (* Root page table: RAM from the local memory server retyped in place. *)
+  (* Root page table: RAM from the local memory server retyped in place —
+     on the home core's shard. *)
   let pt_root =
-    match Mm.alloc_ram t.mms.(home) ~bytes:Types.page_size with
-    | Error e -> Types.fail e
-    | Ok ram ->
-      (match
-         Cpu_driver.cap_retype t.drivers.(home) ram ~to_:(Cap.Page_table 4) ~count:1
-           ~bytes_each:Types.page_size
-       with
-       | Ok [ c ] -> c
-       | Ok _ | Error _ -> Types.fail Types.Err_no_memory)
+    call t ~core:home (fun () ->
+        match Mm.alloc_ram t.mms.(home) ~bytes:Types.page_size with
+        | Error e -> Types.fail e
+        | Ok ram ->
+          (match
+             Cpu_driver.cap_retype t.drivers.(home) ram ~to_:(Cap.Page_table 4)
+               ~count:1 ~bytes_each:Types.page_size
+           with
+           | Ok [ c ] -> c
+           | Ok _ | Error _ -> Types.fail Types.Err_no_memory))
   in
-  let vspace = Vspace.create ?mode:pt_mode t.m ~domid ~cores ~pt_root in
+  let machine_of =
+    match t.sh with None -> None | Some sh -> Some (Shard.machine_of_core sh)
+  in
+  let vspace = Vspace.create ?mode:pt_mode ?machine_of t.m ~domid ~cores ~pt_root in
   let disps =
     List.map
       (fun core ->
         let d = Dispatcher.create ~domid ~core ~name:(Printf.sprintf "%s/%d" name core) in
-        Cpu_driver.add_dispatcher t.drivers.(core) d;
+        call t ~core (fun () -> Cpu_driver.add_dispatcher t.drivers.(core) d);
         (core, d))
       cores
   in
   (* Announce the new domain to every OS node it spans: replicated domain
-     table updated through the monitors. *)
+     table updated through the monitors — fanned out from the home core's
+     shard. *)
   let members = cores in
-  let p = default_plan t ~root:home ~members in
-  Monitor.run_fan t.monitors.(home) ~plan:p
-    ~op:(Monitor.Op_set_replica { key = Printf.sprintf "dom%d" domid; value = 1 });
+  call t ~core:home (fun () ->
+      let p = default_plan t ~root:home ~members in
+      Monitor.run_fan t.monitors.(home) ~plan:p
+        ~op:(Monitor.Op_set_replica { key = Printf.sprintf "dom%d" domid; value = 1 }));
   let dom = Dom.create ~domid ~name ~cores ~vspace ~disps in
   Hashtbl.replace t.doms domid dom;
   dom
 
 let alloc_map_frame t dom ~core ~vaddr ~bytes =
-  match Mm.alloc_frame t.mms.(core) ~bytes with
-  | Error e -> Error e
-  | Ok frame ->
-    (match
-       Vspace.map (Dom.vspace dom) ~driver:t.drivers.(core) ~vaddr ~frame ~writable:true
-     with
-     | Ok () -> Ok frame
-     | Error e -> Error e)
+  call t ~core (fun () ->
+      match Mm.alloc_frame t.mms.(core) ~bytes with
+      | Error e -> Error e
+      | Ok frame ->
+        (match
+           Vspace.map (Dom.vspace dom) ~driver:t.drivers.(core) ~vaddr ~frame
+             ~writable:true
+         with
+         | Ok () -> Ok frame
+         | Error e -> Error e))
 
 let unmap t dom ~core ~vaddr ~bytes =
-  Lrpc.call t.endpoints.(core) (Req_unmap { dom; vaddr; bytes })
+  call t ~core (fun () -> Lrpc.call t.endpoints.(core) (Req_unmap { dom; vaddr; bytes }))
 
 let protect t dom ~core ~vaddr ~bytes ~writable =
-  Lrpc.call t.endpoints.(core) (Req_protect { dom; vaddr; bytes; writable })
+  call t ~core (fun () ->
+      Lrpc.call t.endpoints.(core) (Req_protect { dom; vaddr; bytes; writable }))

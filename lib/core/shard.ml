@@ -27,8 +27,14 @@ type t = {
   machines : Machine.t array;  (* one full-platform machine per shard *)
   shard_of_pkg : int array;
   shard_of_core : int array;
+  first_core : int array;  (* lowest-numbered core of each shard *)
   leg : int array array;  (* (pkg a).(pkg b) -> one-way message leg, cycles *)
+  mutable shared_brk : int;  (* bump pointer of the shared arena *)
 }
+
+(* The shared arena (see [alloc_shared]) lives far above any machine's brk
+   so per-machine allocations can never collide with a mirrored range. *)
+let shared_arena_base = 1 lsl 44
 
 let n_shards t = Array.length t.machines
 let pdes t = t.pdes
@@ -43,6 +49,13 @@ let machine t i =
 let machine_of_core t core = t.machines.(t.shard_of_core.(core))
 let engine t i = Pdes.engine t.pdes i
 let leg_latency t a b = t.leg.(a).(b)
+let first_core t s = t.first_core.(s)
+
+(* Virtual "now" seen from shard [i]: engine time plus the calling task's
+   banked latency charge (0 in event context), so cross-shard timestamps
+   match what an unfused run would compute — the fusion referee byte-diffs
+   the two. *)
+let vnow t i = Engine.now (Pdes.engine t.pdes i) + Engine.pending_charge ()
 
 (* -- cross-shard wiring -- *)
 
@@ -83,10 +96,14 @@ let install_ipi t i =
           Ipi.deliver t.machines.(ds).Machine.ipi ~eng:(Pdes.engine t.pdes ds) ~src ~dst
             ~vector))
 
-let create ~n_shards:k plat =
+let create ?faults ~n_shards:k plat =
   let npkg = plat.Platform.n_packages in
   if k <= 0 then invalid_arg "Shard.create: n_shards must be positive";
   if k > npkg then invalid_arg "Shard.create: more shards than packages";
+  (match faults with
+  | Some fs when Array.length fs <> k ->
+    invalid_arg "Shard.create: faults must have one injector per shard"
+  | _ -> ());
   let topo = plat.Platform.topo in
   let part = Topology.contiguous_partition topo ~parts:k in
   let leg =
@@ -107,17 +124,26 @@ let create ~n_shards:k plat =
     end
   in
   let pdes = Pdes.create ~n_shards:k ~lookahead:la in
-  let machines = Array.init k (fun i -> Machine.create ~eng:(Pdes.engine pdes i) plat) in
+  let machines =
+    Array.init k (fun i ->
+        let fault = Option.map (fun fs -> fs.(i)) faults in
+        Machine.create ~eng:(Pdes.engine pdes i) ?fault plat)
+  in
+  let shard_of_core =
+    Array.init (Platform.n_cores plat) (fun c -> part.(Platform.package_of plat c))
+  in
+  let first_core = Array.make k (-1) in
+  Array.iteri (fun c s -> if first_core.(s) < 0 then first_core.(s) <- c) shard_of_core;
   let t =
     {
       pdes;
       plat;
       machines;
       shard_of_pkg = part;
-      shard_of_core =
-        Array.init (Platform.n_cores plat) (fun c ->
-            part.(Platform.package_of plat c));
+      shard_of_core;
+      first_core;
       leg;
+      shared_brk = shared_arena_base;
     }
   in
   for i = 0 to k - 1 do
@@ -125,6 +151,85 @@ let create ~n_shards:k plat =
     install_ipi t i
   done;
   t
+
+(* -- cross-shard control transfer --
+
+   The OS layer's cross-core control paths (spawn a dispatcher, announce a
+   replica, respawn a service, ...) must execute on the target core's
+   shard. In host context (setup, before/after [exec]) every shard is
+   quiescent, so running the closure directly is safe and free — exactly
+   what the unsharded boot does. Inside a window the closure travels as a
+   timestamped Pdes message carrying one interconnect leg, like any other
+   cross-shard interaction. *)
+
+(* Control-transfer leg between two cores' packages, floored at the
+   executor's lookahead: [src_core] names the *logical* originator, and
+   when the calling task's shard differs from [src_core]'s package's (a
+   coordinator acting on behalf of a remote core, e.g. {!link_urpc}
+   building a remote half mid-run) the declared pair can be intra-package
+   — below the window bound the message physically needs. *)
+let ctl_leg t a b = max t.leg.(a).(b) (Pdes.lookahead t.pdes)
+
+let post t ~src_core ~core fn =
+  match Pdes.current t.pdes with
+  | None -> fn ()
+  | Some cur ->
+    let dst = t.shard_of_core.(core) in
+    if dst = cur then fn ()
+    else begin
+      let spkg = Platform.package_of t.plat src_core in
+      let dpkg = Platform.package_of t.plat core in
+      Pdes.send t.pdes ~dst ~src_core ~at:(vnow t cur + ctl_leg t spkg dpkg) fn
+    end
+
+(* Blocking cross-shard function call: run [f] in a task on [core]'s shard
+   and hand the result back, charging one leg each way. When the target is
+   remote the caller must be a task (it parks on an ivar for the reply). *)
+let call t ~src_core ~core f =
+  match Pdes.current t.pdes with
+  | None -> f ()
+  | Some cur ->
+    let dst = t.shard_of_core.(core) in
+    if dst = cur then f ()
+    else begin
+      let spkg = Platform.package_of t.plat src_core in
+      let dpkg = Platform.package_of t.plat core in
+      let iv = Sync.Ivar.create () in
+      Pdes.send t.pdes ~dst ~src_core ~at:(vnow t cur + ctl_leg t spkg dpkg) (fun () ->
+          Engine.spawn (Pdes.engine t.pdes dst) ~name:"shard.call" (fun () ->
+              let r = f () in
+              Pdes.send t.pdes ~dst:cur ~src_core:core
+                ~at:(vnow t dst + ctl_leg t dpkg spkg)
+                (fun () -> Sync.Ivar.fill iv r)));
+      Sync.Ivar.read iv
+    end
+
+(* Shared arena: a range of lines mirrored at identical addresses into
+   every shard's coherence map, homed on package [node] — so a blocking
+   access from a core of another shard routes through the remote-home hook
+   like real cross-shard traffic. The pin applies directly on the calling
+   context's shard and travels as Pdes messages to the others, ordered by
+   the same [src_core] as later {!post}s from the caller: a pin always
+   lands before a later-posted task that touches the line. Call from host
+   context or from a single coordinating task only (the bump pointer is
+   not a concurrent structure). *)
+let alloc_shared t ~src_core ?(node = 0) nlines =
+  let cl = t.plat.Platform.cacheline in
+  let bytes = max 1 nlines * cl in
+  let base = t.shared_brk in
+  t.shared_brk <- t.shared_brk + bytes;
+  let first_line = base / cl and last_line = (base + bytes - 1) / cl in
+  let pin m = Coherence.set_home_range m.Machine.coh ~first_line ~last_line ~node in
+  (match Pdes.current t.pdes with
+  | None -> Array.iter pin t.machines
+  | Some cur ->
+    let la = Pdes.lookahead t.pdes in
+    Array.iteri
+      (fun s m ->
+        if s = cur then pin m
+        else Pdes.send t.pdes ~dst:s ~src_core ~at:(vnow t cur + la) (fun () -> pin m))
+      t.machines);
+  base
 
 (* -- URPC across the cut --
 
@@ -137,25 +242,40 @@ let create ~n_shards:k plat =
    side of the cut, so neither ring ever triggers remote coherence. *)
 let link_urpc (type a) t ~sender ~receiver ?slots ?name () : a link =
   let ss = t.shard_of_core.(sender) and rs = t.shard_of_core.(receiver) in
+  (* Each half's ring must be allocated by its owning shard: in host
+     context direct construction is safe (every shard is quiescent), but
+     inside a window a remote half is built via {!call} so the ring lines
+     land in the owner's brk/coherence map without a cross-shard race. *)
+  let on_shard s (f : unit -> a Urpc.t) : a Urpc.t =
+    match Pdes.current t.pdes with
+    | None -> f ()
+    | Some cur when cur = s -> f ()
+    | Some _ -> call t ~src_core:sender ~core:t.first_core.(s) f
+  in
   if ss = rs then begin
     let ch : a Urpc.t =
-      Urpc.create t.machines.(ss) ~sender ~receiver ?slots ?name ()
+      on_shard ss (fun () -> Urpc.create t.machines.(ss) ~sender ~receiver ?slots ?name ())
     in
     { tx = ch; rx = ch }
   end
   else begin
     let spkg = Platform.package_of t.plat sender in
     let rpkg = Platform.package_of t.plat receiver in
-    let tx : a Urpc.t =
-      Urpc.create t.machines.(ss) ~sender ~receiver ?slots ~node:spkg ?name ()
-    in
-    let rx : a Urpc.t =
-      Urpc.create t.machines.(rs) ~sender ~receiver ?slots ~node:rpkg ?name ()
-    in
     let leg = t.leg.(spkg).(rpkg) in
-    Urpc.set_remote_delivery tx (fun ~visible_at payload ->
-        Pdes.send t.pdes ~dst:rs ~src_core:sender ~at:(visible_at + leg) (fun () ->
-            Urpc.deliver_remote rx payload));
+    let rx : a Urpc.t =
+      on_shard rs (fun () ->
+          Urpc.create t.machines.(rs) ~sender ~receiver ?slots ~node:rpkg ?name ())
+    in
+    let tx : a Urpc.t =
+      on_shard ss (fun () ->
+          let tx =
+            Urpc.create t.machines.(ss) ~sender ~receiver ?slots ~node:spkg ?name ()
+          in
+          Urpc.set_remote_delivery tx (fun ~visible_at payload ->
+              Pdes.send t.pdes ~dst:rs ~src_core:sender ~at:(visible_at + leg)
+                (fun () -> Urpc.deliver_remote rx payload));
+          tx)
+    in
     { tx; rx }
   end
 

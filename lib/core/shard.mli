@@ -25,10 +25,13 @@ type 'a link = {
 (** A URPC channel across (or within) the cut; [tx == rx] when sender and
     receiver share a shard. *)
 
-val create : n_shards:int -> Mk_hw.Platform.t -> t
-(** Shard [plat] into [n_shards] contiguous package ranges. Raises
-    [Invalid_argument] when [n_shards] is non-positive or exceeds the
-    package count. *)
+val create : ?faults:Mk_fault.Injector.t array -> n_shards:int -> Mk_hw.Platform.t -> t
+(** Shard [plat] into [n_shards] contiguous package ranges. [faults]
+    installs one injector per shard machine (fault draws must happen on
+    the shard that observes them, so a sharded chaos run carries one
+    deterministic stream per shard). Raises [Invalid_argument] when
+    [n_shards] is non-positive, exceeds the package count, or [faults]
+    has the wrong length. *)
 
 val n_shards : t -> int
 
@@ -43,6 +46,33 @@ val machine_of_core : t -> int -> Mk_hw.Machine.t
 val engine : t -> int -> Mk_sim.Engine.t
 val shard_of_core : t -> int -> int
 val shard_of_pkg : t -> int -> int
+
+val first_core : t -> int -> int
+(** The lowest-numbered core of a shard (its "representative" for
+    cross-shard control transfers that only need to land on the shard). *)
+
+val post : t -> src_core:int -> core:int -> (unit -> unit) -> unit
+(** Run the closure in [core]'s shard context. Direct call when the
+    target shard is the current one — or in host context, where every
+    shard is quiescent; otherwise a timestamped Pdes message carrying one
+    interconnect leg from [src_core]'s package. Messages from the same
+    [src_core] deliver in send order, so a sequence of posts to one shard
+    is FIFO. *)
+
+val call : t -> src_core:int -> core:int -> (unit -> 'a) -> 'a
+(** Blocking cross-shard function call: run [f] in a task on [core]'s
+    shard, return its result, charging one interconnect leg each way.
+    Direct call when the target shard is current or in host context; when
+    remote, the caller must be a task (it parks until the reply). *)
+
+val alloc_shared : t -> src_core:int -> ?node:int -> int -> int
+(** Allocate [n] cache lines in the shared arena: the address range is
+    mirrored into every shard's coherence map, homed on package [node]
+    (default 0), so blocking accesses from other shards route through the
+    remote-home hook like real cross-shard traffic. Mirror pins travel as
+    Pdes messages ordered by [src_core]: use the same [src_core] for the
+    allocation and the {!post}s that hand the address out, and the pin
+    lands first. Call from host context or one coordinating task only. *)
 
 val leg_latency : t -> int -> int -> int
 (** [leg_latency t a b]: one-way message leg between packages [a] and [b]

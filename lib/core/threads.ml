@@ -133,16 +133,28 @@ module Barrier = struct
 end
 
 module Msg_barrier = struct
+  (* Each channel is kept as its (tx, rx) halves: identical unsharded, a
+     {!Shard.link_urpc} pair when the barrier spans a PDES cut — senders
+     only touch tx (their own shard's ring), receivers only rx. *)
   type t = {
     parties : (int * int) list;
-    chans_up : (int * unit Urpc.t) list;  (* party -> coordinator *)
-    chans_down : (int * unit Urpc.t) list;  (* coordinator -> party *)
+    chans_up : (int * (unit Urpc.t * unit Urpc.t)) list;  (* party -> coordinator *)
+    chans_down : (int * (unit Urpc.t * unit Urpc.t)) list;  (* coordinator -> party *)
     coordinator_core : int;
     mutable coord_party : int option;  (* party index co-located with coord *)
     mutable arrived_local : int;
   }
 
-  let create m ~coordinator ~parties =
+  let create ?shard m ~coordinator ~parties =
+    let link ~sender ~receiver ~name =
+      match shard with
+      | None ->
+        let ch = Urpc.create m ~sender ~receiver ~name () in
+        (ch, ch)
+      | Some sh ->
+        let l = Shard.link_urpc sh ~sender ~receiver ~name () in
+        (l.Shard.tx, l.Shard.rx)
+    in
     let chans_up =
       List.filter_map
         (fun (p, c) ->
@@ -150,8 +162,8 @@ module Msg_barrier = struct
           else
             Some
               ( p,
-                Urpc.create m ~sender:c ~receiver:coordinator
-                  ~name:(Printf.sprintf "bar_up%d" p) () ))
+                link ~sender:c ~receiver:coordinator
+                  ~name:(Printf.sprintf "bar_up%d" p) ))
         parties
     in
     let chans_down =
@@ -161,8 +173,8 @@ module Msg_barrier = struct
           else
             Some
               ( p,
-                Urpc.create m ~sender:coordinator ~receiver:c
-                  ~name:(Printf.sprintf "bar_down%d" p) () ))
+                link ~sender:coordinator ~receiver:c
+                  ~name:(Printf.sprintf "bar_down%d" p) ))
         parties
     in
     let coord_party =
@@ -182,11 +194,11 @@ module Msg_barrier = struct
   let await t ~party =
     match t.coord_party with
     | Some cp when cp = party ->
-      List.iter (fun (_, ch) -> Urpc.recv ch) t.chans_up;
-      List.iter (fun (_, ch) -> Urpc.send ch ()) t.chans_down
+      List.iter (fun (_, (_, rx)) -> Urpc.recv rx) t.chans_up;
+      List.iter (fun (_, (tx, _)) -> Urpc.send tx ()) t.chans_down
     | _ ->
-      let up = List.assoc party t.chans_up in
-      let down = List.assoc party t.chans_down in
-      Urpc.send up ();
-      Urpc.recv down
+      let up_tx, _ = List.assoc party t.chans_up in
+      let _, down_rx = List.assoc party t.chans_down in
+      Urpc.send up_tx ();
+      Urpc.recv down_rx
 end

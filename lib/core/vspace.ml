@@ -12,6 +12,7 @@ type entry = { frame : Cap.t; mutable w : bool }
 
 type t = {
   m : Machine.t;
+  machine_of : int -> Machine.t;  (* per-core machine (sharded boot) *)
   dom : Types.domid;
   vcores : int list;
   mode : pt_mode;
@@ -21,11 +22,12 @@ type t = {
   filled_by : (int, int list ref) Hashtbl.t;
 }
 
-let create ?(mode = Shared_table) m ~domid ~cores ~pt_root =
+let create ?(mode = Shared_table) ?machine_of m ~domid ~cores ~pt_root =
   (match pt_root.Cap.otype with
    | Cap.Page_table 4 -> ()
    | _ -> Types.fail (Types.Err_cap_type "vspace root must be a level-4 page table"));
-  { m; dom = domid; vcores = cores; mode; pages = Hashtbl.create 256;
+  let machine_of = match machine_of with Some f -> f | None -> fun _ -> m in
+  { m; machine_of; dom = domid; vcores = cores; mode; pages = Hashtbl.create 256;
     filled_by = Hashtbl.create 64 }
 
 let domid t = t.dom
@@ -53,9 +55,11 @@ let map t ~driver ~vaddr ~frame ~writable =
       else begin
         (* One checked page-table store per entry, through the CPU driver. *)
         Cpu_driver.syscall driver (fun () ->
+            let core = Cpu_driver.core driver in
+            let m = t.machine_of core in
             List.iter
               (fun vp ->
-                Machine.compute t.m ~core:(Cpu_driver.core driver) pt_update_cost;
+                Machine.compute m ~core pt_update_cost;
                 Hashtbl.replace t.pages vp { frame; w = writable })
               vpages);
         Ok ()
@@ -68,7 +72,7 @@ let touch t ~core ~vaddr =
   match Hashtbl.find_opt t.pages vp with
   | None -> Error Types.Err_not_mapped
   | Some _ ->
-    let tlb = t.m.Machine.tlbs.(core) in
+    let tlb = (t.machine_of core).Machine.tlbs.(core) in
     if not (Tlb.mem tlb ~vpage:vp) then begin
       (* The walk itself is a pure delay: bank it. *)
       Engine.charge tlb_walk_cost;
@@ -124,9 +128,13 @@ let writable t ~vaddr =
 let shoot_members t ~vpages = cores_with_mapping t ~vpages
 
 let shoot t ~monitor ~plan_for ~vpages =
-  (* The initiator edits its own table first... *)
+  (* The initiator edits its own table first... (charged on the monitor's
+     own machine, which under a sharded boot is its shard's) *)
   List.iter
-    (fun _vp -> Machine.compute t.m ~core:(Monitor.core monitor) pt_update_cost) vpages;
+    (fun _vp ->
+      Machine.compute (Monitor.machine monitor) ~core:(Monitor.core monitor)
+        pt_update_cost)
+    vpages;
   (* ...then one fan visits exactly the cores that must act: with a shared
      table, every spanned core's TLB; with lazily-filled replicas, only the
      cores whose replica holds the entry — which also edit it. *)

@@ -22,13 +22,20 @@ type pt_mode =
   | Replicated of { track_tlb_fills : bool }
       (** per-core table replicas kept consistent by monitor messages:
           costlier map, and — when fills are tracked — shootdowns touch
-          only cores that may actually cache the translation *)
+          only cores that may actually cache the translation.
+
+          Under a sharded (PDES) boot this mode is unsupported for domains
+          spanning shards: the lazy fill-tracking table is host state
+          mutated at first touch from whichever core faults, which would
+          race across a window cut. Sharded runs use {!Shared_table}. *)
 
 val create :
   ?mode:pt_mode ->
+  ?machine_of:(int -> Mk_hw.Machine.t) ->
   Mk_hw.Machine.t -> domid:Types.domid -> cores:int list -> pt_root:Cap.t -> t
 (** [pt_root] must be a level-4 page-table capability. [mode] defaults to
-    {!Shared_table}. *)
+    {!Shared_table}. [machine_of] (sharded boot) selects the machine whose
+    TLBs/compute a given core's accesses charge — its own shard's. *)
 
 val mode : t -> pt_mode
 

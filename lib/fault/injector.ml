@@ -64,7 +64,7 @@ let stats t = t.stats
 
 let on_core_stop t f = t.on_stop <- t.on_stop @ [ f ]
 
-let arm t eng =
+let arm ?(only = fun _ -> true) t eng =
   if not (Plan.is_empty t.plan) then begin
     if t.armed then invalid_arg "Injector.arm: already armed";
     t.eng <- Some eng;
@@ -74,10 +74,15 @@ let arm t eng =
     List.iter
       (fun { Plan.victim; stop_at } ->
         let at = base + stop_at in
+        (* [dead_at] records every victim — remote cores' deaths are still
+           facts this injector's queries must know about — but stop events
+           fire only for the cores [only] selects, so a sharded boot arms
+           one injector per shard without double-firing the callbacks. *)
         t.dead_at <- (victim, at) :: t.dead_at;
-        Engine.schedule_at eng ~at (fun () ->
-            t.stats.cores_stopped <- t.stats.cores_stopped + 1;
-            List.iter (fun f -> f victim) t.on_stop))
+        if only victim then
+          Engine.schedule_at eng ~at (fun () ->
+              t.stats.cores_stopped <- t.stats.cores_stopped + 1;
+              List.iter (fun f -> f victim) t.on_stop))
       t.plan.core_stops
   end
 

@@ -28,10 +28,13 @@ val none : t
 (** Shared inert injector; the default for every machine. Arming it is a
     no-op (empty plan), so it is never mutated and safe to share. *)
 
-val arm : t -> Mk_sim.Engine.t -> unit
+val arm : ?only:(int -> bool) -> t -> Mk_sim.Engine.t -> unit
 (** Start the plan's clock at [Engine.now] and schedule its core-stop
     events. Call after boot so boot-time activity is fault-free. No-op on
-    an empty plan. *)
+    an empty plan. [only] (default: all) filters which victims get stop
+    {i events} on this engine — every victim's stop {i time} is still
+    recorded for queries — so a sharded boot arms one injector per shard,
+    each firing callbacks only for its own cores. *)
 
 val armed : t -> bool
 (** The one-field hot-path guard every fault point checks first. *)

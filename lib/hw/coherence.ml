@@ -186,29 +186,49 @@ let line_of_addr t addr = addr / t.plat.Platform.cacheline
 
 let set_home_range t ~first_line ~last_line ~node =
   (* The allocator hands out monotonically increasing addresses, so ranges
-     arrive sorted; enforce it to keep the binary search valid. *)
-  if t.n_ranges > 0 && first_line <= t.range_last.(t.n_ranges - 1) then
-    invalid_arg "Coherence.set_home_range: ranges must be increasing";
+     usually arrive sorted and append at the end; pins into the detached
+     shared arena ({!Mk.Shard.alloc_shared} mirrors high-address ranges
+     onto every shard machine) can arrive before later low-address brk
+     pins, so out-of-order ranges fall back to a sorted insertion that
+     keeps the binary search valid. Overlap is rejected either way. *)
+  let n = t.n_ranges in
+  let idx =
+    if n = 0 || first_line > t.range_first.(n - 1) then n
+    else begin
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.range_first.(mid) < first_line then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    end
+  in
   if
-    t.n_ranges > 0
-    && t.range_node.(t.n_ranges - 1) = node
-    && t.range_last.(t.n_ranges - 1) = first_line - 1
-  then t.range_last.(t.n_ranges - 1) <- last_line
+    (idx > 0 && t.range_last.(idx - 1) >= first_line)
+    || (idx < n && t.range_first.(idx) <= last_line)
+  then invalid_arg "Coherence.set_home_range: overlapping ranges";
+  if idx > 0 && t.range_node.(idx - 1) = node && t.range_last.(idx - 1) = first_line - 1
+  then t.range_last.(idx - 1) <- last_line
   else begin
-    if t.n_ranges = Array.length t.range_first then begin
+    if n = Array.length t.range_first then begin
       let grow a =
-        let bigger = Array.make (t.n_ranges * 2) 0 in
-        Array.blit a 0 bigger 0 t.n_ranges;
+        let bigger = Array.make (n * 2) 0 in
+        Array.blit a 0 bigger 0 n;
         bigger
       in
       t.range_first <- grow t.range_first;
       t.range_last <- grow t.range_last;
       t.range_node <- grow t.range_node
     end;
-    t.range_first.(t.n_ranges) <- first_line;
-    t.range_last.(t.n_ranges) <- last_line;
-    t.range_node.(t.n_ranges) <- node;
-    t.n_ranges <- t.n_ranges + 1
+    if idx < n then begin
+      Array.blit t.range_first idx t.range_first (idx + 1) (n - idx);
+      Array.blit t.range_last idx t.range_last (idx + 1) (n - idx);
+      Array.blit t.range_node idx t.range_node (idx + 1) (n - idx)
+    end;
+    t.range_first.(idx) <- first_line;
+    t.range_last.(idx) <- last_line;
+    t.range_node.(idx) <- node;
+    t.n_ranges <- n + 1
   end
 
 let set_home t ~line ~node = set_home_range t ~first_line:line ~last_line:line ~node

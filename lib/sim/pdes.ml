@@ -95,6 +95,13 @@ let spawn t ~shard ?name f = Engine.spawn (engine t shard) ?name f
    the shard index through every hardware-layer hook. *)
 let cur_key : (t * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
+(* Which shard (of [t]) the calling domain is currently running a window
+   for; [None] outside window execution (host/setup context). Lets glue
+   code (e.g. {!Mk.Shard}) decide whether it is on a shard engine and, if
+   so, which one, without threading the index everywhere. *)
+let current t =
+  match Domain.DLS.get cur_key with Some (t', i) when t' == t -> Some i | _ -> None
+
 let send t ~dst ~src_core ~at fn =
   if dst < 0 || dst >= Array.length t.shards then invalid_arg "Pdes.send: bad dst shard";
   if at < t.horizon then
@@ -175,6 +182,7 @@ let check_errors t =
 let finish t ~rounds =
   t.barriers <- t.barriers + rounds;
   Pool.note_barriers rounds;
+  Pool.note_shards (Array.length t.shards);
   Array.iter
     (fun s ->
       Pool.emit (Buffer.contents s.buf);
@@ -189,7 +197,42 @@ let finish t ~rounds =
    are touched by one domain only) and bumps the done counter; the main
    domain runs its own subset and spins until all workers report. All
    cross-domain handoffs are ordered by those atomics, which per the OCaml
-   memory model also publish the plain shard state written before them. *)
+   memory model also publish the plain shard state written before them.
+
+   The waits are spin-then-block: a bounded busy-spin (cheap when a free
+   hardware thread is available for every domain) falling back to a
+   mutex/condvar sleep. Pure spinning melts down when the team is
+   oversubscribed — e.g. 4 domains in a 1-CPU CI container, where each
+   window would otherwise burn whole scheduler timeslices per waiter —
+   while blocking costs only a wakeup. Rendezvous strategy never touches
+   simulation state, so it cannot affect byte-identity. *)
+
+let spin_budget = 2_000
+
+(* Wait until [cond ()] holds: spin up to [spin_budget], then sleep on
+   [cv]. Wakers flip the underlying atomic first, then broadcast under
+   [mu]; re-checking under [mu] before sleeping closes the lost-wakeup
+   window. *)
+let wait_for ~mu ~cv cond =
+  let spins = ref 0 in
+  while not (cond ()) do
+    if !spins < spin_budget then begin
+      incr spins;
+      Domain.cpu_relax ()
+    end
+    else begin
+      Mutex.lock mu;
+      while not (cond ()) do
+        Condition.wait cv mu
+      done;
+      Mutex.unlock mu
+    end
+  done
+
+let wake ~mu ~cv =
+  Mutex.lock mu;
+  Condition.broadcast cv;
+  Mutex.unlock mu
 
 type worker_total = {
   mutable w_executed : int;
@@ -204,6 +247,8 @@ let exec_team t ~domains:d =
   let round = Atomic.make 0 in
   let horizon_pub = Atomic.make 0 in
   let done_n = Atomic.make 0 in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
   let fusion = Engine.fusion_enabled () in
   let totals =
     Array.init (d - 1) (fun _ ->
@@ -215,9 +260,7 @@ let exec_team t ~domains:d =
     let g0 = Gc.quick_stat () in
     let my_round = ref 0 in
     let rec loop () =
-      while Atomic.get round = !my_round do
-        Domain.cpu_relax ()
-      done;
+      wait_for ~mu ~cv (fun () -> Atomic.get round <> !my_round);
       incr my_round;
       let h = Atomic.get horizon_pub in
       if h >= 0 then begin
@@ -227,6 +270,7 @@ let exec_team t ~domains:d =
           i := !i + d
         done;
         Atomic.incr done_n;
+        wake ~mu ~cv;
         loop ()
       end
     in
@@ -243,6 +287,7 @@ let exec_team t ~domains:d =
   let quit () =
     Atomic.set horizon_pub (-1);
     Atomic.incr round;
+    wake ~mu ~cv;
     List.iter Domain.join workers;
     Array.iter
       (fun w ->
@@ -260,14 +305,13 @@ let exec_team t ~domains:d =
       Atomic.set done_n 0;
       Atomic.set horizon_pub t.horizon;
       Atomic.incr round;
+      wake ~mu ~cv;
       let i = ref 0 in
       while !i < n do
         run_shard t !i ~until:(t.horizon - 1);
         i := !i + d
       done;
-      while Atomic.get done_n < d - 1 do
-        Domain.cpu_relax ()
-      done;
+      wait_for ~mu ~cv (fun () -> Atomic.get done_n >= d - 1);
       incr rounds;
       if Array.exists (fun s -> s.err <> None) t.shards then begin
         quit ();

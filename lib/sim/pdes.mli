@@ -36,6 +36,12 @@ val engine : t -> int -> Engine.t
 val spawn : t -> shard:int -> ?name:string -> (unit -> unit) -> unit
 (** [Engine.spawn] on the shard's engine. *)
 
+val current : t -> int option
+(** The shard of [t] whose window the calling domain is currently
+    executing, or [None] outside window execution (host/setup context).
+    Glue code uses it to pick between direct construction (host context:
+    every shard is quiescent) and cross-shard messaging. *)
+
 val send : t -> dst:int -> src_core:int -> at:int -> (unit -> unit) -> unit
 (** Queue a cross-shard message: [fn] runs on shard [dst]'s engine at
     absolute time [at], delivered at the next exchange barrier. Messages

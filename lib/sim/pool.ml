@@ -42,6 +42,7 @@ type foreign = {
   mutable f_promoted : float;
   mutable f_major : int;
   mutable f_barriers : int;  (* PDES window barriers (Pdes reports here) *)
+  mutable f_shards : int;  (* high-water PDES shard count (max, not sum) *)
 }
 
 let foreign_key : foreign Domain.DLS.key =
@@ -53,6 +54,7 @@ let foreign_key : foreign Domain.DLS.key =
         f_promoted = 0.0;
         f_major = 0;
         f_barriers = 0;
+        f_shards = 0;
       })
 
 (* Fold counters produced on other domains into this domain's totals. The
@@ -72,6 +74,28 @@ let absorb ?(executed = 0) ?(fused = 0) ?(minor = 0.0) ?(promoted = 0.0) ?(major
    below needs no dependency on it. *)
 let note_barriers n = (Domain.DLS.get foreign_key).f_barriers <- (Domain.DLS.get foreign_key).f_barriers + n
 let total_barriers () = (Domain.DLS.get foreign_key).f_barriers
+
+(* PDES shard count is a high-water mark, not a sum: two sharded runs on 4
+   shards still ran "over 4 shards". Pdes reports its structure here. *)
+let note_shards n =
+  let fo = Domain.DLS.get foreign_key in
+  fo.f_shards <- max fo.f_shards n
+
+let total_shards () = (Domain.DLS.get foreign_key).f_shards
+
+(* Scope the shard high-water mark: run [f] with the counter zeroed,
+   return what it reached during [f] (including what nested pool runs
+   absorbed from other domains), and fold it back into the enclosing
+   scope's maximum. The bench harness uses this for per-bench [shards]. *)
+let with_shards f =
+  let fo = Domain.DLS.get foreign_key in
+  let saved = fo.f_shards in
+  fo.f_shards <- 0;
+  Fun.protect
+    ~finally:(fun () -> fo.f_shards <- max saved fo.f_shards)
+    (fun () ->
+      let v = f () in
+      (v, (Domain.DLS.get foreign_key).f_shards))
 
 let total_executed () =
   Engine.domain_events_executed () + (Domain.DLS.get foreign_key).f_executed
@@ -214,6 +238,7 @@ type 'a cell = {
   mutable d_promoted : float;
   mutable d_major : int;
   mutable d_barriers : int;
+  mutable d_shards : int;
 }
 
 (* Execute one job on whatever domain claimed it: capture its output and
@@ -225,11 +250,16 @@ let exec_cell cell f () =
   let ev0 = total_executed () and fu0 = total_fused () in
   let mi0 = total_minor_words () and pr0 = total_promoted_words () in
   let ma0 = total_major_collections () and ba0 = total_barriers () in
+  let fo = Domain.DLS.get foreign_key in
+  let sh0 = fo.f_shards in
+  fo.f_shards <- 0;
   (match redirect_to cell.buf f with
   | v -> cell.outcome <- Some (Ok v)
   | exception e ->
     let bt = Printexc.get_raw_backtrace () in
     cell.outcome <- Some (Error (e, bt)));
+  cell.d_shards <- fo.f_shards;
+  fo.f_shards <- max sh0 fo.f_shards;
   cell.d_executed <- total_executed () - ev0;
   cell.d_fused <- total_fused () - fu0;
   cell.d_minor <- total_minor_words () -. mi0;
@@ -254,6 +284,7 @@ let run ?pool fs =
             d_promoted = 0.0;
             d_major = 0;
             d_barriers = 0;
+            d_shards = 0;
           })
         fs
       |> Array.of_list
@@ -279,7 +310,8 @@ let run ?pool fs =
           fo.f_minor <- fo.f_minor +. c.d_minor;
           fo.f_promoted <- fo.f_promoted +. c.d_promoted;
           fo.f_major <- fo.f_major + c.d_major;
-          fo.f_barriers <- fo.f_barriers + c.d_barriers
+          fo.f_barriers <- fo.f_barriers + c.d_barriers;
+          fo.f_shards <- max fo.f_shards c.d_shards
         end)
       cells;
     Array.iter

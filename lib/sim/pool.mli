@@ -89,3 +89,19 @@ val note_barriers : int -> unit
 val total_barriers : unit -> int
 (** Window barriers executed by (or absorbed into) this domain. The bench
     harness reports the delta per run; 0 for non-PDES runs. *)
+
+val note_shards : int -> unit
+(** Record that a PDES run over [n] shards executed on this domain. Unlike
+    the additive counters this is a high-water mark ([max]), so repeated
+    sharded runs report the structure size, not a sum. *)
+
+val total_shards : unit -> int
+(** The shard high-water mark for the current scope (see {!with_shards});
+    0 when nothing sharded. *)
+
+val with_shards : (unit -> 'a) -> 'a * int
+(** [with_shards f] runs [f] with the shard mark zeroed and returns the
+    mark [f] reached (including marks absorbed from nested pool runs on
+    other domains), folding it back into the enclosing scope's maximum.
+    The bench harness wraps each bench in it for the per-entry [shards]
+    field. *)

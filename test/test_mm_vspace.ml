@@ -23,7 +23,7 @@ let test_alloc_frame () =
 
 let test_borrowing () =
   (* Exhaust core 0's pool; the next allocation borrows from a peer. *)
-  let os = Os.boot ~measure_latencies:false ~mem_per_core:65536 Platform.amd_2x2 in
+  let os = Os.boot ~measure_latencies:Os.No_measure ~mem_per_core:65536 Platform.amd_2x2 in
   Os.run os (fun () ->
       let mm0 = Os.mm os ~core:0 in
       (match Mm.alloc_ram mm0 ~bytes:65536 with

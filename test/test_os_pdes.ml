@@ -1,0 +1,162 @@
+(* Sharded OS boots under PDES window execution: the simulated results
+   must be byte-identical however many OCaml domains execute the windows
+   (MK_PDES/--pdes pick *placement* only — the sharded structure, and
+   hence every number, is fixed at boot). Each scenario returns a pure
+   trace of simulated times; the trace is computed serially (1 domain)
+   and re-computed on 2/4-domain teams and must compare equal.
+
+   Also here: the boot-time latency-measurement policies — the default
+   [Representative] probing must produce dramatically fewer events than
+   the quadratic [Exhaustive] ping storm on a big synthetic machine. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+open Test_util
+
+(* Force the PDES domain count for the duration of [f], shadowing any
+   ambient MK_PDES (so the suite itself behaves the same under the CI
+   referee's env). *)
+let with_domains d f =
+  Pdes.set_domains_override (Some d);
+  Fun.protect ~finally:(fun () -> Pdes.set_domains_override None) f
+
+(* -- scenarios ------------------------------------------------------- *)
+
+(* Spawn a domain spanning every core (dispatcher announce fan crosses
+   all shards), then a map/unmap from core 0: Figure 7's full LRPC +
+   page-table + multicast-shootdown path over the sharded monitors. *)
+let spawn_unmap_trace ~shards plat () =
+  let os = Os.boot ~shards ~measure_latencies:Os.No_measure plat in
+  Os.run os (fun () ->
+      let cores = List.init (Platform.n_cores plat) Fun.id in
+      let t0 = Engine.now_ () in
+      let dom = Os.spawn_domain os ~name:"pdes.dom" ~cores in
+      let t_spawn = Engine.now_ () - t0 in
+      let vaddr = 0x4000_0000 in
+      (match Os.alloc_map_frame os dom ~core:0 ~vaddr ~bytes:4096 with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "map failed");
+      let t1 = Engine.now_ () in
+      (match Os.unmap os dom ~core:0 ~vaddr ~bytes:4096 with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "unmap failed");
+      (t_spawn, Engine.now_ () - t1, Engine.now_ ()))
+
+(* Shootdown storm: every core maps its own frame, then all unmap in
+   sequence — back-to-back multicasts with different roots, so fan-out,
+   ack aggregation and cross-shard wire traffic overlap shard cuts in
+   every direction. *)
+let storm_trace ~shards plat () =
+  let os = Os.boot ~shards ~measure_latencies:Os.No_measure plat in
+  Os.run os (fun () ->
+      let cores = List.init (Platform.n_cores plat) Fun.id in
+      let dom = Os.spawn_domain os ~name:"pdes.storm" ~cores in
+      List.iter
+        (fun c ->
+          match
+            Os.alloc_map_frame os dom ~core:c
+              ~vaddr:(0x4000_0000 + (c * 0x10000))
+              ~bytes:8192
+          with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "map failed")
+        cores;
+      let laps =
+        List.map
+          (fun c ->
+            let t = Engine.now_ () in
+            (match
+               Os.unmap os dom ~core:c
+                 ~vaddr:(0x4000_0000 + (c * 0x10000))
+                 ~bytes:8192
+             with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "unmap failed");
+            Engine.now_ () - t)
+          cores
+      in
+      (laps, Engine.now_ ()))
+
+(* -- byte-identity across domain counts ------------------------------ *)
+
+let check_same name reference got = check_bool name true (got = reference)
+
+let test_spawn_unmap_2shards () =
+  let tr = spawn_unmap_trace ~shards:2 Platform.amd_4x4 in
+  let reference = with_domains 1 tr in
+  check_same "2 shards, 2 domains" reference (with_domains 2 tr)
+
+let test_spawn_unmap_4shards () =
+  let tr = spawn_unmap_trace ~shards:4 Platform.amd_4x4 in
+  let reference = with_domains 1 tr in
+  check_same "4 shards, 2 domains" reference (with_domains 2 tr);
+  check_same "4 shards, 4 domains" reference (with_domains 4 tr)
+
+let test_storm () =
+  let tr = storm_trace ~shards:4 Platform.amd_4x4 in
+  let reference = with_domains 1 tr in
+  check_same "storm, 2 domains" reference (with_domains 2 tr);
+  check_same "storm, 4 domains" reference (with_domains 4 tr)
+
+(* A full chaos seed — sharded boot, per-shard fault injectors, failure
+   detection, service failover, goodput — is the heaviest cross-shard
+   workload in the tree; its whole result record must not depend on the
+   domain count. *)
+let test_chaos_seed () =
+  let seed = 3 in
+  let reference = with_domains 1 (fun () -> Mk_benches.Chaos.run_seed seed) in
+  List.iter
+    (fun d ->
+      check_same
+        (Printf.sprintf "chaos seed %d, %d domains" seed d)
+        reference
+        (with_domains d (fun () -> Mk_benches.Chaos.run_seed seed)))
+    [ 2; 4 ]
+
+(* Any legal (platform, shard count, domain count) triple agrees with its
+   own serial execution. *)
+let prop_any_cut =
+  qtest ~count:8 "random (shards, domains) matches serial"
+    QCheck2.Gen.(
+      pair (oneofl [ Platform.amd_2x2; Platform.amd_4x4 ]) (pair (int_range 1 4) (int_range 1 4)))
+    (fun (plat, (s, d)) ->
+      let s = 1 + ((s - 1) mod plat.Platform.n_packages) in
+      let tr = spawn_unmap_trace ~shards:s plat in
+      with_domains 1 tr = with_domains d tr)
+
+(* -- boot-time latency measurement ------------------------------------ *)
+
+(* 256-core synthetic boot: [Representative] probes one pair per latency
+   class and derives the rest from topology, so it must cost a small
+   fraction of [Exhaustive]'s n*(n-1) ping storm — and both must agree on
+   every derived fact. *)
+let test_representative_vs_exhaustive () =
+  let plat = Platform.synthetic_mesh ~packages:64 ~cores_per_package:4 in
+  let events measure =
+    let ev0 = Pool.total_executed () in
+    let os = Os.boot ~measure_latencies:measure plat in
+    (Pool.total_executed () - ev0, os)
+  in
+  let ev_rep, os_rep = events Os.Representative in
+  let ev_exh, os_exh = events Os.Exhaustive in
+  check_bool "representative boot is far cheaper" true (ev_rep * 4 < ev_exh);
+  (* Spot-check fact agreement across the latency classes. *)
+  List.iter
+    (fun (src, dst) ->
+      check_int
+        (Printf.sprintf "latency %d->%d agrees" src dst)
+        (Os.latency os_exh ~src ~dst)
+        (Os.latency os_rep ~src ~dst))
+    [ (0, 1); (0, 3); (0, 4); (0, 255); (128, 4); (255, 0) ]
+
+let suite =
+  ( "os-pdes",
+    [
+      tc "spawn+unmap identical over 2 shards" test_spawn_unmap_2shards;
+      tc "spawn+unmap identical over 4 shards" test_spawn_unmap_4shards;
+      tc "shootdown storm identical (4 shards)" test_storm;
+      tc "chaos seed identical at any domain count" test_chaos_seed;
+      prop_any_cut;
+      tc "representative vs exhaustive boot" test_representative_vs_exhaustive;
+    ] )

@@ -37,7 +37,7 @@ let test_fig6_multicast_flat () =
   check_bool "tree scales gently" true (c32 < 1.6 *. c16)
 
 let unmap_cost_mk ~ncores =
-  let os = Os.boot ~measure_latencies:false Platform.amd_8x4 in
+  let os = Os.boot ~measure_latencies:Os.No_measure Platform.amd_8x4 in
   Os.run os (fun () ->
       let cores = List.init ncores Fun.id in
       let dom = Os.spawn_domain os ~name:"u" ~cores in
@@ -70,7 +70,7 @@ let test_fig7_crossover () =
   check_bool "ipis competitive at 2 cores" true (linux2 < 2 * mk2)
 
 let test_fig8_pipelining_amortizes () =
-  let os = Os.boot ~measure_latencies:false Platform.amd_8x4 in
+  let os = Os.boot ~measure_latencies:Os.No_measure Platform.amd_8x4 in
   Os.run os (fun () ->
       let mon = Os.monitor os ~core:0 in
       let plan = Os.default_plan os ~root:0 ~members:(List.init 16 Fun.id) in

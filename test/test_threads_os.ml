@@ -84,7 +84,7 @@ let test_user_mutex () =
 (* ---- OS-level ---- *)
 
 let test_boot_services () =
-  run_os ~measure_latencies:true (fun os ->
+  run_os ~measure_latencies:Mk.Os.Exhaustive (fun os ->
       check_int "cores" 4 (Os.n_cores os);
       (* Boot-time measurement populated the SKB for every pair. *)
       for s = 0 to 3 do
@@ -136,7 +136,7 @@ let test_flounder_rpc () =
       check_int "server core" 2 (Flounder.server_core b))
 
 let test_latency_function () =
-  run_os ~measure_latencies:true (fun os ->
+  run_os ~measure_latencies:Mk.Os.Exhaustive (fun os ->
       check_int "self" 0 (Os.latency os ~src:1 ~dst:1);
       check_bool "measured positive" true (Os.latency os ~src:0 ~dst:3 > 0))
 

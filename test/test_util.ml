@@ -26,7 +26,7 @@ let run_machine ?(plat = Platform.amd_2x2) f =
   | None -> Alcotest.fail "simulation task did not complete"
 
 (* Run [f] against a booted OS. *)
-let run_os ?(plat = Platform.amd_2x2) ?(measure_latencies = false) f =
+let run_os ?(plat = Platform.amd_2x2) ?(measure_latencies = Mk.Os.No_measure) f =
   let os = Mk.Os.boot ~measure_latencies plat in
   Mk.Os.run os (fun () -> f os)
 
