@@ -1,0 +1,39 @@
+(* Standalone driver for the cluster serving sweep: the same cells as
+   `main.exe cluster`, without the rest of the harness. Flags:
+   `--cluster-smoke` (CI-sized sweep), `--large` (8-machine million-user
+   cell), `--pdes N` (PDES domain team), `-j N` (cell-level pool). *)
+
+open Mk_sim
+open Mk_benches
+
+let usage () =
+  prerr_endline "usage: cluster.exe [-j N] [--pdes N] [--cluster-smoke] [--large]";
+  exit 1
+
+let rec parse jobs = function
+  | [] -> jobs
+  | "--cluster-smoke" :: rest ->
+    Cluster_bench.smoke := true;
+    parse jobs rest
+  | "--large" :: rest ->
+    Cluster_bench.large := true;
+    parse jobs rest
+  | "--pdes" :: n :: rest ->
+    (match int_of_string_opt n with
+    | Some d when d >= 1 ->
+      Pdes.set_domains_override (Some d);
+      parse jobs rest
+    | _ -> usage ())
+  | "-j" :: n :: rest ->
+    (match int_of_string_opt n with
+    | Some j when j >= 1 -> parse j rest
+    | _ -> usage ())
+  | _ -> usage ()
+
+let () =
+  let jobs = parse 1 (List.tl (Array.to_list Sys.argv)) in
+  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  Pool.set_ambient pool;
+  Cluster_bench.run ();
+  Pool.set_ambient None;
+  Option.iter Pool.shutdown pool

@@ -84,6 +84,12 @@ let () =
         Printf.printf "%-10s %14.0f %14.0f %9s %11s  (shards %d vs %d: skipped)\n" b.name
           (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.shards
           c.shards
+      (* And for the cluster sweep's scale knob: a 2-machine smoke run
+         costs a tiny fraction of the 8-machine default sweep. *)
+      | Some c when c.cluster_machines <> b.cluster_machines ->
+        Printf.printf "%-10s %14.0f %14.0f %9s %11s  (cluster %d vs %d: skipped)\n" b.name
+          (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-"
+          b.cluster_machines c.cluster_machines
       | Some c ->
         let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
         let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in

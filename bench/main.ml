@@ -37,6 +37,7 @@ let all : (string * string * (unit -> unit)) list =
     ("scaling", "scaling extension: mesh machines to 128 cores", Scaling.run);
     ("micro", "bechamel simulator micro-benches", Micro.run);
     ("chaos", "fault injection: detection/recovery/goodput (5 nines drill)", Chaos.run);
+    ("cluster", "cluster serving: machines behind an LB, latency vs. load", Cluster_bench.run);
   ]
 
 type timing = {
@@ -130,6 +131,8 @@ let report ~jobs ~timings ~harness_wall =
           fused = t.fused;
           barriers = t.barriers;
           shards = t.shards;
+          cluster_machines =
+            (if t.name = "cluster" then Cluster_bench.reported_machines () else 0);
           mode = mode ~jobs t;
           gc =
             Some
@@ -149,7 +152,8 @@ let report ~jobs ~timings ~harness_wall =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N] [--seed N] [--pdes N] [--large] [list | all | <bench>...]\n\
+    "usage: main.exe [-j N] [--seed N] [--pdes N] [--large] [--cluster-smoke] [list \
+     | all | <bench>...]\n\
     \       benches: %s\n"
     (String.concat " " (List.map (fun (n, _, _) -> n) all));
   exit 1
@@ -172,6 +176,10 @@ let rec extract_flags acc = function
      | _ -> usage ())
   | "--large" :: rest ->
     Scaling.large := true;
+    Cluster_bench.large := true;
+    extract_flags acc rest
+  | "--cluster-smoke" :: rest ->
+    Cluster_bench.smoke := true;
     extract_flags acc rest
   | a :: rest -> extract_flags (a :: acc) rest
   | [] -> List.rev acc

@@ -5,6 +5,17 @@
     request (the httperf closed-loop pattern the paper uses), parse costs
     charged to the server core. *)
 
+val parse_cost_per_char : int
+(** Server-side request-parse cost, cycles per head character. *)
+
+val handler_overhead : int
+(** Per-request handler path length beyond parsing (stat/open, response
+    assembly, logging), cycles. *)
+
+val conn_setup_cost : int
+(** Accept + PCB + per-connection state, cycles (paid once per
+    connection). *)
+
 type response = { status : int; content_type : string; body : string }
 
 type handler = meth:string -> path:string -> response

@@ -1,0 +1,123 @@
+(* Closed-loop cluster load generator.
+
+   Models [users] concurrent users without materializing a task per user:
+   each user is closed-loop state — issue a request, wait for the reply,
+   think, repeat. First arrivals are staggered uniformly over one think
+   time (user [u] starts at [u * think / users]), so the offered load
+   ramps to [users / think] requests per cycle and holds there; re-arrivals
+   are scheduled from the reply callback with [Engine.schedule_at]. A
+   million users therefore costs memory proportional to the requests in
+   flight, not the user count.
+
+   Latency is measured at the client (issue to reply delivery) and fed to
+   a constant-space [Stats.Histogram]; only replies completing inside the
+   measurement window [w_start, w_end) are recorded, so warmup transients
+   do not pollute the quantiles. *)
+
+open Mk_sim
+
+type t = {
+  eng : Engine.t;
+  send : Serve.request -> unit;
+  users : int;
+  think : int;
+  t_end : int;  (* last instant a (re-)arrival may be issued *)
+  w_start : int;
+  w_end : int;
+  pending : (int, int) Hashtbl.t;  (* rq_id -> issue time *)
+  hist : Stats.Histogram.t;
+  mutable next_id : int;
+  mutable issued : int;
+  mutable offered : int;  (* issued inside the window *)
+  mutable completed : int;  (* served replies completing inside the window *)
+  mutable shed : int;  (* rejected replies completing inside the window *)
+  mutable completed_total : int;
+  mutable shed_total : int;
+  mutable users_started : int;  (* distinct users whose first arrival fired *)
+}
+
+(* Task context on the client engine. *)
+let issue t ~session =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let now = Engine.now_ () in
+  t.issued <- t.issued + 1;
+  if now >= t.w_start && now < t.w_end then t.offered <- t.offered + 1;
+  Hashtbl.replace t.pending id now;
+  t.send { Serve.rq_id = id; rq_session = session }
+
+(* Link-rx entry point: runs outside any task context at reply delivery
+   time; the closed-loop re-arrival is armed with [schedule_at] and issues
+   from a fresh (tiny) task. *)
+let on_reply t (rp : Serve.reply) =
+  match Hashtbl.find_opt t.pending rp.rp_id with
+  | None -> ()
+  | Some issued_at ->
+    Hashtbl.remove t.pending rp.rp_id;
+    let now = Engine.now t.eng in
+    let in_window = now >= t.w_start && now < t.w_end in
+    if rp.rp_rejected then begin
+      t.shed_total <- t.shed_total + 1;
+      if in_window then t.shed <- t.shed + 1
+    end
+    else begin
+      t.completed_total <- t.completed_total + 1;
+      if in_window then begin
+        t.completed <- t.completed + 1;
+        Stats.Histogram.add t.hist (now - issued_at)
+      end
+    end;
+    let at = now + t.think in
+    if at <= t.t_end then
+      Engine.schedule_at t.eng ~at (fun () ->
+          Engine.spawn t.eng ~name:"lg.user" (fun () ->
+              issue t ~session:rp.rp_session))
+
+let start ~eng ~send ~users ~think ~t_start ~t_end ~w_start ~w_end () =
+  if users < 1 || think < 1 then invalid_arg "Loadgen.start";
+  let t =
+    {
+      eng;
+      send;
+      users;
+      think;
+      t_end;
+      w_start;
+      w_end;
+      pending = Hashtbl.create 1024;
+      hist = Stats.Histogram.create ();
+      next_id = 0;
+      issued = 0;
+      offered = 0;
+      completed = 0;
+      shed = 0;
+      completed_total = 0;
+      shed_total = 0;
+      users_started = 0;
+    }
+  in
+  Engine.spawn eng ~name:"lg.gen" (fun () ->
+      let rec gen u =
+        if u < t.users then begin
+          let at = t_start + (u * t.think / t.users) in
+          if at <= t.t_end then begin
+            Engine.wait_until at;
+            t.users_started <- t.users_started + 1;
+            issue t ~session:u;
+            gen (u + 1)
+          end
+        end
+      in
+      gen 0);
+  t
+
+let hist t = t.hist
+let users t = t.users
+let issued t = t.issued
+let offered t = t.offered
+let completed t = t.completed
+let shed t = t.shed
+let completed_total t = t.completed_total
+let shed_total t = t.shed_total
+let in_flight t = Hashtbl.length t.pending
+let users_started t = t.users_started

@@ -1,0 +1,133 @@
+(* Cluster serving application: one backend machine's half of the
+   datacenter story.
+
+   Requests arrive from the load balancer over an inter-machine link as
+   compact [request] records (the wire bytes are modeled, not carried).
+   The front (driver) core reconstructs the HTTP request head, parses it
+   with the real {!Http} parser and charges the same per-character cost
+   as the single-machine web stack, then reaches the session's owner core
+   over the per-core sharded {!Mk.Session} service (URPC), where the
+   handler cost is charged and the session table updated — no session
+   state is ever shared between cores. The response is formatted with
+   {!Http.format_response} so the reply's wire size is the real payload
+   size. *)
+
+open Mk_sim
+open Mk_hw
+open Mk
+
+type request = { rq_id : int; rq_session : int }
+
+(* Modeled size of a request on the wire: the GET head plus framing. *)
+let request_bytes = 120
+
+type reply = {
+  rp_id : int;
+  rp_session : int;
+  rp_status : int;
+  rp_hits : int;
+  rp_core : int;
+  rp_backend : int;
+  rp_bytes : int;
+  rp_rejected : bool;
+}
+
+(* Synthesized by the load balancer when it sheds a request. *)
+let rejected ~id ~session =
+  {
+    rp_id = id;
+    rp_session = session;
+    rp_status = 503;
+    rp_hits = 0;
+    rp_core = -1;
+    rp_backend = -1;
+    rp_bytes = 64;
+    rp_rejected = true;
+  }
+
+(* Per-request front-core cost beyond parsing: connection bookkeeping on a
+   kept-alive LB connection, routing to the owner binding, reply framing.
+   Deliberately far below {!Http.conn_setup_cost} — the balancer holds
+   persistent connections, so the accept path is not paid per request. *)
+let front_cost = 4_000
+
+type t = {
+  os : Os.t;
+  backend_id : int;
+  front : int;
+  session : Session.t;
+  inbox : request Sync.Mailbox.t;
+  mutable reply_fn : reply -> unit;
+  mutable served : int;
+}
+
+let handle t rq =
+  let m = Os.machine t.os in
+  let head =
+    Printf.sprintf "GET /session/%d HTTP/1.1\r\nHost: cluster\r\n\r\n" rq.rq_session
+  in
+  Machine.compute m ~core:t.front
+    (front_cost + (String.length head * Http.parse_cost_per_char));
+  let resp =
+    match Http.parse_request head with
+    | Some ("GET", path) ->
+      let session =
+        match String.rindex_opt path '/' with
+        | Some i ->
+          (try int_of_string (String.sub path (i + 1) (String.length path - i - 1))
+           with _ -> rq.rq_session)
+        | None -> rq.rq_session
+      in
+      let r = Session.call t.session ~session ~work:Http.handler_overhead in
+      ( Http.ok_html
+          (Printf.sprintf "session %d: %d hits (machine %d core %d)\n" session
+             r.Session.rs_hits t.backend_id r.Session.rs_core),
+        r )
+    | _ -> (Http.not_found, { Session.rs_hits = 0; rs_core = t.front })
+  in
+  let http, sr = resp in
+  t.served <- t.served + 1;
+  t.reply_fn
+    {
+      rp_id = rq.rq_id;
+      rp_session = rq.rq_session;
+      rp_status = http.Http.status;
+      rp_hits = sr.Session.rs_hits;
+      rp_core = sr.Session.rs_core;
+      rp_backend = t.backend_id;
+      rp_bytes = String.length (Http.format_response http);
+      rp_rejected = false;
+    }
+
+let start os ~backend_id ~front ~workers =
+  let session = Session.start os ~name:"cluster.sess" ~front ~workers in
+  Name_service.register (Os.name_service os) ~from_core:front ~name:"cluster.serve"
+    ~tag:backend_id;
+  let t =
+    {
+      os;
+      backend_id;
+      front;
+      session;
+      inbox = Sync.Mailbox.create ();
+      reply_fn = (fun _ -> ());
+      served = 0;
+    }
+  in
+  let eng = (Os.machine os).Machine.eng in
+  Engine.spawn eng ~name:"serve.front" (fun () ->
+      let rec loop () =
+        let rq = Sync.Mailbox.recv t.inbox in
+        Engine.spawn_ ~name:"serve.req" (fun () -> handle t rq);
+        loop ()
+      in
+      loop ());
+  t
+
+(* Link-rx entry point: effect-free (mailbox post), callable from a
+   [Machine_link] delivery thunk. *)
+let submit t rq = Sync.Mailbox.send t.inbox rq
+let set_reply t f = t.reply_fn <- f
+let session t = t.session
+let served t = t.served
+let backend_id t = t.backend_id

@@ -1,0 +1,53 @@
+(** One backend machine's serving application for the cluster subsystem.
+
+    Requests arrive from the load balancer as compact records (wire bytes
+    modeled by the link layer); the front core re-materializes and parses
+    the HTTP head with the real {!Http} parser at the same per-character
+    cost as the single-machine web stack, reaches the session's owner core
+    over the per-core sharded {!Mk.Session} service (URPC), and formats
+    the response with {!Http.format_response} so the reply's wire size is
+    the true payload size. The backend registers itself with its machine's
+    name service as ["cluster.serve"]. *)
+
+type request = { rq_id : int; rq_session : int }
+
+val request_bytes : int
+(** Modeled wire size of one request (head + framing). *)
+
+type reply = {
+  rp_id : int;
+  rp_session : int;
+  rp_status : int;
+  rp_hits : int;  (** session hit count after this request *)
+  rp_core : int;  (** owner core that served it; -1 when rejected *)
+  rp_backend : int;  (** backend machine id; -1 when rejected *)
+  rp_bytes : int;  (** formatted HTTP response size on the wire *)
+  rp_rejected : bool;
+}
+
+val rejected : id:int -> session:int -> reply
+(** The 503 reply a load balancer sheds with. *)
+
+val front_cost : int
+(** Front-core cycles per request beyond parsing (kept-alive connection
+    bookkeeping; the accept path is not paid per request). *)
+
+type t
+
+val start : Mk.Os.t -> backend_id:int -> front:int -> workers:int list -> t
+(** Bring up the serving app on a booted backend: start the sharded
+    session service on [workers], register ["cluster.serve"] with the
+    machine's name service, and spawn the front loop on [front]'s engine.
+    Task context required (service bring-up is messaging). *)
+
+val submit : t -> request -> unit
+(** Hand a request to the front loop. Effect-free (mailbox post) — safe
+    to call from a {!Mk_net.Machine_link} delivery thunk. *)
+
+val set_reply : t -> (reply -> unit) -> unit
+(** Where finished replies go (the cluster wires this to the backend's
+    uplink). Runs in the per-request task's context on this machine. *)
+
+val session : t -> Mk.Session.t
+val served : t -> int
+val backend_id : t -> int

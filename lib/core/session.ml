@@ -1,0 +1,111 @@
+(* Per-core sharded session tables, reached over URPC.
+
+   The multikernel design inside one backend machine: session state is
+   never shared across cores — each worker core owns a hash shard of the
+   session space in core-private memory, and the front (driver) core
+   reaches the owner over a typed Flounder/URPC binding. Workers advertise
+   themselves through the name service, and the front discovers them by
+   lookup, so bring-up pays the same messaging costs as any other
+   service. *)
+
+open Mk_hw
+
+type req = { rq_session : int; rq_work : int }
+type resp = { rs_hits : int; rs_core : int }
+
+type t = {
+  os : Os.t;
+  front : int;
+  workers : int array;
+  tables : (int, int) Hashtbl.t array;  (* per worker: session -> hits *)
+  bindings : (req, resp) Flounder.binding array;
+  served : int array;
+  mutable calls : int;
+  req_lines : int;
+  resp_lines : int;
+}
+
+(* Deterministic 64-bit finalizer (splitmix-style, constants clipped to
+   OCaml's 63-bit ints): the shard map must not depend on [Hashtbl.hash]
+   internals, and the load balancer's consistent-hash ring reuses it. *)
+let mix z =
+  let z = (z lxor (z lsr 33)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 29)) * 0x1B03738712FAD5C9 in
+  (z lxor (z lsr 32)) land max_int
+
+let worker_slot t ~session = mix session mod Array.length t.workers
+let owner_core t ~session = t.workers.(worker_slot t ~session)
+
+let start ?(req_lines = 1) ?(resp_lines = 1) os ~name ~front ~workers =
+  if workers = [] then invalid_arg "Session.start: no workers";
+  let workers = Array.of_list workers in
+  let k = Array.length workers in
+  let m = Os.machine os in
+  let ns = Os.name_service os in
+  let tables = Array.init k (fun _ -> Hashtbl.create 64) in
+  let served = Array.make k 0 in
+  (* Each worker advertises its shard; the front discovers the owner core
+     by lookup rather than trusting the construction order. *)
+  Array.iteri
+    (fun i w ->
+      Name_service.register ns ~from_core:w ~name:(Printf.sprintf "%s.w%d" name i)
+        ~tag:i)
+    workers;
+  let bindings =
+    Array.init k (fun i ->
+        let server =
+          match
+            Name_service.lookup ns ~from_core:front
+              ~name:(Printf.sprintf "%s.w%d" name i)
+          with
+          | Some r -> r.Name_service.srv_core
+          | None -> workers.(i)
+        in
+        Flounder.connect m
+          ~name:(Printf.sprintf "%s.b%d" name i)
+          ~client:front ~server ~req_lines ~resp_lines ())
+  in
+  Array.iteri
+    (fun i b ->
+      Flounder.export b (fun rq ->
+          Machine.compute m ~core:workers.(i) rq.rq_work;
+          let hits =
+            (match Hashtbl.find_opt tables.(i) rq.rq_session with
+            | Some h -> h
+            | None -> 0)
+            + 1
+          in
+          Hashtbl.replace tables.(i) rq.rq_session hits;
+          served.(i) <- served.(i) + 1;
+          { rs_hits = hits; rs_core = workers.(i) }))
+    bindings;
+  { os; front; workers; tables; bindings; served; calls = 0; req_lines; resp_lines }
+
+let call t ~session ~work =
+  let i = worker_slot t ~session in
+  t.calls <- t.calls + 1;
+  Flounder.rpc t.bindings.(i) { rq_session = session; rq_work = work }
+
+let front t = t.front
+let workers t = Array.to_list t.workers
+let served_on t ~core =
+  let total = ref 0 in
+  Array.iteri (fun i w -> if w = core then total := !total + t.served.(i)) t.workers;
+  !total
+
+let sessions_on t ~core =
+  let total = ref 0 in
+  Array.iteri
+    (fun i w -> if w = core then total := !total + Hashtbl.length t.tables.(i))
+    t.workers;
+  !total
+
+let sessions t = Array.fold_left (fun a tbl -> a + Hashtbl.length tbl) 0 t.tables
+let calls t = t.calls
+
+(* Two URPC messages per call (request + response), in cache lines. *)
+let intra_msgs t = 2 * t.calls
+
+let intra_bytes t =
+  let line = (Os.platform t.os).Mk_hw.Platform.cacheline in
+  t.calls * (t.req_lines + t.resp_lines) * line

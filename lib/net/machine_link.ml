@@ -1,0 +1,64 @@
+(* Inter-machine point-to-point link over PDES shards.
+
+   Models the wire between two independently-simulated machines (each a
+   PDES shard with its own engine): a FIFO serialization resource on the
+   sending side paced by the configured bandwidth, plus a fixed
+   propagation delay of at least the executor's lookahead. Delivery
+   crosses the shard cut as a timestamped [Pdes.send] message, so the
+   link is exactly the physical justification for the conservative
+   window: nothing a machine sends can affect another machine sooner than
+   the wire latency. *)
+
+open Mk_sim
+
+type 'a t = {
+  pdes : Pdes.t;
+  dst_shard : int;
+  src_id : int;  (* canonical merge key: unique per sending endpoint *)
+  wire : Resource.t;  (* tx serialization on the sender's engine *)
+  cycles_per_byte : float;
+  latency : int;  (* propagation, >= Pdes.lookahead *)
+  mutable rx : bytes:int -> 'a -> unit;
+  mutable tx_frames : int;
+  mutable tx_bytes : int;
+}
+
+let create pdes ~dst_shard ~src_id ~ghz ?(gbps = 10.0) ~latency () =
+  if latency < Pdes.lookahead pdes then
+    invalid_arg "Machine_link.create: latency below the executor's lookahead";
+  if gbps <= 0.0 then invalid_arg "Machine_link.create: gbps";
+  {
+    pdes;
+    dst_shard;
+    src_id;
+    wire = Resource.create ~name:"wire" ();
+    (* bytes -> cycles: 8 bits/byte at [gbps] Gbit/s is [8 / gbps] ns,
+       times [ghz] cycles/ns. *)
+    cycles_per_byte = 8.0 *. ghz /. gbps;
+    latency;
+    rx = (fun ~bytes:_ _ -> ());
+    tx_frames = 0;
+    tx_bytes = 0;
+  }
+
+let set_rx t f = t.rx <- f
+
+let send t ~bytes msg =
+  (* Task context on the sending machine's engine. Flush any banked
+     latency charge first: the wire reservation below reads the clock, and
+     the timestamp must not depend on the fusion mode. *)
+  Engine.flush_charge ();
+  let ser = int_of_float (ceil (float_of_int bytes *. t.cycles_per_byte)) in
+  (* Posted transmit (NIC tx queue): the sender does not block, but the
+     frame's departure queues behind everything already accepted by the
+     wire, so delivery time reflects serialization plus queueing. *)
+  let departed = Resource.reserve t.wire (Stdlib.max 1 ser) in
+  t.tx_frames <- t.tx_frames + 1;
+  t.tx_bytes <- t.tx_bytes + bytes;
+  let rx = t.rx in
+  Pdes.send t.pdes ~dst:t.dst_shard ~src_core:t.src_id ~at:(departed + t.latency)
+    (fun () -> rx ~bytes msg)
+
+let tx_frames t = t.tx_frames
+let tx_bytes t = t.tx_bytes
+let latency t = t.latency

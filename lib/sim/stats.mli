@@ -34,6 +34,48 @@ val samples : t -> float array
 val summary : t -> string
 (** ["mean=… sd=… min=… max=… n=…"] for quick printing. *)
 
+(** Log-bucketed latency histogram: constant space however many samples
+    arrive, with quantile error bounded by the bucket width. Values below
+    [2^sub_bits] are exact (one bucket per value); above that each
+    power-of-two range splits into [2^sub_bits] linear sub-buckets, so the
+    relative error of {!Histogram.quantile} is at most [1 / 2^sub_bits]
+    (~3% at the default [sub_bits = 5]). Samples are non-negative ints
+    (cycles); negatives clamp to 0. *)
+module Histogram : sig
+  type t
+
+  val create : ?sub_bits:int -> unit -> t
+  (** [sub_bits] (default 5) sets the sub-bucket resolution; the bucket
+      array is [~(64 - sub_bits) * 2^sub_bits] ints regardless of sample
+      count. Raises [Invalid_argument] outside [1..16]. *)
+
+  val add : t -> int -> unit
+  val count : t -> int
+  val min : t -> int
+  (** Exact observed minimum; 0 when empty. *)
+
+  val max : t -> int
+  (** Exact observed maximum; 0 when empty. *)
+
+  val mean : t -> float
+
+  val quantile : t -> float -> int
+  (** [quantile t 0.999] is the p999 estimate: the upper bound of the
+      bucket holding the nearest-rank sample, clamped to the observed
+      extrema — within one bucket width of the exact nearest-rank value.
+      0 when empty. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Fold [src] into [dst] (e.g. per-shard histograms into a cluster
+      total). Raises [Invalid_argument] on a [sub_bits] mismatch. *)
+
+  val bucket_of : t -> int -> int
+  (** Bucket index a value lands in (exposed for the error-bound test). *)
+
+  val bounds : t -> int -> int * int
+  (** Inclusive [(lo, hi)] value range of a bucket index. *)
+end
+
 val mean_ints : int list -> float
 (** Mean of an int list; 0 when empty. One-shot helper for callers that
     have a list in hand and no accumulator. *)

@@ -77,6 +77,87 @@ let qcheck_minmax =
       List.iter (Stats.add s) xs;
       List.for_all (fun x -> x >= Stats.min s && x <= Stats.max s) xs)
 
+(* -- log-bucketed histogram ------------------------------------------ *)
+
+module H = Stats.Histogram
+
+(* Values below 2^sub_bits get a bucket each, so small distributions are
+   exact: the histogram quantile must equal nearest-rank on the raw
+   samples. *)
+let test_hist_exact_region () =
+  let h = H.create () in
+  for v = 0 to 31 do
+    H.add h v
+  done;
+  check_int "count" 32 (H.count h);
+  check_int "min" 0 (H.min h);
+  check_int "max" 31 (H.max h);
+  check_bool "mean" true (feq (H.mean h) 15.5);
+  check_int "p50 exact" 15 (H.quantile h 0.50);
+  check_int "p99 exact" 31 (H.quantile h 0.99);
+  check_int "p0 is min" 0 (H.quantile h 0.0);
+  check_int "p100 is max" 31 (H.quantile h 1.0)
+
+let test_hist_single_value () =
+  let h = H.create () in
+  for _ = 1 to 1000 do
+    H.add h 123_456
+  done;
+  (* One distinct value: every quantile is clamped to the extrema. *)
+  check_int "p50" 123_456 (H.quantile h 0.50);
+  check_int "p999" 123_456 (H.quantile h 0.999);
+  check_int "negative clamps to 0" 0 (H.quantile (let h = H.create () in H.add h (-5); h) 1.0)
+
+let test_hist_bounds () =
+  let h = H.create () in
+  (* Every bucket must contain its own bounds, bounds must tile without
+     overlap, and the relative width is bounded by 2^(1 - sub_bits). *)
+  let prev_hi = ref (-1) in
+  for i = 0 to 300 do
+    let lo, hi = H.bounds h i in
+    check_int (Printf.sprintf "tile %d" i) (!prev_hi + 1) lo;
+    check_bool "ordered" true (lo <= hi);
+    check_int (Printf.sprintf "lo roundtrip %d" i) i (H.bucket_of h lo);
+    check_int (Printf.sprintf "hi roundtrip %d" i) i (H.bucket_of h hi);
+    check_bool "width" true (hi - lo + 1 <= Stdlib.max 1 (lo / 16));
+    prev_hi := hi
+  done
+
+let test_hist_merge () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.add a) [ 10; 2_000; 3_000_000 ];
+  List.iter (H.add b) [ 20; 5_000 ];
+  H.merge_into ~dst:a b;
+  check_int "count" 5 (H.count a);
+  check_int "min" 10 (H.min a);
+  check_int "max" 3_000_000 (H.max a);
+  check_bool "sub_bits must match" true
+    (match H.merge_into ~dst:a (H.create ~sub_bits:6 ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* The accuracy contract: the reported quantile lies inside the bucket
+   holding the exact nearest-rank sample, so its error is bounded by that
+   bucket's width (≤ value / 2^(sub_bits - 1)). *)
+let qcheck_hist_quantile_error =
+  qtest ~count:200 "histogram quantile lands in the exact sample's bucket"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60) (int_bound ((1 lsl 30) - 1)))
+        (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let h = H.create () in
+      List.iter (H.add h) xs;
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank =
+        Stdlib.max 1 (Stdlib.min n (int_of_float (ceil (q *. float_of_int n))))
+      in
+      let exact = List.nth sorted (rank - 1) in
+      let lo, hi = H.bounds h (H.bucket_of h exact) in
+      let r = H.quantile h q in
+      lo <= r && r <= hi)
+
 (* The one-shot int-list helpers (moved here from the bench tree) must
    agree with an accumulator fed the same samples. *)
 let test_int_list_helpers () =
@@ -103,6 +184,11 @@ let suite =
       tc "percentiles" test_percentiles;
       tc "samples order" test_samples_order;
       tc "unretained moments" test_unretained;
+      tc "histogram exact region" test_hist_exact_region;
+      tc "histogram single value" test_hist_single_value;
+      tc "histogram bucket bounds" test_hist_bounds;
+      tc "histogram merge" test_hist_merge;
       qcheck_mean_oracle;
       qcheck_minmax;
+      qcheck_hist_quantile_error;
     ] )
