@@ -63,53 +63,69 @@ let () =
     Printf.eprintf "compare: no current entries in %s\n" !current;
     exit (if !strict then 1 else 0));
   let regressions = ref 0 in
+  (* Each baseline bench becomes a (sort key, line) row; the table prints
+     worst delta first so the bench that regressed hardest tops the CI
+     log. Missing / mode-mismatched rows carry no delta and sink to the
+     bottom (infinity key, tie-broken by name). *)
+  let rows =
+    List.map
+      (fun (b : Mk_benches.Bench_json.entry) ->
+        match
+          List.find_opt (fun (c : Mk_benches.Bench_json.entry) -> c.name = b.name) cur
+        with
+        | None ->
+          ( infinity,
+            Printf.sprintf "%-10s %14.0f %14s %9s %11s" b.name
+              (Mk_benches.Bench_json.rate b) "-" "-" "-" )
+        (* Only like-for-like execution modes compare: a "pdes" run's
+           wall-clock depends on the domain count, a "pool" run's on -j.
+           A mode mismatch is noted and skipped, never gated. *)
+        | Some c when c.mode <> b.mode ->
+          ( infinity,
+            Printf.sprintf "%-10s %14.0f %14.0f %9s %11s  (mode %s vs %s: skipped)" b.name
+              (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.mode
+              c.mode )
+        (* Same idea for the sharding cut: a 4-shard run's wall-clock is not
+           comparable to an unsharded (or differently sharded) baseline. *)
+        | Some c when c.shards <> b.shards ->
+          ( infinity,
+            Printf.sprintf "%-10s %14.0f %14.0f %9s %11s  (shards %d vs %d: skipped)"
+              b.name (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-"
+              b.shards c.shards )
+        (* And for the cluster sweep's scale knob: a 2-machine smoke run
+           costs a tiny fraction of the 8-machine default sweep. *)
+        | Some c when c.cluster_machines <> b.cluster_machines ->
+          ( infinity,
+            Printf.sprintf "%-10s %14.0f %14.0f %9s %11s  (cluster %d vs %d: skipped)"
+              b.name (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-"
+              b.cluster_machines c.cluster_machines )
+        | Some c ->
+          let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
+          let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in
+          let flag = delta < -.(!threshold) in
+          if flag then incr regressions;
+          (* Allocation comparison only when both files carry GC data (a v1
+             baseline reads back with gc = None: skip rather than invent). *)
+          let alloc_col, alloc_flag =
+            match (b.gc, c.gc) with
+            | Some gb, Some gc_ when gb.minor_words > 0.0 ->
+              let d = (gc_.minor_words -. gb.minor_words) /. gb.minor_words *. 100.0 in
+              (Printf.sprintf "%+.1f%% mw" d, d > !threshold)
+            | _ -> ("-", false)
+          in
+          if alloc_flag then incr regressions;
+          ( delta,
+            Printf.sprintf "%-10s %14.0f %14.0f %+8.1f%% %11s%s" b.name rb rc delta
+              alloc_col
+              (if flag then "  <-- REGRESSION"
+               else if alloc_flag then "  <-- ALLOC REGRESSION"
+               else "") ))
+      base
+  in
   Printf.printf "%-10s %14s %14s %9s %11s\n" "bench" "baseline ev/s" "current ev/s" "delta"
     "alloc";
-  List.iter
-    (fun (b : Mk_benches.Bench_json.entry) ->
-      match List.find_opt (fun (c : Mk_benches.Bench_json.entry) -> c.name = b.name) cur with
-      | None ->
-        Printf.printf "%-10s %14.0f %14s %9s %11s\n" b.name (Mk_benches.Bench_json.rate b) "-"
-          "-" "-"
-      (* Only like-for-like execution modes compare: a "pdes" run's
-         wall-clock depends on the domain count, a "pool" run's on -j.
-         A mode mismatch is noted and skipped, never gated. *)
-      | Some c when c.mode <> b.mode ->
-        Printf.printf "%-10s %14.0f %14.0f %9s %11s  (mode %s vs %s: skipped)\n" b.name
-          (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.mode
-          c.mode
-      (* Same idea for the sharding cut: a 4-shard run's wall-clock is not
-         comparable to an unsharded (or differently sharded) baseline. *)
-      | Some c when c.shards <> b.shards ->
-        Printf.printf "%-10s %14.0f %14.0f %9s %11s  (shards %d vs %d: skipped)\n" b.name
-          (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-" b.shards
-          c.shards
-      (* And for the cluster sweep's scale knob: a 2-machine smoke run
-         costs a tiny fraction of the 8-machine default sweep. *)
-      | Some c when c.cluster_machines <> b.cluster_machines ->
-        Printf.printf "%-10s %14.0f %14.0f %9s %11s  (cluster %d vs %d: skipped)\n" b.name
-          (Mk_benches.Bench_json.rate b) (Mk_benches.Bench_json.rate c) "-" "-"
-          b.cluster_machines c.cluster_machines
-      | Some c ->
-        let rb = Mk_benches.Bench_json.rate b and rc = Mk_benches.Bench_json.rate c in
-        let delta = if rb > 0.0 then (rc -. rb) /. rb *. 100.0 else 0.0 in
-        let flag = delta < -.(!threshold) in
-        if flag then incr regressions;
-        (* Allocation comparison only when both files carry GC data (a v1
-           baseline reads back with gc = None: skip rather than invent). *)
-        let alloc_col, alloc_flag =
-          match (b.gc, c.gc) with
-          | Some gb, Some gc_ when gb.minor_words > 0.0 ->
-            let d = (gc_.minor_words -. gb.minor_words) /. gb.minor_words *. 100.0 in
-            (Printf.sprintf "%+.1f%% mw" d, d > !threshold)
-          | _ -> ("-", false)
-        in
-        if alloc_flag then incr regressions;
-        Printf.printf "%-10s %14.0f %14.0f %+8.1f%% %11s%s\n" b.name rb rc delta alloc_col
-          (if flag then "  <-- REGRESSION"
-           else if alloc_flag then "  <-- ALLOC REGRESSION"
-           else ""))
-    base;
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (_, line) -> print_endline line);
   if !regressions > 0 then begin
     Printf.printf "compare: %d bench(es) regressed more than %.0f%% vs %s\n" !regressions
       !threshold !baseline;

@@ -35,6 +35,9 @@ let all : (string * string * (unit -> unit)) list =
     ("net", "IO workloads (5.4): echo, web, web+sql", Net_bench.run);
     ("ablation", "ablations: page tables, barriers, prefetch", Ablation.run);
     ("scaling", "scaling extension: mesh machines to 128 cores", Scaling.run);
+    ("large", "large machines: tree/mesh/bands sweeps to 1024 cores (--large)", Large.run);
+    ("place_rr", "placement baseline: naive round-robin", Placement.run_rr);
+    ("place_skb", "placement: SKB comm-graph driven", Placement.run_skb);
     ("micro", "bechamel simulator micro-benches", Micro.run);
     ("chaos", "fault injection: detection/recovery/goodput (5 nines drill)", Chaos.run);
     ("cluster", "cluster serving: machines behind an LB, latency vs. load", Cluster_bench.run);
@@ -177,6 +180,7 @@ let rec extract_flags acc = function
   | "--large" :: rest ->
     Scaling.large := true;
     Cluster_bench.large := true;
+    Large.large := true;
     extract_flags acc rest
   | "--cluster-smoke" :: rest ->
     Cluster_bench.smoke := true;

@@ -73,20 +73,27 @@ type t = {
      buffer addresses (simulated state, so layout is deterministic), but
      the channel record itself is only materialized on first use —
      [peers.(dst)] caches it. At 128 cores the mesh is 16k channels and a
-     workload typically exercises a few dozen. *)
+     workload typically exercises a few dozen. The per-destination base
+     arrays are filled by [connect]'s per-edge path; a large unsharded
+     mesh skips them entirely and computes every base from [mesh_arena]
+     (closed-form src-major layout), so no O(n) base array per monitor —
+     O(n^2) over the mesh — is ever allocated. *)
   peers : msg Urpc.t option array;  (* indexed by destination core *)
-  peer_slot_base : int array;  (* reserved ring base per destination *)
-  peer_send_base : int array;
-  peer_recv_base : int array;
+  mutable peer_slot_base : int array;  (* reserved ring base per destination *)
+  mutable peer_send_base : int array;
+  mutable peer_recv_base : int array;
   (* Sharded boot ([connect ?shard]): a mesh edge that crosses the PDES
      cut is split at the wire like any {!Shard.link_urpc} channel. The
      sender half lives in the sender's [peers]; these hold the receiver
      halves, indexed by *source* core, reserved at connect time and
      materialized by the first arriving message. *)
-  rx_peers : msg Urpc.t option array;
-  rx_slot_base : int array;
-  rx_send_base : int array;
-  rx_recv_base : int array;
+  mutable rx_peers : msg Urpc.t option array;
+  mutable rx_slot_base : int array;
+  mutable rx_send_base : int array;
+  mutable rx_recv_base : int array;
+  (* Base address of the closed-form mesh buffer arena (-1 = per-edge
+     reservations in the arrays above). *)
+  mutable mesh_arena : int;
   mutable shard : Shard.t option;
   mutable on_replica : (key:string -> value:int -> unit) option;
   mutable mesh : t array;  (* all monitors, indexed by core; set by [connect] *)
@@ -119,13 +126,14 @@ let create m driver =
     driver;
     core_id = Cpu_driver.core driver;
     peers = Array.make (Machine.n_cores m) None;
-    peer_slot_base = Array.make (Machine.n_cores m) (-1);
-    peer_send_base = Array.make (Machine.n_cores m) (-1);
-    peer_recv_base = Array.make (Machine.n_cores m) (-1);
-    rx_peers = Array.make (Machine.n_cores m) None;
-    rx_slot_base = Array.make (Machine.n_cores m) (-1);
-    rx_send_base = Array.make (Machine.n_cores m) (-1);
-    rx_recv_base = Array.make (Machine.n_cores m) (-1);
+    peer_slot_base = [||];
+    peer_send_base = [||];
+    peer_recv_base = [||];
+    rx_peers = [||];
+    rx_slot_base = [||];
+    rx_send_base = [||];
+    rx_recv_base = [||];
+    mesh_arena = -1;
     shard = None;
     on_replica = None;
     mesh = [||];
@@ -158,11 +166,34 @@ let fresh_xid t =
 
 let origin_of_xid xid = xid / 1_000_000
 
+(* A mesh edge's reserved buffers are 21 contiguous lines: a 16-slot ring
+   and the 2-line send / 3-line recv control blocks ([Urpc.preallocate]'s
+   defaults), in that order. The closed-form arena lays edges out in
+   src-major order, exactly like the per-edge reservation loop would. *)
+let mesh_edge_lines = 21
+
+(* Reserved buffer bases for the mesh edge [t.core_id] -> [dst];
+   (-1, -1, -1) when no reservation exists. *)
+let peer_bases t dst =
+  if dst = t.core_id then (-1, -1, -1)
+  else if t.mesh_arena >= 0 then begin
+    let n = Array.length t.peers in
+    let cl = t.m.Machine.plat.Platform.cacheline in
+    let d = if dst > t.core_id then dst - 1 else dst in
+    let b = t.mesh_arena + (((t.core_id * (n - 1)) + d) * mesh_edge_lines * cl) in
+    (b, b + (16 * cl), b + (18 * cl))
+  end
+  else if Array.length t.peer_slot_base = 0 then (-1, -1, -1)
+  else (t.peer_slot_base.(dst), t.peer_send_base.(dst), t.peer_recv_base.(dst))
+
 let chan_to t dst =
   match if dst >= 0 && dst < Array.length t.peers then t.peers.(dst) else None with
   | Some ch -> ch
   | None ->
-    if dst < 0 || dst >= Array.length t.peers || t.peer_slot_base.(dst) < 0 then
+    let slot_base, send_base, recv_base =
+      if dst < 0 || dst >= Array.length t.peers then (-1, -1, -1) else peer_bases t dst
+    in
+    if slot_base < 0 then
       invalid_arg (Printf.sprintf "Monitor %d: no channel to %d" t.core_id dst)
     else begin
       (* First use of this mesh edge: build the channel over the buffers
@@ -170,9 +201,8 @@ let chan_to t dst =
          addresses (the simulated state) were fixed by [connect]. *)
       let name = "mon" ^ string_of_int t.core_id ^ "->" ^ string_of_int dst in
       let ch =
-        Urpc.create_prealloc t.m ~sender:t.core_id ~receiver:dst ~name
-          ~slot_base:t.peer_slot_base.(dst) ~send_base:t.peer_send_base.(dst)
-          ~recv_base:t.peer_recv_base.(dst) ()
+        Urpc.create_prealloc t.m ~sender:t.core_id ~receiver:dst ~name ~slot_base
+          ~send_base ~recv_base ()
       in
       let mdst = t.mesh.(dst) in
       (match t.shard with
@@ -423,10 +453,10 @@ let run_loop t =
      and materialized by the first arriving message. *)
   let in_chan j =
     let src = if j < t.core_id then j else j + 1 in
-    match t.rx_peers.(src) with
+    match if Array.length t.rx_peers = 0 then None else t.rx_peers.(src) with
     | Some _ as c -> c
     | None ->
-      if t.rx_slot_base.(src) >= 0 then None
+      if Array.length t.rx_slot_base > 0 && t.rx_slot_base.(src) >= 0 then None
       else t.mesh.(src).peers.(t.core_id)
   in
   let rec next_msg scanned idx =
@@ -459,13 +489,54 @@ let run_loop t =
   in
   loop ()
 
+(* Unsharded meshes above this size reserve their buffers as one
+   closed-form arena instead of n*(n-1) individual reservations: same
+   src-major layout and home nodes (so the simulated machine is
+   identical), but O(1) allocator/pinning state and no per-monitor base
+   arrays — the structures that made a 1024-core boot quadratic. Every
+   paper/scaling platform sits at or below the threshold and keeps the
+   exact historical path. *)
+let mesh_arena_threshold = 128
+
+let connect_arena monitors =
+  let n = Array.length monitors in
+  let m = monitors.(0).m in
+  let plat = m.Machine.plat in
+  let pkg c = Platform.package_of plat c in
+  let base =
+    Machine.alloc_region m
+      ~lines:(n * (n - 1) * mesh_edge_lines)
+      ~node_of:(fun off ->
+        (* Buffers NUMA-local to the receiver, control blocks split
+           sender/receiver — the same nodes [Urpc.preallocate] pins on
+           the per-edge path below. *)
+        let edge = off / mesh_edge_lines and o = off mod mesh_edge_lines in
+        let src = edge / (n - 1) in
+        let d = edge mod (n - 1) in
+        let dst = if d >= src then d + 1 else d in
+        if o >= 16 && o < 18 then pkg src else pkg dst)
+  in
+  Array.iter (fun mon -> mon.mesh_arena <- base) monitors
+
 let connect ?shard monitors =
   let n = Array.length monitors in
   Array.iter (fun m -> m.shard <- shard) monitors;
+  if shard = None && n > mesh_arena_threshold then connect_arena monitors
+  else begin
   (* The full mesh is n*(n-1) channels — host-side cost matters at 128
      cores, so only the buffer reservations (which fix the simulated
      memory layout, in src-major order) happen here; channel records are
      materialized on first use by [chan_to]. *)
+  Array.iter
+    (fun mon ->
+      mon.peer_slot_base <- Array.make n (-1);
+      mon.peer_send_base <- Array.make n (-1);
+      mon.peer_recv_base <- Array.make n (-1);
+      mon.rx_peers <- Array.make n None;
+      mon.rx_slot_base <- Array.make n (-1);
+      mon.rx_send_base <- Array.make n (-1);
+      mon.rx_recv_base <- Array.make n (-1))
+    monitors;
   for src = 0 to n - 1 do
     let msrc = monitors.(src) in
     let plat = msrc.m.Machine.plat in
@@ -502,7 +573,8 @@ let connect ?shard monitors =
           msrc.peer_recv_base.(dst) <- recv_base
       end
     done
-  done;
+  done
+  end;
   Array.iteri
     (fun i mon ->
       mon.mesh <- monitors;

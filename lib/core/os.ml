@@ -95,6 +95,35 @@ let plan t proto ~root ~members =
 
 let default_plan t ~root ~members = plan t Routing.Numa_multicast ~root ~members
 
+(* Dependency-driven placement (§4.9, closing the loop): profile a run's
+   URPC traffic, assert the measured graph as SKB facts, and let the SKB
+   answer thread->core mapping queries. *)
+
+let iter_machines t f =
+  let seen = ref [] in
+  for core = 0 to n_cores t - 1 do
+    let m = machine_of_core t core in
+    if not (List.memq m !seen) then begin
+      seen := m :: !seen;
+      f m
+    end
+  done
+
+let start_comm_profile t =
+  let c = Trace.Comm.create () in
+  iter_machines t (fun m -> m.Machine.comm <- Some c);
+  c
+
+let stop_comm_profile t c =
+  iter_machines t (fun m -> m.Machine.comm <- None);
+  Trace.Comm.snapshot c
+
+let assert_comm_edges t edges =
+  List.iter (fun (src, dst, weight) -> Skb.assert_comm_edge t.the_skb ~src ~dst ~weight) edges
+
+let comm_placement t ~threads =
+  Routing.place_threads (platform t) ~threads ~edges:(Skb.comm_edges t.the_skb)
+
 let run t ?(name = "main") f =
   let result = ref None in
   (match t.sh with

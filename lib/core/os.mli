@@ -104,6 +104,31 @@ val default_plan : t -> root:int -> members:int list -> Routing.plan
 (** What the OS actually uses for global operations: the NUMA-aware
     multicast computed from the SKB (§5.1's conclusion). *)
 
+(** {1 Dependency-driven placement}
+
+    Closing the SKB loop (§4.9): profile a run's URPC traffic, feed the
+    measured communication graph back as SKB facts, and query the SKB for
+    a thread -> core mapping that keeps the chattiest threads on shared
+    caches ({!Routing.place_threads}). *)
+
+val start_comm_profile : t -> Mk_sim.Trace.Comm.t
+(** Attach a message-graph recorder to every machine of this OS (all
+    shards). Every subsequent URPC send records its (src, dst) core pair
+    until {!stop_comm_profile}. *)
+
+val stop_comm_profile : t -> Mk_sim.Trace.Comm.t -> (int * int * int) list
+(** Detach the recorder and return the measured [(src, dst, count)] core
+    pairs, sorted. The caller relabels cores to its logical thread ids
+    before asserting them with {!assert_comm_edges}. *)
+
+val assert_comm_edges : t -> (int * int * int) list -> unit
+(** Assert [(thread_i, thread_j, weight)] edges as SKB [comm_edge] facts
+    (replacing earlier weights for the same pair). *)
+
+val comm_placement : t -> threads:int -> int array
+(** Thread -> core mapping computed from the SKB's [comm_edge] facts via
+    {!Routing.place_threads}. *)
+
 val spawn_domain :
   ?pt_mode:Vspace.pt_mode -> t -> name:string -> cores:int list -> Dom.t
 (** Create a domain spanning [cores]: a dispatcher on each (announced to

@@ -77,3 +77,93 @@ let plan_cores plan =
   List.concat_map (fun b -> b.aggregator :: b.leaves) plan.branches
 
 let branch_count plan = List.length plan.branches
+
+(* Dependency-driven placement: cluster the measured communication graph
+   greedily (heaviest edges first, clusters capped at a package's core
+   count) and pack the heaviest-talking clusters onto packages so their
+   traffic stays on-package. Deterministic: ties everywhere break toward
+   the numerically smallest thread/edge. *)
+let place_threads plat ~threads ~edges =
+  let n_cores = Platform.n_cores plat in
+  if threads < 0 || threads > n_cores then
+    invalid_arg "Routing.place_threads: threads must be between 0 and the core count";
+  let cap = plat.Platform.cores_per_package in
+  let parent = Array.init threads Fun.id in
+  let size = Array.make (max threads 1) 1 in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let edges =
+    List.filter (fun (i, j, _) -> i >= 0 && i < threads && j >= 0 && j < threads && i <> j) edges
+  in
+  let heaviest_first =
+    List.sort (fun (i1, j1, w1) (i2, j2, w2) -> compare (w2, (i1, j1)) (w1, (i2, j2))) edges
+  in
+  List.iter
+    (fun (i, j, _) ->
+      let a = find i and b = find j in
+      if a <> b && size.(a) + size.(b) <= cap then begin
+        let r, child = if a < b then (a, b) else (b, a) in
+        parent.(child) <- r;
+        size.(r) <- size.(r) + size.(child)
+      end)
+    heaviest_first;
+  (* Internal weight of each cluster: all measured traffic it keeps local. *)
+  let weight = Hashtbl.create 16 in
+  List.iter
+    (fun (i, j, w) ->
+      let a = find i in
+      if a = find j then
+        Hashtbl.replace weight a (w + Option.value (Hashtbl.find_opt weight a) ~default:0))
+    edges;
+  let members = Hashtbl.create 16 in
+  for i = threads - 1 downto 0 do
+    let r = find i in
+    Hashtbl.replace members r (i :: Option.value (Hashtbl.find_opt members r) ~default:[])
+  done;
+  let clusters =
+    Hashtbl.fold
+      (fun r ms acc -> (Option.value (Hashtbl.find_opt weight r) ~default:0, r, ms) :: acc)
+      members []
+    |> List.sort (fun (w1, r1, _) (w2, r2, _) -> compare (w2, r1) (w1, r2))
+  in
+  let npkg = plat.Platform.n_packages in
+  let free = Array.make npkg cap in
+  let place = Array.make threads (-1) in
+  let alloc_one () =
+    let p = ref 0 in
+    while free.(!p) = 0 do
+      incr p
+    done;
+    let c = (!p * cap) + (cap - free.(!p)) in
+    free.(!p) <- free.(!p) - 1;
+    c
+  in
+  List.iter
+    (fun (_, _, ms) ->
+      let k = List.length ms in
+      let fit = ref (-1) in
+      (try
+         for p = 0 to npkg - 1 do
+           if !fit < 0 && free.(p) >= k then begin
+             fit := p;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      match !fit with
+      | p when p >= 0 ->
+        let base = (p * cap) + (cap - free.(p)) in
+        List.iteri (fun idx th -> place.(th) <- base + idx) ms;
+        free.(p) <- free.(p) - k
+      | _ ->
+        (* No package has k consecutive free cores (packing fragmentation);
+           spill the cluster over the first free cores in package order. *)
+        List.iter (fun th -> place.(th) <- alloc_one ()) ms)
+    clusters;
+  place

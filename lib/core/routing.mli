@@ -56,3 +56,14 @@ val plan_cores : plan -> int list
 (** Every core the plan reaches (excluding the root). *)
 
 val branch_count : plan -> int
+
+val place_threads :
+  Mk_hw.Platform.t -> threads:int -> edges:(int * int * int) list -> int array
+(** [place_threads plat ~threads ~edges] maps logical threads
+    [0 .. threads-1] to distinct cores from a measured communication
+    graph ([edges] are [(i, j, weight)] message counts). Heaviest edges
+    are clustered first into groups of at most one package's cores;
+    clusters are ranked by the traffic they keep package-local and packed
+    onto packages first-fit, so the chattiest threads land on shared
+    caches. Fully deterministic (ties break toward the smallest ids).
+    Raises [Invalid_argument] unless [0 <= threads <= n_cores]. *)

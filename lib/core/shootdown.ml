@@ -52,7 +52,7 @@ let bcast_slave_task bc ~core ~(parent_ack : ack Urpc.t) () =
   in
   loop ()
 
-let setup m ~proto ~root ~cores ?latency () =
+let setup m ~proto ~root ~cores ?latency ?plan:plan_override () =
   let plat = m.Machine.plat in
   let latency =
     match latency with
@@ -91,11 +91,14 @@ let setup m ~proto ~root ~cores ?latency () =
     }
   | Routing.Unicast | Routing.Multicast | Routing.Numa_multicast ->
     let plan =
-      match proto with
-      | Routing.Unicast -> Routing.unicast ~root ~members
-      | Routing.Multicast -> Routing.multicast plat ~root ~members
-      | Routing.Numa_multicast | Routing.Broadcast ->
-        Routing.numa_multicast plat ~latency ~root ~members
+      match plan_override with
+      | Some p -> p
+      | None ->
+        (match proto with
+         | Routing.Unicast -> Routing.unicast ~root ~members
+         | Routing.Multicast -> Routing.multicast plat ~root ~members
+         | Routing.Numa_multicast | Routing.Broadcast ->
+           Routing.numa_multicast plat ~latency ~root ~members)
     in
     let numa = plan.Routing.numa_aware in
     let branch_setup (b : Routing.branch) =

@@ -19,11 +19,15 @@ val setup :
   root:int ->
   cores:int list ->
   ?latency:(src:int -> dst:int -> int) ->
+  ?plan:Routing.plan ->
   unit ->
   t
 (** Build the channels and start the slave/aggregator tasks for one
     protocol instance. [latency] feeds the NUMA-aware plan ordering
-    (defaults to interconnect hop count). *)
+    (defaults to interconnect hop count). [plan] overrides the tree
+    entirely (e.g. one computed from SKB [comm_edge] facts); it must
+    cover exactly [cores] minus the root, and is only meaningful for the
+    tree-based protocols. *)
 
 val round : t -> int
 (** Run one shootdown round from the root; returns its latency in cycles.

@@ -209,3 +209,16 @@ let urpc_latency t ~src ~dst =
   match query_one t (fact "urpc_latency" [ Int src; Int dst; Var "L" ]) with
   | Some s -> (try Some (lookup_int s "L") with Not_found -> None)
   | None -> None
+
+(* Measured communication graph: comm_edge(src, dst, weight) counts the
+   messages a profiling run observed between two logical threads. Same
+   retract-then-assert discipline as urpc_latency so re-profiling
+   overwrites rather than accumulates. *)
+let assert_comm_edge t ~src ~dst ~weight =
+  retract t (fact "comm_edge" [ Int src; Int dst; Var "_" ]);
+  assert_fact t (fact "comm_edge" [ Int src; Int dst; Int weight ])
+
+let comm_edges t =
+  query t (fact "comm_edge" [ Var "S"; Var "D"; Var "W" ])
+  |> List.map (fun s -> (lookup_int s "S", lookup_int s "D", lookup_int s "W"))
+  |> List.sort compare

@@ -61,3 +61,11 @@ val assert_urpc_latency : t -> src:int -> dst:int -> cycles:int -> unit
 (** Online-measurement fact [urpc_latency(src, dst, cycles)]. *)
 
 val urpc_latency : t -> src:int -> dst:int -> int option
+
+val assert_comm_edge : t -> src:int -> dst:int -> weight:int -> unit
+(** Online-measurement fact [comm_edge(src, dst, weight)]: a profiling
+    run observed [weight] messages from logical thread [src] to [dst].
+    Re-asserting an edge replaces its weight. *)
+
+val comm_edges : t -> (int * int * int) list
+(** All [comm_edge] facts as [(src, dst, weight)], sorted ascending. *)

@@ -220,6 +220,9 @@ let wire_post t d =
   end
 
 let send t ?(lines = 1) payload =
+  (match t.m.Machine.comm with
+   | Some c -> Trace.Comm.record c ~src:t.src ~dst:t.dst
+   | None -> ());
   Sync.Semaphore.acquire t.flow;
   Engine.charge (send_sw_cost + if t.prefetch then prefetch_latency_penalty else 0);
   (* Ring-position and channel-state updates (sender-local lines: one

@@ -66,6 +66,11 @@ type t = {
   mutable range_last : int array;
   mutable range_node : int array;
   mutable n_ranges : int;
+  (* Computed home regions: [first, last] ranges whose node is a function
+     of the line, for arenas with a regular interleaved layout (the large
+     monitor-mesh arena pins n*(n-1) channel buffers in O(1) state this
+     way). Checked after the explicit ranges miss; the list stays tiny. *)
+  mutable regions : (int * int * (int -> int)) list;
   dirs : Resource.t array;  (* one directory/home-node resource per package *)
   ports : Resource.t array;  (* per-core cache port: serializes c2c sourcing *)
   n_cores : int;
@@ -73,11 +78,20 @@ type t = {
         [plat]; hoisted here because the access path runs per event) -- *)
   pkg : int array;  (* core -> package *)
   sgrp : int array;  (* core -> LLC share group *)
-  xfer : int array array;  (* (src core).(dst core) -> transfer latency *)
+  (* Cross-group transfer and DRAM latencies depend only on the two
+     packages involved, so the tables are package-indexed — and dense only
+     up to [dense_pkg_max] packages. Above that ([| |] here) latencies are
+     derived per access from the closed-form topology distance, so a
+     1024-core machine carries no quadratic latency tables at all. *)
+  xfer_pkg : int array array;  (* (src pkg).(dst pkg) -> transfer latency *)
   dram_lat : int array array;  (* (src pkg).(home pkg) -> DRAM fetch latency *)
   (* (src pkg).(dst pkg) -> dword counters of the directed links en route,
-     pre-resolved so charging traffic is a few stores, not a path walk. *)
+     pre-resolved so charging traffic is a few stores, not a path walk.
+     Dense with the tables above; larger machines resolve paths into
+     [path_cache] on first use, so the footprint follows the pairs that
+     actually communicate instead of all n². *)
   path_refs : int ref array array array;
+  path_cache : int ref array Inttbl.t;
   probe_refs : int ref array;  (* every link, both directions *)
   (* Fault injector consulted for link degradation; [Injector.none] (and
      one armed-flag read per transaction) on the zero-fault path. *)
@@ -101,32 +115,44 @@ let data_dwords = 18
 let store_post_cost = 60
 let port_occupancy = 70
 
+(* Largest package count that still precomputes the dense package-pair
+   latency/path tables (every paper platform and the 128-core scaling
+   machines sit far below it). Beyond this, the 256+-package sweeps,
+   latencies come from the closed-form topology per access and link-path
+   counters are cached per communicating pair. *)
+let dense_pkg_max = 64
+
 let create ?cache_lines_per_core plat counters =
   let n = Platform.n_cores plat in
   let npkg = plat.Platform.n_packages in
   let topo = plat.Platform.topo in
   let pkg = Array.init n (fun c -> Platform.package_of plat c) in
   let sgrp = Array.init n (fun c -> Platform.share_group_of plat c) in
-  let xfer =
-    Array.init n (fun src ->
-        Array.init n (fun dst ->
-            if sgrp.(src) = sgrp.(dst) then plat.Platform.shared_cache_fetch
-            else
+  let dense = npkg <= dense_pkg_max in
+  let xfer_pkg =
+    if not dense then [||]
+    else
+      Array.init npkg (fun src ->
+          Array.init npkg (fun dst ->
               plat.Platform.cc_base
-              + (2 * plat.Platform.hop_one_way * Topology.hops topo pkg.(src) pkg.(dst))))
+              + (2 * plat.Platform.hop_one_way * Topology.hops topo src dst)))
   in
   let dram_lat =
-    Array.init npkg (fun src ->
-        Array.init npkg (fun home ->
-            plat.Platform.dram
-            + (2 * plat.Platform.hop_one_way * Topology.hops topo src home)))
+    if not dense then [||]
+    else
+      Array.init npkg (fun src ->
+          Array.init npkg (fun home ->
+              plat.Platform.dram
+              + (2 * plat.Platform.hop_one_way * Topology.hops topo src home)))
   in
   let path_refs =
-    Array.init npkg (fun src ->
-        Array.init npkg (fun dst ->
-            Topology.path_directed topo src dst
-            |> List.map (Perfcounter.link_counter counters)
-            |> Array.of_list))
+    if not dense then [||]
+    else
+      Array.init npkg (fun src ->
+          Array.init npkg (fun dst ->
+              Topology.path_directed topo src dst
+              |> List.map (Perfcounter.link_counter counters)
+              |> Array.of_list))
   in
   let probe_refs =
     Array.concat
@@ -149,6 +175,7 @@ let create ?cache_lines_per_core plat counters =
     range_last = Array.make 64 0;
     range_node = Array.make 64 0;
     n_ranges = 0;
+    regions = [];
     dirs =
       Array.init npkg (fun i -> Resource.create ~name:(Printf.sprintf "dir%d" i) ());
     ports =
@@ -156,9 +183,10 @@ let create ?cache_lines_per_core plat counters =
     n_cores = n;
     pkg;
     sgrp;
-    xfer;
+    xfer_pkg;
     dram_lat;
     path_refs;
+    path_cache = Inttbl.create ~initial_bits:8 ~dummy:[||] ();
     probe_refs;
     inj = Mk_fault.Injector.none;
     remote = None;
@@ -233,6 +261,9 @@ let set_home_range t ~first_line ~last_line ~node =
 
 let set_home t ~line ~node = set_home_range t ~first_line:line ~last_line:line ~node
 
+let set_home_region t ~first_line ~last_line ~node_of =
+  t.regions <- (first_line, last_line, node_of) :: t.regions
+
 let pinned_home_of t line =
   let rec search lo hi =
     if lo > hi then None
@@ -243,7 +274,14 @@ let pinned_home_of t line =
       else Some t.range_node.(mid)
     end
   in
-  search 0 (t.n_ranges - 1)
+  match search 0 (t.n_ranges - 1) with
+  | Some _ as r -> r
+  | None ->
+    let rec scan = function
+      | [] -> None
+      | (f, l, fn) :: rest -> if line >= f && line <= l then Some (fn line) else scan rest
+    in
+    scan t.regions
 
 let home_of t ~line =
   match Inttbl.find_opt t.lines line with
@@ -271,11 +309,48 @@ let get_line t ~core line =
     l
   end
 
+(* Cross-share-group transfer latency between two cores. Every caller has
+   already established the cores are in different share groups, so the
+   latency depends only on their packages. *)
+let xfer_of t src dst =
+  let ps = t.pkg.(src) and pd = t.pkg.(dst) in
+  if t.xfer_pkg != [||] then t.xfer_pkg.(ps).(pd)
+  else
+    t.plat.Platform.cc_base
+    + (2 * t.plat.Platform.hop_one_way * Topology.hops t.plat.Platform.topo ps pd)
+
+let dram_of t src_pkg home =
+  if t.dram_lat != [||] then t.dram_lat.(src_pkg).(home)
+  else
+    t.plat.Platform.dram
+    + (2 * t.plat.Platform.hop_one_way * Topology.hops t.plat.Platform.topo src_pkg home)
+
+(* Pre-resolved directed link counters en route between two (distinct)
+   packages; above [dense_pkg_max], resolved once per communicating pair
+   into [path_cache]. A valid path between distinct packages is never
+   empty, so [[||]] doubles as the table's absent sentinel. *)
+let path_refs_of t src_pkg dst_pkg =
+  if t.path_refs != [||] then t.path_refs.(src_pkg).(dst_pkg)
+  else begin
+    let key = (src_pkg * t.plat.Platform.n_packages) + dst_pkg in
+    let refs = Inttbl.find_or t.path_cache key [||] in
+    if refs != [||] then refs
+    else begin
+      let refs =
+        Topology.path_directed t.plat.Platform.topo src_pkg dst_pkg
+        |> List.map (Perfcounter.link_counter t.counters)
+        |> Array.of_list
+      in
+      Inttbl.set t.path_cache key refs;
+      refs
+    end
+  end
+
 (* Charge dword traffic along the route between two packages, keeping the
    direction of travel (Table 4 reports per-direction link utilization). *)
 let charge_path t src_pkg dst_pkg dwords =
   if src_pkg <> dst_pkg then begin
-    let refs = t.path_refs.(src_pkg).(dst_pkg) in
+    let refs = path_refs_of t src_pkg dst_pkg in
     for i = 0 to Array.length refs - 1 do
       let r = Array.unsafe_get refs i in
       r := !r + dwords
@@ -389,7 +464,7 @@ let prepare_load t ~core addr =
       Bitset.add l.sharers o;
       if is_local_group t core o then set_local t p.Platform.shared_cache_fetch
       else begin
-        let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
+        let lat = xfer_of t o core + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         set_txn t ~home:l.home ~lat ~src_port:o ~ln:l
@@ -405,7 +480,7 @@ let prepare_load t ~core addr =
       if o >= 0 && o <> core && not (is_local_group t core o) then begin
         (* Owned line: the last writer's cache sources the data. *)
         Perfcounter.count_c2c t.counters ~core;
-        let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
+        let lat = xfer_of t o core + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         set_txn t ~home:l.home ~lat ~src_port:o ~ln:l
@@ -416,7 +491,7 @@ let prepare_load t ~core addr =
       end
       else begin
         Perfcounter.count_dram t.counters ~core;
-        let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
+        let lat = dram_of t t.pkg.(core) l.home + link_extra t t.pkg.(core) l.home in
         charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
         set_txn t ~home:l.home ~lat ~src_port:(-1) ~ln:dummy_line
       end
@@ -428,7 +503,7 @@ let prepare_load t ~core addr =
     l.tag <- tag_shared;
     Bitset.clear l.sharers;
     Bitset.add l.sharers core;
-    let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
+    let lat = dram_of t t.pkg.(core) l.home + link_extra t t.pkg.(core) l.home in
     charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
     set_txn t ~home:l.home ~lat ~src_port:(-1) ~ln:dummy_line
   end
@@ -451,7 +526,7 @@ let prepare_store t ~core addr =
       l.excl <- core;
       if is_local_group t core o then set_local t p.Platform.shared_cache_fetch
       else begin
-        let lat = t.xfer.(o).(core) + link_extra t t.pkg.(o) t.pkg.(core) in
+        let lat = xfer_of t o core + link_extra t t.pkg.(o) t.pkg.(core) in
         charge_path t t.pkg.(core) l.home cmd_dwords;
         charge_path t t.pkg.(o) t.pkg.(core) data_dwords;
         (* Migratory write: ownership moves between different cores, so
@@ -478,7 +553,7 @@ let prepare_store t ~core addr =
           if c <> core then begin
             forget t ~core:c lid;
             if not (is_local_group t core c) then begin
-              let lat = t.xfer.(c).(core) in
+              let lat = xfer_of t c core in
               if lat > !far then far := lat
             end
           end)
@@ -499,7 +574,7 @@ let prepare_store t ~core addr =
     Perfcounter.count_dram t.counters ~core;
     l.tag <- tag_modified;
     l.excl <- core;
-    let lat = t.dram_lat.(t.pkg.(core)).(l.home) + link_extra t t.pkg.(core) l.home in
+    let lat = dram_of t t.pkg.(core) l.home + link_extra t t.pkg.(core) l.home in
     charge_path t t.pkg.(core) l.home (cmd_dwords + data_dwords);
     set_txn t ~home:l.home ~lat ~src_port:(-1) ~ln:dummy_line
   end

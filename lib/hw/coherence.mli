@@ -44,6 +44,13 @@ val set_home_range : t -> first_line:int -> last_line:int -> node:int -> unit
 (** Pin a whole region at once (what the allocator uses). Ranges must be
     disjoint and arrive in increasing address order. *)
 
+val set_home_region : t -> first_line:int -> last_line:int -> node_of:(int -> int) -> unit
+(** Pin a region whose home node is a function of the (absolute) line
+    number — O(1) state for arenas with a regular interleaved layout,
+    like the large monitor mesh's n*(n-1) channel buffers. The region
+    must not overlap any explicit range (the bump allocator guarantees
+    this); explicit ranges take precedence on lookup. *)
+
 val home_of : t -> line:int -> int option
 
 val set_remote_home :

@@ -10,6 +10,8 @@ type t = {
   ipi : Ipi.t;
   fault : Mk_fault.Injector.t;
   mutable brk : int;
+  mutable comm : Trace.Comm.t option;
+      (* message-graph recorder for placement profiling; None = no cost *)
 }
 
 let create ?eng ?cache_lines_per_core ?(fault = Mk_fault.Injector.none) plat =
@@ -31,6 +33,7 @@ let create ?eng ?cache_lines_per_core ?(fault = Mk_fault.Injector.none) plat =
     ipi;
     fault;
     brk = 0x1000;
+    comm = None;
   }
 
 let n_cores t = Platform.n_cores t.plat
@@ -48,6 +51,15 @@ let alloc_bytes t ?node bytes =
   base
 
 let alloc_lines t ?node n = alloc_bytes t ?node (n * t.plat.Platform.cacheline)
+
+let alloc_region t ~lines ~node_of =
+  let cl = t.plat.Platform.cacheline in
+  let base = t.brk in
+  t.brk <- t.brk + (lines * cl);
+  let first_line = base / cl in
+  Coherence.set_home_region t.coh ~first_line ~last_line:(first_line + lines - 1)
+    ~node_of:(fun line -> node_of (line - first_line));
+  base
 
 let compute t ~core n =
   if n > 0 then ignore (Resource.acquire t.cores.(core) n : int)

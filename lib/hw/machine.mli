@@ -15,6 +15,10 @@ type t = {
   ipi : Ipi.t;
   fault : Mk_fault.Injector.t;  (** fault injector; [Injector.none] by default *)
   mutable brk : int;  (** bump-allocator frontier, line-aligned *)
+  mutable comm : Mk_sim.Trace.Comm.t option;
+      (** when set, URPC sends record (src, dst) message counts here —
+          the measured communication graph behind SKB-driven placement;
+          [None] (the default) costs one option check per send *)
 }
 
 val create :
@@ -38,6 +42,12 @@ val alloc_bytes : t -> ?node:int -> int -> int
 
 val alloc_lines : t -> ?node:int -> int -> int
 (** Same, in units of cache lines. *)
+
+val alloc_region : t -> lines:int -> node_of:(int -> int) -> int
+(** Allocate [lines] cache lines whose home nodes follow [node_of]
+    (line offset from the region base -> node) — a computed home region
+    ({!Coherence.set_home_region}), so a huge regularly-interleaved arena
+    costs O(1) pinning state. Returns the base address. *)
 
 val compute : t -> core:int -> int -> unit
 (** Occupy [core] for [n] cycles of pure computation (FIFO with anything

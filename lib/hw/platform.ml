@@ -123,35 +123,55 @@ let amd_8x4 =
   }
 
 let synthetic_mesh ~packages ~cores_per_package =
-  (* Nearly square 2D mesh over the packages. *)
+  (* Nearly square 2D mesh over the packages; closed-form routing, so a
+     1024-core machine carries no per-pair topology state. *)
   let side = int_of_float (ceil (sqrt (float_of_int packages))) in
-  let links = ref [] in
-  for p = 0 to packages - 1 do
-    let x = p mod side and y = p / side in
-    if x + 1 < side && p + 1 < packages then links := (p, p + 1) :: !links;
-    ignore y;
-    if p + side < packages then links := (p, p + side) :: !links
-  done;
   {
     amd_8x4 with
     name = Printf.sprintf "synthetic %dx%d mesh" packages cores_per_package;
     n_packages = packages;
     cores_per_package;
     cores_per_share_group = cores_per_package;
-    topo = Topology.create ~n:packages ~links:!links;
+    topo = Topology.mesh ~n:packages ~side;
   }
 
 let synthetic_tree ~packages ~cores_per_package =
   (* Complete binary tree over the packages: deep NUMA (diameter grows as
      log n but worst-case paths cross the root), the shape the PDES
-     scaling study shards along subtrees. *)
-  let links = ref [] in
-  for p = 1 to packages - 1 do
-    links := (((p - 1) / 2), p) :: !links
-  done;
+     scaling study shards along subtrees. Closed-form routing. *)
   {
     amd_8x4 with
     name = Printf.sprintf "synthetic %dx%d tree" packages cores_per_package;
+    n_packages = packages;
+    cores_per_package;
+    cores_per_share_group = cores_per_package;
+    topo = Topology.tree ~n:packages;
+  }
+
+let synthetic_bands ~bands ~packages_per_band ~cores_per_package =
+  (* Heterogeneous latency bands: each band's packages are fully meshed
+     (one hop anywhere inside the band), bands are chained through single
+     gateway links — so cross-band traffic pays 1 hop per band boundary
+     plus up to 2 hops reaching the gateways, a latency staircase. The
+     link list is O(bands * ppb^2): sub-quadratic in total packages at
+     fixed band size, and routed through the lazy per-source BFS rows. *)
+  if bands <= 0 || packages_per_band <= 0 then
+    invalid_arg "Platform.synthetic_bands: bands and packages_per_band must be positive";
+  let packages = bands * packages_per_band in
+  let links = ref [] in
+  for b = 0 to bands - 1 do
+    let base = b * packages_per_band in
+    for i = 0 to packages_per_band - 1 do
+      for j = i + 1 to packages_per_band - 1 do
+        links := (base + i, base + j) :: !links
+      done
+    done;
+    (* Gateway: last package of this band to first of the next. *)
+    if b + 1 < bands then links := (base + packages_per_band - 1, base + packages_per_band) :: !links
+  done;
+  {
+    amd_8x4 with
+    name = Printf.sprintf "synthetic %db x %dp x %dc bands" bands packages_per_band cores_per_package;
     n_packages = packages;
     cores_per_package;
     cores_per_share_group = cores_per_package;

@@ -59,6 +59,12 @@ val synthetic_tree : packages:int -> cores_per_package:int -> t
     NUMA — log-depth but root-crossing worst-case paths). The PDES scaling
     bench shards it along subtrees. *)
 
+val synthetic_bands : bands:int -> packages_per_band:int -> cores_per_package:int -> t
+(** A future-hardware machine with heterogeneous latency bands: packages
+    inside a band are fully meshed (one hop), bands are chained through
+    single gateway links, so cross-band hops grow with band distance — a
+    latency staircase. Raises [Invalid_argument] on non-positive sizes. *)
+
 val all : t list
 (** The four paper platforms. *)
 

@@ -3,7 +3,16 @@
     An undirected graph of packages; routing is shortest-path with
     deterministic tie-breaking (lowest next-hop id), mirroring the static
     routing tables of HT systems. Used both for latency (hop counts) and
-    for per-link traffic accounting (Table 4). *)
+    for per-link traffic accounting (Table 4).
+
+    Routing state is sub-quadratic in nodes: the synthetic families
+    ({!fully_connected}, {!tree}, {!mesh}) answer {!hops} and first-hop
+    queries in closed form with no per-pair state at all, and an
+    arbitrary {!create} link list materializes one O(n) BFS row per
+    queried source on demand (safe to share read-only across domains).
+    All routing answers — distances, first hops, link enumeration order —
+    are identical to a dense all-pairs BFS with ascending-neighbor
+    tie-breaking, which the test suite checks by direct comparison. *)
 
 type t
 
@@ -15,12 +24,28 @@ val create : n:int -> links:link list -> t
     out-of-range endpoints, self-loops, or a disconnected graph. *)
 
 val fully_connected : n:int -> t
-(** Convenience: every pair directly linked (small SMPs / single bus). *)
+(** Convenience: every pair directly linked (small SMPs / single bus).
+    Implicit — no O(n²) link list is ever allocated; {!links} synthesizes
+    the array on demand. *)
+
+val tree : n:int -> t
+(** Complete binary tree with parent [(i-1)/2]: deep NUMA, log-depth with
+    root-crossing worst-case paths. Closed-form routing. *)
+
+val mesh : n:int -> side:int -> t
+(** Row-major 2D grid of width [side] whose last row may be ragged (ids
+    [0..n-1], node [p] at column [p mod side], row [p / side]; links to
+    the right and downward neighbors when they exist). Closed-form
+    Manhattan routing. *)
 
 val n_nodes : t -> int
 val links : t -> link array
 val hops : t -> int -> int -> int
 (** Shortest-path distance in links; 0 for [src = dst]. *)
+
+val next_hop : t -> int -> int -> int
+(** First hop from [src] towards [dst] ([src] itself when equal), with
+    the lowest-id tie-break among shortest paths. *)
 
 val diameter : t -> int
 

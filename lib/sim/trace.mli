@@ -17,3 +17,21 @@ val set_level : src -> Logs.level option -> unit
 
 val debugf : src -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val infof : src -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Per-(src, dst) core message counting, for dependency-driven placement.
+    A recorder is opt-in per machine; when none is attached the cost on
+    the send path is a single option check. *)
+module Comm : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> src:int -> dst:int -> unit
+  (** Count one message from core [src] to core [dst]. *)
+
+  val snapshot : t -> (int * int * int) list
+  (** [(src, dst, count)] triples, sorted ascending — the measured
+      communication graph. *)
+
+  val clear : t -> unit
+end

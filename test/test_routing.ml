@@ -70,6 +70,51 @@ let qcheck_multicast_partition =
       let reached = List.sort compare (Routing.plan_cores plan) in
       reached = List.filter (fun c -> c <> root) (members n))
 
+let test_place_threads () =
+  (* Two chatty teams of four and one stray cross-team edge: clustering
+     must co-package each team, keep the heavier team on package 0, and
+     never double-book a core. *)
+  let edges =
+    [ (0, 1, 100); (1, 2, 100); (2, 3, 100); (4, 5, 90); (5, 6, 90); (6, 7, 90); (0, 4, 1) ]
+  in
+  let place = Routing.place_threads plat ~threads:8 ~edges in
+  let pkg c = Platform.package_of plat c in
+  check_int "distinct cores" 8
+    (List.length (List.sort_uniq compare (Array.to_list place)));
+  check_bool "team one co-packaged" true
+    (pkg place.(0) = pkg place.(1) && pkg place.(1) = pkg place.(2)
+    && pkg place.(2) = pkg place.(3));
+  check_bool "team two co-packaged" true
+    (pkg place.(4) = pkg place.(5) && pkg place.(5) = pkg place.(6)
+    && pkg place.(6) = pkg place.(7));
+  check_bool "teams apart" true (pkg place.(0) <> pkg place.(4));
+  check_int "heaviest team on package 0" 0 (pkg place.(0));
+  (* No measured traffic: deterministic ascending fill. *)
+  Alcotest.(check (array int))
+    "no edges = ascending fill" [| 0; 1; 2; 3; 4 |]
+    (Routing.place_threads plat ~threads:5 ~edges:[]);
+  check_bool "rejects more threads than cores" true
+    (match Routing.place_threads plat ~threads:33 ~edges:[] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let qcheck_place_threads_valid =
+  qtest "place_threads is a partial one-to-one core map" ~count:100
+    QCheck2.Gen.(pair (int_bound 32) (int_bound 0x3FFFFFF))
+    (fun (threads, seed) ->
+      let state = ref (seed + 1) in
+      let rand m =
+        state := ((!state * 48271) + 1) land 0xFFFFFFF;
+        if m = 0 then 0 else !state mod m
+      in
+      (* Random weights; ids deliberately range past [threads] so the
+         out-of-range filter is exercised too. *)
+      let edges = List.init (rand 40) (fun _ -> (rand 34, rand 34, rand 100)) in
+      let place = Routing.place_threads plat ~threads ~edges in
+      Array.length place = threads
+      && Array.for_all (fun c -> c >= 0 && c < 32) place
+      && List.length (List.sort_uniq compare (Array.to_list place)) = threads)
+
 let suite =
   ( "routing",
     [
@@ -78,5 +123,7 @@ let suite =
       tc "root not reached" test_root_not_reached;
       tc "numa ordering" test_numa_ordering;
       tc "dedup and singleton" test_dedup_and_singleton;
+      tc "place threads" test_place_threads;
       qcheck_multicast_partition;
+      qcheck_place_threads_valid;
     ] )

@@ -73,6 +73,16 @@ let test_latency_facts () =
   check_int "single fact" 1
     (List.length (Skb.query skb (Skb.fact "urpc_latency" [ Skb.Int 0; Skb.Int 1; Skb.Var "L" ])))
 
+let test_comm_edges () =
+  let skb = Skb.create () in
+  check_bool "empty" true (Skb.comm_edges skb = []);
+  Skb.assert_comm_edge skb ~src:3 ~dst:1 ~weight:7;
+  Skb.assert_comm_edge skb ~src:0 ~dst:1 ~weight:2;
+  check_bool "sorted" true (Skb.comm_edges skb = [ (0, 1, 2); (3, 1, 7) ]);
+  (* Re-profiling replaces the weight, not accumulates. *)
+  Skb.assert_comm_edge skb ~src:3 ~dst:1 ~weight:9;
+  check_bool "replaced" true (Skb.comm_edges skb = [ (0, 1, 2); (3, 1, 9) ])
+
 let suite =
   ( "skb",
     [
@@ -83,4 +93,5 @@ let suite =
       tc "compound args" test_compound_args;
       tc "platform facts" test_platform_facts;
       tc "latency facts" test_latency_facts;
+      tc "comm edges" test_comm_edges;
     ] )

@@ -140,6 +140,34 @@ let test_latency_function () =
       check_int "self" 0 (Os.latency os ~src:1 ~dst:1);
       check_bool "measured positive" true (Os.latency os ~src:0 ~dst:3 > 0))
 
+let test_comm_profile_placement () =
+  run_os ~plat:Mk_hw.Platform.amd_4x4 (fun os ->
+      (* Profiling starts after boot, so only our traffic is on the books.
+         Each ping is one request send and one reply send. *)
+      let recorder = Os.start_comm_profile os in
+      let mon = Os.monitor os ~core:0 in
+      ignore (Monitor.ping mon 5 : int);
+      ignore (Monitor.ping mon 5 : int);
+      ignore (Monitor.ping mon 2 : int);
+      let edges = Os.stop_comm_profile os recorder in
+      check_bool "0->5 twice" true (List.mem (0, 5, 2) edges);
+      check_bool "5->0 twice" true (List.mem (5, 0, 2) edges);
+      check_bool "0->2 once" true (List.mem (0, 2, 1) edges);
+      (* Once stopped, later traffic is not recorded. *)
+      ignore (Monitor.ping mon 2 : int);
+      check_bool "stopped" true (Os.stop_comm_profile os recorder = edges);
+      (* Close the loop: thread comm graph -> SKB facts -> placement. The
+         chatty chain of four fits one package and must land on one. *)
+      Os.assert_comm_edges os [ (0, 1, 80); (1, 2, 60); (2, 3, 40) ];
+      let place = Os.comm_placement os ~threads:4 in
+      let pkg c = Mk_hw.Platform.package_of (Os.platform os) c in
+      check_int "distinct cores" 4
+        (List.length (List.sort_uniq compare (Array.to_list place)));
+      check_bool "chain co-packaged" true
+        (pkg place.(0) = pkg place.(1)
+        && pkg place.(1) = pkg place.(2)
+        && pkg place.(2) = pkg place.(3)))
+
 let suite =
   ( "threads-os",
     [
@@ -152,4 +180,5 @@ let suite =
       tc "name service" test_name_service;
       tc "flounder rpc" test_flounder_rpc;
       tc "latency function" test_latency_function;
+      tc "comm profile placement" test_comm_profile_placement;
     ] )

@@ -132,6 +132,139 @@ let qcheck_triangle_inequality =
       done;
       !ok)
 
+(* Independent reference: dense all-pairs BFS with ascending-neighbor
+   tie-breaking, the algorithm the pre-closed-form implementation ran for
+   every source eagerly. The sub-quadratic paths (closed forms, lazy
+   rows) must answer identically. *)
+let ref_rows ~n ~links =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    links;
+  let adj = Array.map (List.sort_uniq compare) adj in
+  Array.init n (fun s ->
+      let dist = Array.make n max_int and next = Array.make n (-1) in
+      dist.(s) <- 0;
+      next.(s) <- s;
+      let q = Queue.create () in
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if dist.(v) = max_int then begin
+              dist.(v) <- dist.(u) + 1;
+              next.(v) <- (if u = s then v else next.(u));
+              Queue.add v q
+            end)
+          adj.(u)
+      done;
+      (dist, next))
+
+let check_matches_reference name t ~links =
+  let n = Topology.n_nodes t in
+  let rows = ref_rows ~n ~links in
+  for s = 0 to n - 1 do
+    let dist, next = rows.(s) in
+    for d = 0 to n - 1 do
+      check_int (Printf.sprintf "%s hops %d->%d" name s d) dist.(d) (Topology.hops t s d);
+      check_int
+        (Printf.sprintf "%s next %d->%d" name s d)
+        next.(d) (Topology.next_hop t s d)
+    done
+  done;
+  (* Link enumeration must match the normalized sorted set. *)
+  let want =
+    List.map (fun (a, b) -> (min a b, max a b)) links
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  Alcotest.(check (array (pair int int))) (name ^ " links") want (Topology.links t);
+  (* Diameter = the largest distance anywhere. *)
+  let dm = ref 0 in
+  Array.iter (fun (dist, _) -> Array.iter (fun d -> if d > !dm then dm := d) dist) rows;
+  check_int (name ^ " diameter") !dm (Topology.diameter t)
+
+let complete_links n =
+  List.concat (List.init n (fun i -> List.init (n - 1 - i) (fun k -> (i, i + 1 + k))))
+
+let tree_links n = List.init (n - 1) (fun k -> ((k + 1 - 1) / 2, k + 1))
+
+let mesh_links n side =
+  List.concat
+    (List.init n (fun p ->
+         let right = if (p mod side) + 1 < side && p + 1 < n then [ (p, p + 1) ] else [] in
+         let down = if p + side < n then [ (p, p + side) ] else [] in
+         right @ down))
+
+(* Closed-form families at boundary sizes: n = 1, 2, and awkward
+   non-powers-of-two (ragged mesh rows, lopsided trees). *)
+let test_closed_forms_match_bfs () =
+  List.iter
+    (fun n ->
+      check_matches_reference
+        (Printf.sprintf "complete n=%d" n)
+        (Topology.fully_connected ~n) ~links:(complete_links n);
+      check_matches_reference
+        (Printf.sprintf "tree n=%d" n)
+        (Topology.tree ~n) ~links:(tree_links n))
+    [ 1; 2; 3; 5; 6; 7; 12; 13; 31; 33 ];
+  List.iter
+    (fun (n, side) ->
+      check_matches_reference
+        (Printf.sprintf "mesh n=%d side=%d" n side)
+        (Topology.mesh ~n ~side) ~links:(mesh_links n side))
+    [ (1, 1); (2, 2); (2, 1); (6, 3); (7, 3); (9, 3); (11, 4); (16, 4) ]
+
+(* The large platform constructors route through these shapes; pin that
+   their topologies match a from-links build (Irregular lazy rows). *)
+let test_synthetic_platforms_match () =
+  List.iter
+    (fun plat ->
+      let topo = plat.Platform.topo in
+      let links = Array.to_list (Topology.links topo) in
+      check_matches_reference plat.Platform.name topo ~links)
+    [
+      Platform.synthetic_tree ~packages:17 ~cores_per_package:4;
+      Platform.synthetic_mesh ~packages:13 ~cores_per_package:4;
+      Platform.synthetic_bands ~bands:3 ~packages_per_band:4 ~cores_per_package:2;
+    ]
+
+let qcheck_routing_matches_dense_bfs =
+  qtest "lazy/closed-form routing = dense all-pairs BFS" ~count:120
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 0x3FFFFFFF))
+    (fun (n, seed) ->
+      (* Deterministic random connected graph: a random spanning tree plus
+         a few random extra edges, from a local LCG. *)
+      let state = ref seed in
+      let rand m =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod m
+      in
+      let tree = List.init (n - 1) (fun k -> (rand (k + 1), k + 1)) in
+      let extra =
+        if n < 2 then []
+        else
+          List.filter_map
+            (fun _ ->
+              let a = rand n and b = rand n in
+              if a = b then None else Some (min a b, max a b))
+            (List.init (rand (n + 1)) Fun.id)
+      in
+      let links = tree @ extra in
+      let t = Topology.create ~n ~links in
+      let rows = ref_rows ~n ~links in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let dist, next = rows.(s) in
+        for d = 0 to n - 1 do
+          if Topology.hops t s d <> dist.(d) || Topology.next_hop t s d <> next.(d) then
+            ok := false
+        done
+      done;
+      !ok)
+
 let suite =
   ( "topology",
     [
@@ -143,6 +276,9 @@ let suite =
       tc "duplicate links" test_duplicate_links_ignored;
       tc "contiguous partition" test_contiguous_partition;
       tc "min cross latency" test_min_cross_latency;
+      tc "closed forms match dense BFS" test_closed_forms_match_bfs;
+      tc "synthetic platforms match dense BFS" test_synthetic_platforms_match;
       qcheck_min_cross_latency_is_min;
       qcheck_triangle_inequality;
+      qcheck_routing_matches_dense_bfs;
     ] )
