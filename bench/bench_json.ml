@@ -1,4 +1,4 @@
-(* Reader/writer for BENCH_sim.json (schema bench_sim/v6).
+(* Reader/writer for BENCH_sim.json (schema bench_sim/v7).
 
    The file is both produced and consumed here, so instead of pulling in a
    JSON library the reader line-matches the exact shape the writer emits
@@ -39,7 +39,14 @@
    bench swept (the cluster bench's scale knob: smoke runs 2 machines,
    the default sweep 8). Different sweeps cost wildly different event
    counts, so compare.ml skips mismatches like mode/shards. 0 = not a
-   cluster sweep (every other bench, and pre-v6 entries). *)
+   cluster sweep (every other bench, and pre-v6 entries).
+
+   v7 additions: [wire_batches]/[wire_msgs] — inter-machine wire-link
+   traffic in coalescable flush groups and the frames inside them
+   (Machine_link counts both whether or not batching is enabled, so the
+   figures are identical batched and under MK_NO_WIRE_BATCH=1). The ratio
+   msgs/batches is the wire coalescing factor the batching layer exploits.
+   0/0 = the bench drove no wire links (or pre-v7 entry). *)
 
 type gc = { minor_words : float; promoted_words : float; major_collections : int }
 
@@ -52,6 +59,8 @@ type entry = {
   barriers : int;  (* PDES window barriers; 0 = did not run sharded *)
   shards : int;  (* PDES shard count (high-water); 0 = unsharded/unknown *)
   cluster_machines : int;  (* largest cluster swept; 0 = not a cluster sweep *)
+  wire_batches : int;  (* coalescable wire flush groups; 0 = no wire links *)
+  wire_msgs : int;  (* frames inside those groups *)
   mode : string;  (* "serial" | "pool" | "pdes" *)
   gc : gc option;
   jobs : int;  (* harness -j when this entry was recorded; 0 = unknown *)
@@ -60,6 +69,41 @@ type entry = {
 let mode_of_jobs jobs = if jobs > 1 then "pool" else "serial"
 
 let rate e = if e.wall_s > 0.0 then float_of_int e.events /. e.wall_s else 0.0
+
+let parse_line_v7 line =
+  match
+    Scanf.sscanf line
+      " {%S: %S, %S: %f, %S: %d, %S: %d, %S: %d, %S: %f, %S: %f, %S: %f, %S: %d, %S: %d, \
+       %S: %S, %S: %d, %S: %d, %S: %d, %S: %d, %S: %d"
+      (fun k1 name k2 wall_s k3 events k4 executed k5 fused _k6 _rate k7 minor k8 promoted
+           k9 major k10 jobs k11 mode k12 barriers k13 shards k14 cluster_machines
+           k15 wire_batches k16 wire_msgs ->
+        if
+          k1 = "name" && k2 = "wall_s" && k3 = "events" && k4 = "executed" && k5 = "fused"
+          && k7 = "minor_words" && k8 = "promoted_words" && k9 = "major_collections"
+          && k10 = "jobs" && k11 = "mode" && k12 = "barriers" && k13 = "shards"
+          && k14 = "cluster_machines" && k15 = "wire_batches" && k16 = "wire_msgs"
+        then
+          Some
+            {
+              name;
+              wall_s;
+              events;
+              executed;
+              fused;
+              barriers;
+              shards;
+              cluster_machines;
+              wire_batches;
+              wire_msgs;
+              mode;
+              gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
+              jobs;
+            }
+        else None)
+  with
+  | entry -> entry
+  | exception _ -> None
 
 let parse_line_v6 line =
   match
@@ -84,6 +128,8 @@ let parse_line_v6 line =
               barriers;
               shards;
               cluster_machines;
+              wire_batches = 0;
+              wire_msgs = 0;
               mode;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
@@ -115,6 +161,8 @@ let parse_line_v5 line =
               barriers;
               shards;
               cluster_machines = 0;
+              wire_batches = 0;
+              wire_msgs = 0;
               mode;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
@@ -146,6 +194,8 @@ let parse_line_v4 line =
               barriers;
               shards = 0;
               cluster_machines = 0;
+              wire_batches = 0;
+              wire_msgs = 0;
               mode;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
@@ -176,6 +226,8 @@ let parse_line_v3 line =
               barriers = 0;
               shards = 0;
               cluster_machines = 0;
+              wire_batches = 0;
+              wire_msgs = 0;
               mode = mode_of_jobs jobs;
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs;
@@ -204,6 +256,8 @@ let parse_line_v2 line =
               barriers = 0;
               shards = 0;
               cluster_machines = 0;
+              wire_batches = 0;
+              wire_msgs = 0;
               mode = "serial";
               gc = Some { minor_words = minor; promoted_words = promoted; major_collections = major };
               jobs = 0;
@@ -227,6 +281,8 @@ let parse_line_v1 line =
               barriers = 0;
               shards = 0;
               cluster_machines = 0;
+              wire_batches = 0;
+              wire_msgs = 0;
               mode = "serial";
               gc = None;
               jobs = 0;
@@ -237,6 +293,9 @@ let parse_line_v1 line =
   | exception _ -> None
 
 let parse_line line =
+  match parse_line_v7 line with
+  | Some e -> Some e
+  | None ->
   match parse_line_v6 line with
   | Some e -> Some e
   | None ->
@@ -279,7 +338,7 @@ let write path ~jobs entries =
   let oc = open_out path in
   let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
   let total_events = List.fold_left (fun a e -> a + e.events) 0 entries in
-  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v6\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "{\n  \"schema\": \"bench_sim/v7\",\n  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"benches\": [\n";
   List.iteri
     (fun i e ->
@@ -292,9 +351,10 @@ let write path ~jobs entries =
         "    {\"name\": %S, \"wall_s\": %.6f, \"events\": %d, \"executed\": %d, \"fused\": \
          %d, \"events_per_sec\": %.0f, \"minor_words\": %.0f, \"promoted_words\": %.0f, \
          \"major_collections\": %d, \"jobs\": %d, \"mode\": %S, \"barriers\": %d, \
-         \"shards\": %d, \"cluster_machines\": %d}%s\n"
+         \"shards\": %d, \"cluster_machines\": %d, \"wire_batches\": %d, \"wire_msgs\": %d}%s\n"
         e.name e.wall_s e.events e.executed e.fused (rate e) g.minor_words g.promoted_words
         g.major_collections e.jobs e.mode e.barriers e.shards e.cluster_machines
+        e.wire_batches e.wire_msgs
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Printf.fprintf oc "  ],\n";

@@ -91,7 +91,11 @@ let json_path = "CLUSTER_sim.json"
 
 let write_json results =
   let oc = open_out json_path in
-  Printf.fprintf oc "{\n  \"schema\": \"cluster_sim/v1\",\n  \"cells\": [\n";
+  (* v2 adds per-cell [wire_batches]/[wire_msgs]: coalescable wire flush
+     groups and the frames inside them. Machine_link counts both whether
+     or not batching is on, so the JSON stays byte-identical under
+     MK_NO_WIRE_BATCH=1 — the wire-batch referee diffs this file. *)
+  Printf.fprintf oc "{\n  \"schema\": \"cluster_sim/v2\",\n  \"cells\": [\n";
   let last = List.length results - 1 in
   List.iteri
     (fun i (c, r) ->
@@ -100,7 +104,8 @@ let write_json results =
          \"window\": %d, \"users_started\": %d, \"offered\": %d, \"offered_rps\": \
          %.0f, \"completed\": %d, \"shed\": %d, \"throughput_rps\": %.0f, \"p50\": \
          %d, \"p99\": %d, \"p999\": %d, \"max\": %d, \"mean\": %.1f, \
-         \"inter_frames\": %d, \"inter_bytes\": %d, \"intra_msgs\": %d, \
+         \"inter_frames\": %d, \"inter_bytes\": %d, \"wire_batches\": %d, \
+         \"wire_msgs\": %d, \"intra_msgs\": %d, \
          \"intra_bytes\": %d, \"session_entries\": %d}%s\n"
         c.c_machines
         (Lb.policy_name c.c_policy)
@@ -108,7 +113,8 @@ let write_json results =
         r.Cluster.r_offered_rps r.Cluster.r_completed r.Cluster.r_shed
         r.Cluster.r_throughput_rps r.Cluster.r_p50 r.Cluster.r_p99 r.Cluster.r_p999
         r.Cluster.r_max r.Cluster.r_mean r.Cluster.r_inter_frames
-        r.Cluster.r_inter_bytes r.Cluster.r_intra_msgs r.Cluster.r_intra_bytes
+        r.Cluster.r_inter_bytes r.Cluster.r_wire_batches r.Cluster.r_wire_msgs
+        r.Cluster.r_intra_msgs r.Cluster.r_intra_bytes
         r.Cluster.r_session_entries
         (if i = last then "" else ","))
     results;

@@ -50,6 +50,8 @@ type timing = {
   fused : int;  (* latency charges coalesced away by Engine.charge *)
   barriers : int;  (* PDES window barriers (0 unless the bench sharded) *)
   shards : int;  (* PDES shard count, high-water (0 unless the bench sharded) *)
+  wire_batches : int;  (* coalescable wire flush groups (0: no wire links) *)
+  wire_msgs : int;  (* frames inside those groups *)
   minor_words : float;
   promoted_words : float;
   major_collections : int;
@@ -70,6 +72,8 @@ let instrumented name f () =
   let ev0 = Pool.total_executed () in
   let fu0 = Pool.total_fused () in
   let ba0 = Pool.total_barriers () in
+  let wb0 = Pool.total_wire_batches () in
+  let wm0 = Pool.total_wire_msgs () in
   let mi0 = Pool.total_minor_words () in
   let pr0 = Pool.total_promoted_words () in
   let ma0 = Pool.total_major_collections () in
@@ -83,6 +87,8 @@ let instrumented name f () =
     fused = Pool.total_fused () - fu0;
     barriers = Pool.total_barriers () - ba0;
     shards;
+    wire_batches = Pool.total_wire_batches () - wb0;
+    wire_msgs = Pool.total_wire_msgs () - wm0;
     minor_words = Pool.total_minor_words () -. mi0;
     promoted_words = Pool.total_promoted_words () -. pr0;
     major_collections = Pool.total_major_collections () - ma0;
@@ -136,6 +142,8 @@ let report ~jobs ~timings ~harness_wall =
           shards = t.shards;
           cluster_machines =
             (if t.name = "cluster" then Cluster_bench.reported_machines () else 0);
+          wire_batches = t.wire_batches;
+          wire_msgs = t.wire_msgs;
           mode = mode ~jobs t;
           gc =
             Some

@@ -26,10 +26,44 @@ let status_text = function
   | 500 -> "Internal Server Error"
   | _ -> "Status"
 
+(* Response template fragments. [format_response] and [response_length_of]
+   both read these, so the emitted bytes and the computed length cannot
+   drift apart. *)
+let resp_pre = "HTTP/1.1 "
+let resp_server = "\r\nServer: mk-httpd/0.1\r\nContent-Type: "
+let resp_clen = "\r\nContent-Length: "
+let resp_close = "\r\nConnection: close\r\n\r\n"
+
+(* Length of [string_of_int n], for all ints. Counts on the negative side
+   so [min_int] (which has no positive image) is handled. *)
+let digits n =
+  let rec go n acc = if n > -10 then acc else go (n / 10) (acc + 1) in
+  if n >= 0 then go (-n) 1 else 1 + go n 1
+
+let response_fixed =
+  String.length resp_pre + 1 (* space after the status code *)
+  + String.length resp_server + String.length resp_clen
+  + String.length resp_close
+
+let response_length_of ~status ~content_type ~body_len =
+  response_fixed + digits status
+  + String.length (status_text status)
+  + String.length content_type + digits body_len + body_len
+
 let format_response r =
-  Printf.sprintf
-    "HTTP/1.1 %d %s\r\nServer: mk-httpd/0.1\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-    r.status (status_text r.status) r.content_type (String.length r.body) r.body
+  String.concat ""
+    [
+      resp_pre;
+      string_of_int r.status;
+      " ";
+      status_text r.status;
+      resp_server;
+      r.content_type;
+      resp_clen;
+      string_of_int (String.length r.body);
+      resp_close;
+      r.body;
+    ]
 
 let parse_request head =
   match String.index_opt head '\r' with
@@ -40,29 +74,60 @@ let parse_request head =
      | [ meth; path; _version ] -> Some (meth, path)
      | _ -> None)
 
+(* Incremental header scanner. Messages arrive as TCP segments; finding
+   the blank line by rescanning the whole buffer per chunk is quadratic in
+   the number of segments. The scanner remembers how far it has looked
+   ([pos]) and resumes there, backing up 3 bytes on a miss in case the
+   CRLFCRLF straddles a chunk boundary — each byte is examined O(1)
+   times no matter how the message is fragmented. *)
+module Scan = struct
+  type t = { b : Buffer.t; mutable pos : int }
+
+  let create () = { b = Buffer.create 256; pos = 0 }
+  let add t s = Buffer.add_string t.b s
+  let pos t = t.pos
+  let length t = Buffer.length t.b
+  let contents t = Buffer.contents t.b
+  let sub t off len = Buffer.sub t.b off len
+
+  let header_end t =
+    let len = Buffer.length t.b in
+    let i = ref t.pos in
+    let found = ref (-1) in
+    while !found < 0 && !i + 3 < len do
+      if
+        Buffer.nth t.b !i = '\r'
+        && Buffer.nth t.b (!i + 1) = '\n'
+        && Buffer.nth t.b (!i + 2) = '\r'
+        && Buffer.nth t.b (!i + 3) = '\n'
+      then found := !i + 4
+      else incr i
+    done;
+    if !found >= 0 then begin
+      t.pos <- !found;
+      Some !found
+    end
+    else begin
+      (* [max t.pos]: keep the offset monotonic even when a previous call
+         already found a header end within the last 3 buffered bytes. *)
+      t.pos <- Stdlib.max t.pos (len - 3);
+      None
+    end
+end
+
 (* Pull TCP segments until the head of the request (through the blank
    line) has arrived. *)
 let read_head conn =
-  let buf = Buffer.create 256 in
+  let sc = Scan.create () in
   let rec go () =
-    let contains_blank () =
-      let s = Buffer.contents buf in
-      let rec scan i =
-        if i + 3 >= String.length s then false
-        else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
-        then true
-        else scan (i + 1)
-      in
-      scan 0
-    in
-    if contains_blank () then Some (Buffer.contents buf)
-    else begin
+    match Scan.header_end sc with
+    | Some _ -> Some (Scan.contents sc)
+    | None -> (
       match Tcp_lite.recv conn with
       | "" -> None  (* EOF before a full request *)
       | chunk ->
-        Buffer.add_string buf chunk;
-        go ()
-    end
+        Scan.add sc chunk;
+        go ())
   in
   go ()
 
@@ -92,72 +157,79 @@ let start_server stack ~port handler =
       in
       accept_loop ())
 
+(* Case-insensitive Content-Length scan over the header block, without
+   the [String.lowercase_ascii] copy of the whole head. Missing header —
+   or one with no digits — reads as 0. *)
+let content_length_of head =
+  let lc c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c in
+  let key = "content-length:" in
+  let klen = String.length key and hlen = String.length head in
+  let rec matches i j =
+    j >= klen || (lc head.[i + j] = key.[j] && matches i (j + 1))
+  in
+  let rec find i =
+    if i + klen > hlen then 0
+    else if matches i 0 then begin
+      let j = ref (i + klen) in
+      while !j < hlen && head.[!j] = ' ' do
+        incr j
+      done;
+      let v = ref 0 and k = ref !j in
+      while !k < hlen && head.[!k] >= '0' && head.[!k] <= '9' do
+        v := (!v * 10) + (Char.code head.[!k] - Char.code '0');
+        incr k
+      done;
+      !v
+    end
+    else find (i + 1)
+  in
+  find 0
+
 (* Client side: read a full response (headers + Content-Length body). *)
 let read_response conn =
-  let buf = Buffer.create 4096 in
-  let header_end s =
-    let rec scan i =
-      if i + 3 >= String.length s then None
-      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
-        Some (i + 4)
-      else scan (i + 1)
-    in
-    scan 0
-  in
+  let sc = Scan.create () in
   let rec read_until_headers () =
-    match header_end (Buffer.contents buf) with
+    match Scan.header_end sc with
     | Some off -> Some off
-    | None ->
-      (match Tcp_lite.recv conn with
-       | "" -> None
-       | chunk ->
-         Buffer.add_string buf chunk;
-         read_until_headers ())
+    | None -> (
+      match Tcp_lite.recv conn with
+      | "" -> None
+      | chunk ->
+        Scan.add sc chunk;
+        read_until_headers ())
   in
   match read_until_headers () with
   | None -> None
   | Some body_off ->
-    let s = Buffer.contents buf in
-    let head = String.sub s 0 body_off in
+    let head = Scan.sub sc 0 body_off in
     let status =
-      match String.split_on_char ' ' head with
-      | _ :: code :: _ -> (try int_of_string code with _ -> 0)
-      | _ -> 0
+      (* Second token of the status line, "HTTP/1.1 <code> <text>". *)
+      match String.index_opt head ' ' with
+      | None -> 0
+      | Some sp ->
+        let e =
+          match String.index_from_opt head (sp + 1) ' ' with
+          | Some e -> e
+          | None -> String.length head
+        in
+        (try int_of_string (String.sub head (sp + 1) (e - sp - 1)) with _ -> 0)
     in
-    let content_length =
-      let lower = String.lowercase_ascii head in
-      let key = "content-length:" in
-      let rec find i =
-        if i + String.length key > String.length lower then 0
-        else if String.sub lower i (String.length key) = key then begin
-          let j = ref (i + String.length key) in
-          while !j < String.length lower && lower.[!j] = ' ' do incr j done;
-          let k = ref !j in
-          while !k < String.length lower && lower.[!k] >= '0' && lower.[!k] <= '9' do
-            incr k
-          done;
-          int_of_string (String.sub lower !j (!k - !j))
-        end
-        else find (i + 1)
-      in
-      find 0
-    in
+    let content_length = content_length_of head in
     let rec read_body () =
-      if Buffer.length buf - body_off >= content_length then
-        Some (status, String.sub (Buffer.contents buf) body_off content_length)
+      if Scan.length sc - body_off >= content_length then
+        Some (status, Scan.sub sc body_off content_length)
       else
         match Tcp_lite.recv conn with
-        | "" -> Some (status, String.sub (Buffer.contents buf) body_off
-                        (Buffer.length buf - body_off))
+        | "" -> Some (status, Scan.sub sc body_off (Scan.length sc - body_off))
         | chunk ->
-          Buffer.add_string buf chunk;
+          Scan.add sc chunk;
           read_body ()
     in
     read_body ()
 
 let fetch stack ~server_ip ~port ~path =
   let conn = Stack.tcp_connect stack ~dst_ip:server_ip ~dst_port:port in
-  Tcp_lite.send conn (Printf.sprintf "GET %s HTTP/1.1\r\nHost: sim\r\n\r\n" path);
+  Tcp_lite.send conn (String.concat "" [ "GET "; path; " HTTP/1.1\r\nHost: sim\r\n\r\n" ]);
   let r = read_response conn in
   Tcp_lite.close conn;
   r

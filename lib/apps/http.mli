@@ -33,6 +33,41 @@ val parse_request : string -> (string * string) option
 
 val format_response : response -> string
 
+val digits : int -> int
+(** [digits n] is [String.length (string_of_int n)], without building the
+    string. Defined for every int, including [min_int]. *)
+
+val response_length_of : status:int -> content_type:string -> body_len:int -> int
+(** Length in bytes of {!format_response} for a response with these
+    fields, computed arithmetically from the same template fragments the
+    formatter emits — so wire sizes can be modeled without materializing
+    the response string. Pinned to [String.length (format_response r)] by
+    tests. *)
+
+(** Incremental CRLFCRLF scanner for chunked message reassembly.
+
+    {!header_end} resumes from where the previous call stopped looking
+    (backing up 3 bytes on a miss, in case the blank line straddles a
+    chunk boundary), so feeding a message in segments scans each byte
+    O(1) times instead of rescanning the whole buffer per segment.
+    Exposed for tests. *)
+module Scan : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> unit
+
+  val pos : t -> int
+  (** Resume offset of the next {!header_end} scan (monotonic). *)
+
+  val length : t -> int
+  val contents : t -> string
+  val sub : t -> int -> int -> string
+
+  val header_end : t -> int option
+  (** Offset just past the first ["\r\n\r\n"], once buffered. *)
+end
+
 val fetch :
   Mk_net.Stack.t -> server_ip:int -> port:int -> path:string -> (int * string) option
 (** One closed-loop client request: connect, GET, read full response,

@@ -24,7 +24,10 @@ type t = {
   t_end : int;  (* last instant a (re-)arrival may be issued *)
   w_start : int;
   w_end : int;
-  pending : (int, int) Hashtbl.t;  (* rq_id -> issue time *)
+  (* rq_id -> issue time. Ids are non-negative and issue times >= 0, so
+     [-1] is the absent sentinel; probed and updated allocation-free on
+     every request and reply. *)
+  pending : int Mk_hw.Inttbl.t;
   hist : Stats.Histogram.t;
   mutable next_id : int;
   mutable issued : int;
@@ -43,17 +46,17 @@ let issue t ~session =
   let now = Engine.now_ () in
   t.issued <- t.issued + 1;
   if now >= t.w_start && now < t.w_end then t.offered <- t.offered + 1;
-  Hashtbl.replace t.pending id now;
+  Mk_hw.Inttbl.set t.pending id now;
   t.send { Serve.rq_id = id; rq_session = session }
 
 (* Link-rx entry point: runs outside any task context at reply delivery
    time; the closed-loop re-arrival is armed with [schedule_at] and issues
    from a fresh (tiny) task. *)
 let on_reply t (rp : Serve.reply) =
-  match Hashtbl.find_opt t.pending rp.rp_id with
-  | None -> ()
-  | Some issued_at ->
-    Hashtbl.remove t.pending rp.rp_id;
+  let issued_at = Mk_hw.Inttbl.find_or t.pending rp.rp_id (-1) in
+  if issued_at < 0 then ()
+  else begin
+    Mk_hw.Inttbl.remove t.pending rp.rp_id;
     let now = Engine.now t.eng in
     let in_window = now >= t.w_start && now < t.w_end in
     if rp.rp_rejected then begin
@@ -72,6 +75,7 @@ let on_reply t (rp : Serve.reply) =
       Engine.schedule_at t.eng ~at (fun () ->
           Engine.spawn t.eng ~name:"lg.user" (fun () ->
               issue t ~session:rp.rp_session))
+  end
 
 let start ~eng ~send ~users ~think ~t_start ~t_end ~w_start ~w_end () =
   if users < 1 || think < 1 then invalid_arg "Loadgen.start";
@@ -84,7 +88,7 @@ let start ~eng ~send ~users ~think ~t_start ~t_end ~w_start ~w_end () =
       t_end;
       w_start;
       w_end;
-      pending = Hashtbl.create 1024;
+      pending = Mk_hw.Inttbl.create ~initial_bits:10 ~dummy:(-1) ();
       hist = Stats.Histogram.create ();
       next_id = 0;
       issued = 0;
@@ -119,5 +123,5 @@ let completed t = t.completed
 let shed t = t.shed
 let completed_total t = t.completed_total
 let shed_total t = t.shed_total
-let in_flight t = Hashtbl.length t.pending
+let in_flight t = Mk_hw.Inttbl.length t.pending
 let users_started t = t.users_started

@@ -3,14 +3,22 @@
 
    Requests arrive from the load balancer over an inter-machine link as
    compact [request] records (the wire bytes are modeled, not carried).
-   The front (driver) core reconstructs the HTTP request head, parses it
-   with the real {!Http} parser and charges the same per-character cost
-   as the single-machine web stack, then reaches the session's owner core
-   over the per-core sharded {!Mk.Session} service (URPC), where the
-   handler cost is charged and the session table updated — no session
-   state is ever shared between cores. The response is formatted with
-   {!Http.format_response} so the reply's wire size is the real payload
-   size. *)
+   The front (driver) core charges the same per-character parse cost as
+   the single-machine web stack for the request head it would
+   reconstruct, then reaches the session's owner core over the per-core
+   sharded {!Mk.Session} service (URPC), where the handler cost is
+   charged and the session table updated — no session state is ever
+   shared between cores. The reply's wire size is the byte length of the
+   exact {!Http.format_response} output for the handler's response.
+
+   Hot-path note: head and body lengths are computed arithmetically
+   ([Http.digits] over the template fragments below) instead of
+   sprintf-ing the strings and measuring them — the simulated costs and
+   wire sizes are identical, but the host allocates nothing per request
+   here. Equivalence with the string-building formulation is pinned by
+   tests. The [request]/[reply] records themselves still allocate: they
+   cross the PDES shard cut to another domain, so a per-backend freelist
+   would race with the consumer. *)
 
 open Mk_sim
 open Mk_hw
@@ -61,41 +69,36 @@ type t = {
   mutable served : int;
 }
 
+(* Fixed bytes of "GET /session/<id> HTTP/1.1\r\nHost: cluster\r\n\r\n"
+   and of "session <id>: <hits> hits (machine <b> core <c>)\n". *)
+let head_fixed =
+  String.length "GET /session/" + String.length " HTTP/1.1\r\nHost: cluster\r\n\r\n"
+
+let body_fixed =
+  String.length "session " + String.length ": "
+  + String.length " hits (machine "
+  + String.length " core " + String.length ")\n"
+
 let handle t rq =
   let m = Os.machine t.os in
-  let head =
-    Printf.sprintf "GET /session/%d HTTP/1.1\r\nHost: cluster\r\n\r\n" rq.rq_session
-  in
+  let head_len = head_fixed + Http.digits rq.rq_session in
   Machine.compute m ~core:t.front
-    (front_cost + (String.length head * Http.parse_cost_per_char));
-  let resp =
-    match Http.parse_request head with
-    | Some ("GET", path) ->
-      let session =
-        match String.rindex_opt path '/' with
-        | Some i ->
-          (try int_of_string (String.sub path (i + 1) (String.length path - i - 1))
-           with _ -> rq.rq_session)
-        | None -> rq.rq_session
-      in
-      let r = Session.call t.session ~session ~work:Http.handler_overhead in
-      ( Http.ok_html
-          (Printf.sprintf "session %d: %d hits (machine %d core %d)\n" session
-             r.Session.rs_hits t.backend_id r.Session.rs_core),
-        r )
-    | _ -> (Http.not_found, { Session.rs_hits = 0; rs_core = t.front })
+    (front_cost + (head_len * Http.parse_cost_per_char));
+  let r = Session.call t.session ~session:rq.rq_session ~work:Http.handler_overhead in
+  let body_len =
+    body_fixed + Http.digits rq.rq_session + Http.digits r.Session.rs_hits
+    + Http.digits t.backend_id + Http.digits r.Session.rs_core
   in
-  let http, sr = resp in
   t.served <- t.served + 1;
   t.reply_fn
     {
       rp_id = rq.rq_id;
       rp_session = rq.rq_session;
-      rp_status = http.Http.status;
-      rp_hits = sr.Session.rs_hits;
-      rp_core = sr.Session.rs_core;
+      rp_status = 200;
+      rp_hits = r.Session.rs_hits;
+      rp_core = r.Session.rs_core;
       rp_backend = t.backend_id;
-      rp_bytes = String.length (Http.format_response http);
+      rp_bytes = Http.response_length_of ~status:200 ~content_type:"text/html" ~body_len;
       rp_rejected = false;
     }
 

@@ -64,8 +64,12 @@ type backend = {
   b_serve : Serve.t;
   b_down : Serve.request Machine_link.t;  (* LB -> backend *)
   b_up : Serve.reply Machine_link.t;  (* backend -> LB *)
-  b_queue : Serve.request Queue.t;  (* held at the LB for a free slot *)
+  b_queue : Serve.request Ring.t;  (* held at the LB for a free slot *)
 }
+
+(* Ring dummies: never routed, only fill dead slots. *)
+let no_request = { Serve.rq_id = -1; rq_session = 0 }
+let no_reply = Serve.rejected ~id:(-1) ~session:0
 
 type t = {
   cfg : config;
@@ -73,7 +77,7 @@ type t = {
   lb_os : Os.t;
   lb : Lb.t;
   lb_box : lb_msg Sync.Mailbox.t;
-  pending_replies : Serve.reply Queue.t;
+  pending_replies : Serve.reply Ring.t;
   backends : backend array;
   client : Machine.t;
   c2lb : Serve.request Machine_link.t;
@@ -98,26 +102,26 @@ let forward t b rq =
 let route t rq =
   if Engine.now_ () > t.t_stop then reject t rq
   else
-    match Lb.pick t.lb ~session:rq.Serve.rq_session with
-    | None -> reject t rq
-    | Some bi ->
+    match Lb.pick_idx t.lb ~session:rq.Serve.rq_session with
+    | -1 -> reject t rq
+    | bi ->
       let b = t.backends.(bi) in
       if Lb.outstanding t.lb bi < t.cfg.max_outstanding then forward t b rq
-      else if Queue.length b.b_queue < t.cfg.queue_cap then Queue.push rq b.b_queue
+      else if Ring.length b.b_queue < t.cfg.queue_cap then Ring.push b.b_queue rq
       else reject t rq
 
 (* A reply freed a slot on [bi]: shed anything the stop time overtook,
    then fill the slot from the hold queue. *)
 let dispatch_queued t bi =
   let b = t.backends.(bi) in
-  while (not (Queue.is_empty b.b_queue)) && Engine.now_ () > t.t_stop do
-    reject t (Queue.pop b.b_queue)
+  while (not (Ring.is_empty b.b_queue)) && Engine.now_ () > t.t_stop do
+    reject t (Ring.pop b.b_queue)
   done;
   if
-    (not (Queue.is_empty b.b_queue))
+    (not (Ring.is_empty b.b_queue))
     && Lb.alive t.lb bi
     && Lb.outstanding t.lb bi < t.cfg.max_outstanding
-  then forward t b (Queue.pop b.b_queue)
+  then forward t b (Ring.pop b.b_queue)
 
 let serving_cores plat =
   let n = Platform.n_cores plat in
@@ -133,9 +137,10 @@ let create cfg =
   (* Distinct src_id per link endpoint: the canonical cross-shard merge
      key (Pdes.send) must identify the sender uniquely. *)
   let next_src = ref 0 in
-  let link ~dst ~gbps ~latency =
+  let link ~src ~dst ~gbps ~latency =
     incr next_src;
-    Machine_link.create pdes ~dst_shard:dst ~src_id:!next_src ~ghz ~gbps ~latency ()
+    Machine_link.create pdes ~dst_shard:dst ~src_shard:src ~src_id:!next_src ~ghz ~gbps
+      ~latency ()
   in
   let lb_os =
     Os.boot ~eng:(Pdes.engine pdes 0) ~measure_latencies:Os.No_measure cfg.platform
@@ -156,14 +161,21 @@ let create cfg =
         let serve =
           match !serve with Some s -> s | None -> failwith "backend setup stalled"
         in
-        let down = link ~dst:(i + 1) ~gbps:cfg.wire_gbps ~latency:cfg.wire_latency in
-        let up = link ~dst:0 ~gbps:cfg.wire_gbps ~latency:cfg.wire_latency in
+        let down = link ~src:0 ~dst:(i + 1) ~gbps:cfg.wire_gbps ~latency:cfg.wire_latency in
+        let up = link ~src:(i + 1) ~dst:0 ~gbps:cfg.wire_gbps ~latency:cfg.wire_latency in
         Machine_link.set_rx down (fun ~bytes:_ rq -> Serve.submit serve rq);
         Serve.set_reply serve (fun rp -> Machine_link.send up ~bytes:rp.Serve.rp_bytes rp);
-        { b_id = i; b_os = os; b_serve = serve; b_down = down; b_up = up; b_queue = Queue.create () })
+        {
+          b_id = i;
+          b_os = os;
+          b_serve = serve;
+          b_down = down;
+          b_up = up;
+          b_queue = Ring.create ~dummy:no_request ();
+        })
   in
-  let c2lb = link ~dst:0 ~gbps:cfg.client_gbps ~latency:cfg.client_latency in
-  let lb2c = link ~dst:(m + 1) ~gbps:cfg.client_gbps ~latency:cfg.client_latency in
+  let c2lb = link ~src:(m + 1) ~dst:0 ~gbps:cfg.client_gbps ~latency:cfg.client_latency in
+  let lb2c = link ~src:0 ~dst:(m + 1) ~gbps:cfg.client_gbps ~latency:cfg.client_latency in
   let t =
     {
       cfg;
@@ -171,7 +183,7 @@ let create cfg =
       lb_os;
       lb = Lb.create cfg.policy ~backends:m;
       lb_box = Sync.Mailbox.create ();
-      pending_replies = Queue.create ();
+      pending_replies = Ring.create ~dummy:no_reply ();
       backends;
       client;
       c2lb;
@@ -187,7 +199,7 @@ let create cfg =
   Array.iter
     (fun b ->
       Machine_link.set_rx b.b_up (fun ~bytes:_ rp ->
-          Queue.push rp t.pending_replies;
+          Ring.push t.pending_replies rp;
           Sync.Mailbox.send t.lb_box Wake))
     backends;
   Machine_link.set_rx lb2c (fun ~bytes:_ rp -> t.client_rx rp);
@@ -196,8 +208,8 @@ let create cfg =
   let lbm = Os.machine lb_os in
   Engine.spawn lbm.Machine.eng ~name:"cluster.lb" (fun () ->
       let drain_replies () =
-        while not (Queue.is_empty t.pending_replies) do
-          let rp = Queue.pop t.pending_replies in
+        while not (Ring.is_empty t.pending_replies) do
+          let rp = Ring.pop t.pending_replies in
           Machine.compute lbm ~core:0 cfg.lb_cost;
           if rp.Serve.rp_backend >= 0 then begin
             Lb.note_done t.lb rp.Serve.rp_backend;
@@ -248,6 +260,8 @@ type result = {
   r_offered_rps : float;
   r_inter_frames : int;
   r_inter_bytes : int;
+  r_wire_batches : int;  (* coalescable flush groups across all links *)
+  r_wire_msgs : int;  (* frames inside those groups (= inter frames) *)
   r_intra_msgs : int;
   r_intra_bytes : int;
   r_session_entries : int;  (* sum of per-backend distinct sessions *)
@@ -255,11 +269,12 @@ type result = {
 }
 
 let inter_traffic t =
-  let frames = ref 0 and bytes = ref 0 in
+  let frames = ref 0 and bytes = ref 0 and batches = ref 0 in
   let count : 'a. 'a Machine_link.t -> unit =
    fun l ->
     frames := !frames + Machine_link.tx_frames l;
-    bytes := !bytes + Machine_link.tx_bytes l
+    bytes := !bytes + Machine_link.tx_bytes l;
+    batches := !batches + Machine_link.tx_batches l
   in
   count t.c2lb;
   count t.lb2c;
@@ -268,7 +283,7 @@ let inter_traffic t =
       count b.b_down;
       count b.b_up)
     t.backends;
-  (!frames, !bytes)
+  (!frames, !bytes, !batches)
 
 let intra_traffic t =
   Array.fold_left
@@ -288,10 +303,10 @@ let run_load t ~users ~think ~warmup ~window =
       ~users ~think ~t_start:base ~t_end:w_end ~w_start ~w_end ()
   in
   t.client_rx <- Loadgen.on_reply lg;
-  let if0, ib0 = inter_traffic t in
+  let if0, ib0, wb0 = inter_traffic t in
   let im0, iby0 = intra_traffic t in
   Pdes.exec t.pdes;
-  let if1, ib1 = inter_traffic t in
+  let if1, ib1, wb1 = inter_traffic t in
   let im1, iby1 = intra_traffic t in
   let h = Loadgen.hist lg in
   let secs = float_of_int window /. (t.cfg.platform.Platform.ghz *. 1e9) in
@@ -315,6 +330,8 @@ let run_load t ~users ~think ~warmup ~window =
     r_offered_rps = float_of_int (Loadgen.offered lg) /. secs;
     r_inter_frames = if1 - if0;
     r_inter_bytes = ib1 - ib0;
+    r_wire_batches = wb1 - wb0;
+    r_wire_msgs = if1 - if0;
     r_intra_msgs = im1 - im0;
     r_intra_bytes = iby1 - iby0;
     r_session_entries =

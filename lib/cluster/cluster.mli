@@ -54,6 +54,11 @@ type result = {
   r_offered_rps : float;
   r_inter_frames : int;  (** wire frames during the run (all links) *)
   r_inter_bytes : int;
+  r_wire_batches : int;
+      (** coalescable flush groups on the wire links — what batching sends
+          as one cross-shard message each; identical with batching on or
+          off (see {!Mk_net.Machine_link.tx_batches}) *)
+  r_wire_msgs : int;  (** frames inside those groups (= [r_inter_frames]) *)
   r_intra_msgs : int;  (** URPC messages inside backends during the run *)
   r_intra_bytes : int;
   r_session_entries : int;  (** distinct sessions across all shards *)

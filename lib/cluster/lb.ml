@@ -59,14 +59,16 @@ let mark_alive t b = t.alive.(b) <- true
 let note_sent t b = t.outstanding.(b) <- t.outstanding.(b) + 1
 let note_done t b = t.outstanding.(b) <- t.outstanding.(b) - 1
 
-let pick t ~session =
+(* Option-free pick for the per-request LB loop: -1 = no live backend.
+   {!pick} wraps it for callers that want the option. *)
+let pick_idx t ~session =
   match t.policy with
   | Round_robin ->
     let rec go tries i =
-      if tries = 0 then None
+      if tries = 0 then -1
       else if t.alive.(i) then begin
         t.rr_next <- (i + 1) mod t.n;
-        Some i
+        i
       end
       else go (tries - 1) ((i + 1) mod t.n)
     in
@@ -77,9 +79,9 @@ let pick t ~session =
       if t.alive.(i) && (!best < 0 || t.outstanding.(i) < t.outstanding.(!best)) then
         best := i
     done;
-    if !best < 0 then None else Some !best
+    !best
   | Consistent_hash ->
-    if not (any_alive t) then None
+    if not (any_alive t) then -1
     else begin
       let p = Mk.Session.mix session in
       let len = Array.length t.ring in
@@ -90,10 +92,12 @@ let pick t ~session =
         if fst t.ring.(mid) < p then lo := mid + 1 else hi := mid
       done;
       let rec walk steps i =
-        if steps = len then None
+        if steps = len then -1
         else
           let _, b = t.ring.(i) in
-          if t.alive.(b) then Some b else walk (steps + 1) ((i + 1) mod len)
+          if t.alive.(b) then b else walk (steps + 1) ((i + 1) mod len)
       in
       walk 0 (if !lo = len then 0 else !lo)
     end
+
+let pick t ~session = match pick_idx t ~session with -1 -> None | b -> Some b

@@ -25,6 +25,10 @@ val pick : t -> session:int -> int option
     ring point clockwise of its hash, so the death of one backend moves
     only the sessions that backend owned. *)
 
+val pick_idx : t -> session:int -> int
+(** Same choice as {!pick} without the option allocation: [-1] when every
+    backend is dead. For the LB loop's per-request path. *)
+
 val note_sent : t -> int -> unit
 val note_done : t -> int -> unit
 val outstanding : t -> int -> int

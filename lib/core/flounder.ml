@@ -69,6 +69,14 @@ let rpc b req =
       Urpc.send b.req_tx ~lines:b.req_lines (req, true);
       Urpc.recv b.resp_rx)
 
+let rpc_fill b fill =
+  (* [fill] runs under the binding lock, so a caller may mutate and return
+     a per-binding scratch request: the server consumes it before the
+     response is sent, and no second RPC can refill it earlier. *)
+  Sync.Mutex.with_lock b.lock (fun () ->
+      Urpc.send b.req_tx ~lines:b.req_lines (fill (), true);
+      Urpc.recv b.resp_rx)
+
 let rpc_async b req =
   Sync.Mutex.lock b.lock;
   Urpc.send b.req_tx ~lines:b.req_lines (req, true);

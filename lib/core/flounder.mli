@@ -33,6 +33,14 @@ val export : ('req, 'resp) binding -> ('req -> 'resp) -> unit
 val rpc : ('req, 'resp) binding -> 'req -> 'resp
 (** Synchronous call. Concurrent callers on the same binding serialize. *)
 
+val rpc_fill : ('req, 'resp) binding -> (unit -> 'req) -> 'resp
+(** Like {!rpc}, but the request is produced by [fill] after the binding
+    lock is taken. A caller that owns the binding may mutate and return a
+    single scratch request record: the binding admits one outstanding RPC,
+    and the server reads the request before the response is sent, so the
+    scratch cannot be refilled while still in use. For per-call
+    allocation-free hot paths. *)
+
 val rpc_async : ('req, 'resp) binding -> 'req -> (unit -> 'resp)
 (** Split-phase call: send now, return a function that blocks for the
     reply — the pipelining pattern of §3.1. *)

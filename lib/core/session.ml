@@ -10,15 +10,21 @@
 
 open Mk_hw
 
-type req = { rq_session : int; rq_work : int }
+type req = { mutable rq_session : int; mutable rq_work : int }
 type resp = { rs_hits : int; rs_core : int }
 
 type t = {
   os : Os.t;
   front : int;
   workers : int array;
-  tables : (int, int) Hashtbl.t array;  (* per worker: session -> hits *)
+  (* Per worker: session -> hits. Open-addressed over flat int arrays —
+     probed once per request, allocation-free. Sessions are non-negative
+     (user ids) and hit counts are >= 1, so 0 serves as the dummy. *)
+  tables : int Inttbl.t array;
   bindings : (req, resp) Flounder.binding array;
+  (* One scratch request per binding, refilled under the binding lock by
+     {!call} ({!Flounder.rpc_fill}) instead of allocating per call. *)
+  scratch : req array;
   served : int array;
   mutable calls : int;
   req_lines : int;
@@ -42,7 +48,7 @@ let start ?(req_lines = 1) ?(resp_lines = 1) os ~name ~front ~workers =
   let k = Array.length workers in
   let m = Os.machine os in
   let ns = Os.name_service os in
-  let tables = Array.init k (fun _ -> Hashtbl.create 64) in
+  let tables = Array.init k (fun _ -> Inttbl.create ~initial_bits:6 ~dummy:0 ()) in
   let served = Array.make k 0 in
   (* Each worker advertises its shard; the front discovers the owner core
      by lookup rather than trusting the construction order. *)
@@ -69,22 +75,22 @@ let start ?(req_lines = 1) ?(resp_lines = 1) os ~name ~front ~workers =
     (fun i b ->
       Flounder.export b (fun rq ->
           Machine.compute m ~core:workers.(i) rq.rq_work;
-          let hits =
-            (match Hashtbl.find_opt tables.(i) rq.rq_session with
-            | Some h -> h
-            | None -> 0)
-            + 1
-          in
-          Hashtbl.replace tables.(i) rq.rq_session hits;
+          let hits = Inttbl.find_or tables.(i) rq.rq_session 0 + 1 in
+          Inttbl.set tables.(i) rq.rq_session hits;
           served.(i) <- served.(i) + 1;
           { rs_hits = hits; rs_core = workers.(i) }))
     bindings;
-  { os; front; workers; tables; bindings; served; calls = 0; req_lines; resp_lines }
+  let scratch = Array.init k (fun _ -> { rq_session = 0; rq_work = 0 }) in
+  { os; front; workers; tables; bindings; scratch; served; calls = 0; req_lines; resp_lines }
 
 let call t ~session ~work =
   let i = worker_slot t ~session in
   t.calls <- t.calls + 1;
-  Flounder.rpc t.bindings.(i) { rq_session = session; rq_work = work }
+  Flounder.rpc_fill t.bindings.(i) (fun () ->
+      let s = t.scratch.(i) in
+      s.rq_session <- session;
+      s.rq_work <- work;
+      s)
 
 let front t = t.front
 let workers t = Array.to_list t.workers
@@ -96,11 +102,11 @@ let served_on t ~core =
 let sessions_on t ~core =
   let total = ref 0 in
   Array.iteri
-    (fun i w -> if w = core then total := !total + Hashtbl.length t.tables.(i))
+    (fun i w -> if w = core then total := !total + Inttbl.length t.tables.(i))
     t.workers;
   !total
 
-let sessions t = Array.fold_left (fun a tbl -> a + Hashtbl.length tbl) 0 t.tables
+let sessions t = Array.fold_left (fun a tbl -> a + Inttbl.length tbl) 0 t.tables
 let calls t = t.calls
 
 (* Two URPC messages per call (request + response), in cache lines. *)

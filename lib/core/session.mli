@@ -8,8 +8,11 @@
     discovers them by lookup. All state stays on one machine — the cluster
     layer replicates whole services across machines instead of sharing. *)
 
-type req = { rq_session : int; rq_work : int }
-(** [rq_work] is the handler cost in cycles, charged on the owner core. *)
+type req = { mutable rq_session : int; mutable rq_work : int }
+(** [rq_work] is the handler cost in cycles, charged on the owner core.
+    Mutable so {!call} can refill one scratch request per binding instead
+    of allocating a record per call (safe: one outstanding RPC per
+    binding, and the service never crosses a PDES shard cut). *)
 
 type resp = { rs_hits : int; rs_core : int }
 (** [rs_hits] is the session's hit count after this request; [rs_core]

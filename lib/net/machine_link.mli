@@ -9,6 +9,13 @@
     {!Mk_sim.Pdes.send} message, so cluster runs are byte-identical at any
     domain count.
 
+    Frames departing inside the same PDES window are coalesced into one
+    {!Mk_sim.Pdes.send_run} batch per link, handed over by a flush hook at
+    the exchange barrier; every frame keeps its own arrival timestamp and
+    the barrier expands the batch in canonical merge order, so batching
+    changes host cost only, never simulated output (refereed against
+    [MK_NO_WIRE_BATCH=1] in CI).
+
     One [t] is one direction; build a pair for a full-duplex wire. *)
 
 type 'a t
@@ -16,17 +23,20 @@ type 'a t
 val create :
   Mk_sim.Pdes.t ->
   dst_shard:int ->
+  src_shard:int ->
   src_id:int ->
   ghz:float ->
   ?gbps:float ->
   latency:int ->
   unit ->
   'a t
-(** [src_id] is the canonical merge key for this endpoint's messages —
-    give every link endpoint in a cluster a distinct id. [ghz] converts
-    bytes to cycles at [gbps] (default 10.0) Gbit/s; [latency] is the
-    one-way propagation delay in cycles. Raises [Invalid_argument] if
-    [latency] is below the executor's lookahead. *)
+(** [src_shard] is the sending endpoint's shard — where buffered frames
+    live and where the flush hook is registered. [src_id] is the
+    canonical merge key for this endpoint's messages — give every link
+    endpoint in a cluster a distinct id. [ghz] converts bytes to cycles
+    at [gbps] (default 10.0) Gbit/s; [latency] is the one-way propagation
+    delay in cycles. Raises [Invalid_argument] if [latency] is below the
+    executor's lookahead. *)
 
 val set_rx : 'a t -> (bytes:int -> 'a -> unit) -> unit
 (** Receive handler, run on the destination shard's engine at delivery
@@ -43,4 +53,23 @@ val send : 'a t -> bytes:int -> 'a -> unit
 
 val tx_frames : _ t -> int
 val tx_bytes : _ t -> int
+
+val tx_batches : _ t -> int
+(** Coalescable flush groups this link produced: the number of exchange
+    barriers at which the link had accepted at least one frame since the
+    previous barrier. Counted identically with batching enabled or
+    disabled (it describes the traffic shape, not the transport), so
+    referee runs agree; [tx_frames / tx_batches] is the realized
+    frames-per-batch ratio. *)
+
 val latency : _ t -> int
+
+val set_batching_override : bool option -> unit
+(** Process-wide override of wire batching, sampled when a link is
+    created: [Some false] forces per-frame sends (the referee mode),
+    [Some true] forces batching, [None] restores the [MK_NO_WIRE_BATCH]
+    environment default (batching on unless the variable is set to a
+    non-empty value other than ["0"]). *)
+
+val batching_enabled : unit -> bool
+(** The batching mode a link created now would sample. *)

@@ -28,14 +28,23 @@ type _ Effect.t +=
 exception Stalled of string
 exception Halted
 
+(* A queued event is either a plain thunk or a captured task continuation
+   to be resumed with (). Storing the continuation directly — instead of
+   wrapping it in a [fun () -> continue k ()] closure — saves one
+   allocation and one indirect call on every wait/suspend resumption,
+   which is most events the engine executes. The two cases are
+   discriminated by runtime tag: continuations are [Obj.cont_tag] blocks,
+   anything else is callable. *)
+type ev = Obj.t
+
 type t = {
   mutable now : int;
   mutable seq : int;
-  heap : (unit -> unit) Heap.t;
-  wheel : (unit -> unit) Wheel.t;
-  (* FIFO of events due at the current time: parallel seq/thunk rings. *)
+  heap : ev Heap.t;
+  wheel : ev Wheel.t;
+  (* FIFO of events due at the current time: parallel seq/event rings. *)
   mutable fq_seq : int array;
-  mutable fq_thunk : (unit -> unit) array;
+  mutable fq_thunk : ev array;
   mutable fq_head : int;
   mutable fq_len : int;
   mutable live : int;
@@ -46,6 +55,18 @@ type t = {
 }
 
 let nop () = ()
+let nop_ev : ev = Obj.repr nop
+let ev_of_thunk (f : unit -> unit) : ev = Obj.repr f
+
+let ev_of_cont (k : (unit, unit) Effect.Deep.continuation) : ev = Obj.repr k
+
+(* Execute a queued event. The tag check is exact: a first-class
+   continuation is always a [cont_tag] block, and no callable value ever
+   carries that tag (closures are [closure_tag]/[infix_tag]). *)
+let run_ev (x : ev) =
+  if Obj.tag x = Obj.cont_tag then
+    Effect.Deep.continue (Obj.obj x : (unit, unit) Effect.Deep.continuation) ()
+  else (Obj.obj x : unit -> unit) ()
 
 let create () =
   {
@@ -54,10 +75,10 @@ let create () =
     (* Pre-sized with the engine's own dummy thunk so the first far-future
        event of a run does not pay the backing-array allocation mid-flight;
        the arrays are recycled across runs of a [reset] engine. *)
-    heap = Heap.create ~dummy:nop ();
-    wheel = Wheel.create ~dummy:nop;
+    heap = Heap.create ~dummy:nop_ev ();
+    wheel = Wheel.create ~dummy:nop_ev;
     fq_seq = Array.make 64 0;
-    fq_thunk = Array.make 64 nop;
+    fq_thunk = Array.make 64 nop_ev;
     fq_head = 0;
     fq_len = 0;
     live = 0;
@@ -106,6 +127,16 @@ let next_time t =
    and stays correct when benches run on parallel domains. *)
 let domain_executed : int ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref 0)
+
+(* The engine whose [run] loop is currently draining events on this
+   domain (saved/restored across nested runs). [now_] reads the clock
+   through it instead of performing [E_now]: an effect costs two stack
+   switches plus a continuation and a handler-closure allocation per
+   perform, which the serving bench pays ~28M times — a pure
+   representation change, since the value returned is the same field the
+   [E_now] handler read. *)
+let domain_running : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let domain_events_executed () = !(Domain.DLS.get domain_executed)
 
@@ -161,7 +192,7 @@ let domain_events_fused () =
 let fifo_grow t =
   let cap = Array.length t.fq_seq in
   let nseq = Array.make (cap * 2) 0 in
-  let nthunk = Array.make (cap * 2) nop in
+  let nthunk = Array.make (cap * 2) nop_ev in
   for i = 0 to t.fq_len - 1 do
     nseq.(i) <- t.fq_seq.((t.fq_head + i) land (cap - 1));
     nthunk.(i) <- t.fq_thunk.((t.fq_head + i) land (cap - 1))
@@ -179,7 +210,7 @@ let fifo_push t seq thunk =
 
 let fifo_pop t =
   let thunk = t.fq_thunk.(t.fq_head) in
-  t.fq_thunk.(t.fq_head) <- nop;  (* drop the closure for the GC *)
+  t.fq_thunk.(t.fq_head) <- nop_ev;  (* drop the event for the GC *)
   t.fq_head <- (t.fq_head + 1) land (Array.length t.fq_seq - 1);
   t.fq_len <- t.fq_len - 1;
   thunk
@@ -283,7 +314,8 @@ let rec exec t (name : string) f =
           | E_wait n ->
             Some
               (fun (k : (a, _) continuation) ->
-                schedule t ~at:(t.now + max 0 n) (fun () -> continue k ()))
+                schedule t ~at:(t.now + max 0 n)
+                  (ev_of_cont (Obj.magic (k : (a, _) continuation))))
           | E_now -> Some (fun (k : (a, _) continuation) -> continue k t.now)
           | E_name -> Some (fun (k : (a, _) continuation) -> continue k name)
           | E_suspend register ->
@@ -303,7 +335,8 @@ let rec exec t (name : string) f =
                        non-empty bank implies task context, because every
                        yield point flushes first. *)
                     flush_charge ();
-                    schedule t ~at:(t.now + max 0 delay) (fun () -> continue k ())
+                    schedule t ~at:(t.now + max 0 delay)
+                      (ev_of_cont (Obj.magic (k : (a, _) continuation)))
                   end
                 in
                 register wake)
@@ -316,7 +349,7 @@ let rec exec t (name : string) f =
                    those cycles, so the child must not start before them.
                    With nothing banked this is exactly [t.now]. *)
                 let at = t.now + (Domain.DLS.get domain_charge).pending in
-                schedule t ~at (fun () -> exec t nm body);
+                schedule t ~at (ev_of_thunk (fun () -> exec t nm body));
                 continue k ())
           | _ -> None) }
 
@@ -325,13 +358,13 @@ let spawn t ?(name = "task") f =
      (where a charge may be banked) as well as from setup code (where the
      bank is always empty and this is plain [t.now]). *)
   let at = t.now + (Domain.DLS.get domain_charge).pending in
-  schedule t ~at (fun () -> exec t name f)
+  schedule t ~at (ev_of_thunk (fun () -> exec t name f))
 
 (* Injection hook: schedule a bare thunk at an absolute time. The thunk
    runs outside any task context (like a waker body): it may mutate state
    and call [spawn]/[schedule_at], but must not perform task effects. Used
    by the fault injector to arm timed fault events. *)
-let schedule_at t ~at thunk = schedule t ~at thunk
+let schedule_at t ~at thunk = schedule t ~at (ev_of_thunk thunk)
 
 (* Event sources for the run loop's three-way front merge. *)
 let src_fifo = 0
@@ -418,11 +451,14 @@ let run t ?until ?(allow_stall = true) () =
         t.now <- ntime;
         t.executed <- t.executed + 1;
         incr dom_counter;
-        thunk ();
+        run_ev thunk;
         loop ()
     end
   in
-  loop ()
+  let cur = Domain.DLS.get domain_running in
+  let saved = !cur in
+  cur := Some t;
+  Fun.protect ~finally:(fun () -> cur := saved) loop
 
 (* Task-level API. Every operation that can observe or be observed by the
    rest of the simulation flushes the charge bank first, so banked delays
@@ -436,7 +472,12 @@ let run t ?until ?(allow_stall = true) () =
    flush (a yield) would tear. *)
 
 let now_ () =
-  Effect.perform E_now + (Domain.DLS.get domain_charge).pending
+  (* Fast path: read the running engine's clock off the domain. The
+     [E_now] effect remains as the fallback (and for any caller outside a
+     run loop that still has a task handler on its stack). *)
+  match !(Domain.DLS.get domain_running) with
+  | Some t -> t.now + (Domain.DLS.get domain_charge).pending
+  | None -> Effect.perform E_now + (Domain.DLS.get domain_charge).pending
 
 let wait n =
   flush_charge ();

@@ -47,11 +47,27 @@ type msg = {
   fn : unit -> unit;  (* runs on the destination engine at [at] *)
 }
 
+(* A batch of frames from one sender stream, sharing one outbox entry:
+   frame [i] delivers at [r_at.(i)] (non-decreasing) with sequence number
+   [r_mseq0 + i]. The exchange barrier expands the run frame by frame in
+   the same canonical (at, src_core, mseq) order individual {!send}s would
+   have produced, so batching is invisible to the simulation. *)
+type run = {
+  r_src_core : int;
+  r_mseq0 : int;  (* frame [i] carries mseq [r_mseq0 + i] *)
+  r_n : int;
+  r_at : int array;  (* per-frame delivery times, non-decreasing *)
+  r_mk : int -> unit -> unit;  (* called once per frame at the barrier *)
+}
+
+type packet = Msg of msg | Run of run
+
 type shard = {
   eng : Engine.t;
   buf : Buffer.t;  (* captured output, replayed in shard order *)
-  outbox : msg list array;  (* per destination shard, newest first *)
+  outbox : packet list array;  (* per destination shard, newest first *)
   mutable send_seq : int;
+  mutable flush : (unit -> unit) list;  (* registration order *)
   mutable err : (exn * Printexc.raw_backtrace) option;
 }
 
@@ -73,6 +89,7 @@ let create ~n_shards ~lookahead =
             buf = Buffer.create 256;
             outbox = Array.make n_shards [];
             send_seq = 0;
+            flush = [];
             err = None;
           });
     lookahead;
@@ -113,8 +130,44 @@ let send t ~dst ~src_core ~at fn =
     match Domain.DLS.get cur_key with Some (t', i) when t' == t -> i | _ -> 0
   in
   let s = t.shards.(src) in
-  s.outbox.(dst) <- { at; src_core; mseq = s.send_seq; fn } :: s.outbox.(dst);
+  s.outbox.(dst) <- Msg { at; src_core; mseq = s.send_seq; fn } :: s.outbox.(dst);
   s.send_seq <- s.send_seq + 1
+
+(* Queue a whole batch of frames from one sender stream as a single outbox
+   entry, consuming [n] consecutive per-source sequence numbers. The
+   source shard is explicit because the caller is typically a flush hook
+   running at the exchange barrier, outside any window (where [cur_key]
+   identifies no shard). [ats] is read until the next exchange completes —
+   callers that buffer frames per window (and flush from {!add_flush}
+   hooks) can hand over their live buffer without snapshotting, since the
+   same exchange that runs the hook also consumes the run. *)
+let send_run t ~dst ~src_shard ~src_core ~n ~ats mk =
+  if dst < 0 || dst >= Array.length t.shards then invalid_arg "Pdes.send_run: bad dst shard";
+  if src_shard < 0 || src_shard >= Array.length t.shards then
+    invalid_arg "Pdes.send_run: bad src shard";
+  if n < 1 || n > Array.length ats then invalid_arg "Pdes.send_run: bad frame count";
+  if ats.(0) < t.horizon then
+    invalid_arg
+      (Printf.sprintf "Pdes.send_run: lookahead violation (at=%d < horizon=%d)" ats.(0)
+         t.horizon);
+  for i = 1 to n - 1 do
+    if ats.(i) < ats.(i - 1) then
+      invalid_arg "Pdes.send_run: frame times must be non-decreasing"
+  done;
+  let s = t.shards.(src_shard) in
+  s.outbox.(dst) <-
+    Run { r_src_core = src_core; r_mseq0 = s.send_seq; r_n = n; r_at = ats; r_mk = mk }
+    :: s.outbox.(dst);
+  s.send_seq <- s.send_seq + n
+
+(* Register a hook that runs at the top of every exchange barrier (and so
+   before outboxes are collected), in shard order then registration order
+   — a deterministic point for senders that coalesce frames per window to
+   hand them over via {!send_run}. *)
+let add_flush t ~shard f =
+  if shard < 0 || shard >= Array.length t.shards then invalid_arg "Pdes.add_flush: bad shard";
+  let s = t.shards.(shard) in
+  s.flush <- s.flush @ [ f ]
 
 (* -- window execution -- *)
 
@@ -127,38 +180,107 @@ let run_shard t i ~until =
   | exception e -> s.err <- Some (e, Printexc.get_raw_backtrace ()));
   Domain.DLS.set cur_key saved
 
-(* Deliver every pending cross-shard message. Per destination, messages
-   from all source outboxes are merged and sorted by (at, src_core, mseq)
-   — a total order, since a core belongs to exactly one shard and that
-   shard's [mseq] is strictly increasing — so the destination engine
-   assigns its tie-breaking sequence numbers in an order independent of
-   shard scheduling. *)
+let compare_msg a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = compare a.src_core b.src_core in
+    if c <> 0 then c else compare a.mseq b.mseq
+
+(* K-way merge of sorted singles and run cursors in (at, src_core, mseq)
+   order: each run is internally sorted (non-decreasing [r_at], strictly
+   increasing mseq), so advancing per-run cursors and always delivering
+   the globally smallest key reproduces exactly the order one flat sort of
+   the individual messages would have produced. *)
+let deliver_merged eng singles runs =
+  let k = Array.length runs in
+  let pos = Array.make k 0 in
+  let singles = ref singles in
+  let exhausted = ref false in
+  while not !exhausted do
+    let bi = ref (-1) in
+    for i = 0 to k - 1 do
+      let r = runs.(i) in
+      if pos.(i) < r.r_n then
+        if !bi < 0 then bi := i
+        else begin
+          let b = runs.(!bi) in
+          let ai = r.r_at.(pos.(i)) and ab = b.r_at.(pos.(!bi)) in
+          if
+            ai < ab
+            || (ai = ab
+               && (r.r_src_core < b.r_src_core
+                  || (r.r_src_core = b.r_src_core
+                     && r.r_mseq0 + pos.(i) < b.r_mseq0 + pos.(!bi))))
+          then bi := i
+        end
+    done;
+    let take_run i =
+      let r = runs.(i) in
+      let p = pos.(i) in
+      Engine.schedule_at eng ~at:r.r_at.(p) (r.r_mk p);
+      pos.(i) <- p + 1
+    in
+    match (!singles, !bi) with
+    | [], -1 -> exhausted := true
+    | m :: rest, -1 ->
+      Engine.schedule_at eng ~at:m.at m.fn;
+      singles := rest
+    | [], i -> take_run i
+    | m :: rest, i ->
+      let r = runs.(i) in
+      let p = pos.(i) in
+      let ai = r.r_at.(p) in
+      if
+        m.at < ai
+        || (m.at = ai
+           && (m.src_core < r.r_src_core
+              || (m.src_core = r.r_src_core && m.mseq < r.r_mseq0 + p)))
+      then begin
+        Engine.schedule_at eng ~at:m.at m.fn;
+        singles := rest
+      end
+      else take_run i
+  done
+
+(* Deliver every pending cross-shard message. Flush hooks run first — in
+   shard order, then registration order — so senders that coalesce frames
+   per window hand them over before any outbox is collected. Per
+   destination, messages from all source outboxes are merged in
+   (at, src_core, mseq) order — a total order, since a core belongs to
+   exactly one shard and that shard's [mseq] is strictly increasing — so
+   the destination engine assigns its tie-breaking sequence numbers in an
+   order independent of shard scheduling, and independent of whether
+   frames traveled individually or as runs. *)
 let exchange t =
   let n = Array.length t.shards in
+  Array.iter
+    (fun s ->
+      match s.flush with [] -> () | hooks -> List.iter (fun f -> f ()) hooks)
+    t.shards;
   for dst = 0 to n - 1 do
-    let pending = ref [] in
+    let singles = ref [] in
+    let runs = ref [] in
     for src = 0 to n - 1 do
       match t.shards.(src).outbox.(dst) with
       | [] -> ()
       | l ->
-        pending := List.rev_append l !pending;
+        List.iter
+          (function
+            | Msg m -> singles := m :: !singles
+            | Run r -> runs := r :: !runs)
+          l;
         t.shards.(src).outbox.(dst) <- []
     done;
-    match !pending with
-    | [] -> ()
-    | l ->
-      let l =
-        List.sort
-          (fun a b ->
-            let c = compare a.at b.at in
-            if c <> 0 then c
-            else
-              let c = compare a.src_core b.src_core in
-              if c <> 0 then c else compare a.mseq b.mseq)
-          l
-      in
+    match (!singles, !runs) with
+    | [], [] -> ()
+    | l, [] ->
       let eng = t.shards.(dst).eng in
-      List.iter (fun m -> Engine.schedule_at eng ~at:m.at m.fn) l
+      List.iter
+        (fun m -> Engine.schedule_at eng ~at:m.at m.fn)
+        (List.sort compare_msg l)
+    | l, rl ->
+      deliver_merged t.shards.(dst).eng (List.sort compare_msg l) (Array.of_list rl)
   done
 
 let global_min t =

@@ -43,6 +43,8 @@ type foreign = {
   mutable f_major : int;
   mutable f_barriers : int;  (* PDES window barriers (Pdes reports here) *)
   mutable f_shards : int;  (* high-water PDES shard count (max, not sum) *)
+  mutable f_wire_batches : int;  (* coalesced wire handoffs (Machine_link) *)
+  mutable f_wire_msgs : int;  (* frames inside those handoffs *)
 }
 
 let foreign_key : foreign Domain.DLS.key =
@@ -55,6 +57,8 @@ let foreign_key : foreign Domain.DLS.key =
         f_major = 0;
         f_barriers = 0;
         f_shards = 0;
+        f_wire_batches = 0;
+        f_wire_msgs = 0;
       })
 
 (* Fold counters produced on other domains into this domain's totals. The
@@ -82,6 +86,20 @@ let note_shards n =
   fo.f_shards <- max fo.f_shards n
 
 let total_shards () = (Domain.DLS.get foreign_key).f_shards
+
+(* Wire-link coalescing counters (Machine_link reports at its flush
+   points, which run on the Pdes exec-calling domain): [batches] counts
+   window-sized handoff groups, [msgs] the frames inside them. Counted
+   identically whether batching is on or off — the counters describe the
+   coalescable traffic, not the transport — so referee runs stay
+   byte-identical. *)
+let note_wire ~batches ~msgs =
+  let fo = Domain.DLS.get foreign_key in
+  fo.f_wire_batches <- fo.f_wire_batches + batches;
+  fo.f_wire_msgs <- fo.f_wire_msgs + msgs
+
+let total_wire_batches () = (Domain.DLS.get foreign_key).f_wire_batches
+let total_wire_msgs () = (Domain.DLS.get foreign_key).f_wire_msgs
 
 (* Scope the shard high-water mark: run [f] with the counter zeroed,
    return what it reached during [f] (including what nested pool runs
@@ -239,6 +257,8 @@ type 'a cell = {
   mutable d_major : int;
   mutable d_barriers : int;
   mutable d_shards : int;
+  mutable d_wire_batches : int;
+  mutable d_wire_msgs : int;
 }
 
 (* Execute one job on whatever domain claimed it: capture its output and
@@ -250,6 +270,7 @@ let exec_cell cell f () =
   let ev0 = total_executed () and fu0 = total_fused () in
   let mi0 = total_minor_words () and pr0 = total_promoted_words () in
   let ma0 = total_major_collections () and ba0 = total_barriers () in
+  let wb0 = total_wire_batches () and wm0 = total_wire_msgs () in
   let fo = Domain.DLS.get foreign_key in
   let sh0 = fo.f_shards in
   fo.f_shards <- 0;
@@ -265,7 +286,9 @@ let exec_cell cell f () =
   cell.d_minor <- total_minor_words () -. mi0;
   cell.d_promoted <- total_promoted_words () -. pr0;
   cell.d_major <- total_major_collections () - ma0;
-  cell.d_barriers <- total_barriers () - ba0
+  cell.d_barriers <- total_barriers () - ba0;
+  cell.d_wire_batches <- total_wire_batches () - wb0;
+  cell.d_wire_msgs <- total_wire_msgs () - wm0
 
 let run ?pool fs =
   match fs with
@@ -285,6 +308,8 @@ let run ?pool fs =
             d_major = 0;
             d_barriers = 0;
             d_shards = 0;
+            d_wire_batches = 0;
+            d_wire_msgs = 0;
           })
         fs
       |> Array.of_list
@@ -311,7 +336,9 @@ let run ?pool fs =
           fo.f_promoted <- fo.f_promoted +. c.d_promoted;
           fo.f_major <- fo.f_major + c.d_major;
           fo.f_barriers <- fo.f_barriers + c.d_barriers;
-          fo.f_shards <- max fo.f_shards c.d_shards
+          fo.f_shards <- max fo.f_shards c.d_shards;
+          fo.f_wire_batches <- fo.f_wire_batches + c.d_wire_batches;
+          fo.f_wire_msgs <- fo.f_wire_msgs + c.d_wire_msgs
         end)
       cells;
     Array.iter

@@ -99,6 +99,17 @@ val total_shards : unit -> int
 (** The shard high-water mark for the current scope (see {!with_shards});
     0 when nothing sharded. *)
 
+val note_wire : batches:int -> msgs:int -> unit
+(** Record wire-link coalescing against this domain's totals: [batches]
+    window-sized handoff groups carrying [msgs] frames. [Machine_link]
+    reports at its flush points; the counts describe the coalescable
+    traffic and are identical whether batching is enabled or not. *)
+
+val total_wire_batches : unit -> int
+val total_wire_msgs : unit -> int
+(** Wire handoff groups / frames recorded by (or absorbed into) this
+    domain; the bench harness reports the delta per run. *)
+
 val with_shards : (unit -> 'a) -> 'a * int
 (** [with_shards f] runs [f] with the shard mark zeroed and returns the
     mark [f] reached (including marks absorbed from nested pool runs on

@@ -1,0 +1,216 @@
+(* The wire-level batching path and the zero-copy HTTP scanner.
+
+   Batching referee in miniature: a random cluster cell must produce an
+   identical result record with wire batching forced on and forced off,
+   and directed Pdes.send_run cases pin the canonical unpack order a
+   batch must preserve (the property CI's full-sweep referee byte-diffs).
+   The HTTP side pins the incremental CRLFCRLF scanner to a naive oracle
+   over adversarially fragmented chunk streams, and the arithmetic
+   response-length model to the real formatter. *)
+
+open Mk_sim
+open Mk_apps
+open Mk_cluster
+open Test_util
+
+(* -- Pdes.send_run: canonical unpack order (directed) ----------------- *)
+
+(* Run a 2-shard simulation whose only activity is the queued messages,
+   each appending its tag to [log] when it executes on shard 1. *)
+let delivery_order queue =
+  let t = Pdes.create ~n_shards:2 ~lookahead:5 in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  queue t note;
+  Pdes.exec ~domains:1 t;
+  List.rev !log
+
+let test_run_unpacks_in_index_order () =
+  (* One batch, non-decreasing stamps (two equal): frames deliver in
+     index order 0,1,2 — a run is its sends, in order. *)
+  let got =
+    delivery_order (fun t note ->
+        Pdes.send_run t ~dst:1 ~src_shard:0 ~src_core:0 ~n:3
+          ~ats:[| 10; 10; 25 |]
+          (fun i -> note i))
+  in
+  check_bool "index order" true (got = [ 0; 1; 2 ])
+
+let test_same_time_frames_keep_src_order () =
+  (* Two sender streams, all frames at the same instant: the merge key is
+     (at, src_core, mseq), so core 3's frames precede core 5's no matter
+     which sender queued first — and within a stream, queueing order. *)
+  let got =
+    delivery_order (fun t note ->
+        Pdes.send_run t ~dst:1 ~src_shard:0 ~src_core:5 ~n:2 ~ats:[| 20; 20 |]
+          (fun i -> note (50 + i));
+        Pdes.send_run t ~dst:1 ~src_shard:0 ~src_core:3 ~n:2 ~ats:[| 20; 20 |]
+          (fun i -> note (30 + i)))
+  in
+  check_bool "src_core order at equal time" true (got = [ 30; 31; 50; 51 ])
+
+let test_run_merges_with_singles_by_time () =
+  (* A batch from core 2 straddles a single send from core 1: delivery
+     interleaves by timestamp, not by hand-over unit. *)
+  let got =
+    delivery_order (fun t note ->
+        Pdes.send_run t ~dst:1 ~src_shard:0 ~src_core:2 ~n:2 ~ats:[| 10; 30 |]
+          (fun i -> note (20 + i));
+        Pdes.send t ~dst:1 ~src_core:1 ~at:20 (note 11))
+  in
+  check_bool "time-ordered merge" true (got = [ 20; 11; 21 ])
+
+let test_run_equals_singles () =
+  (* The defining property: a run delivers exactly as the same frames
+     sent individually, against a competing stream either way. *)
+  let competing note t =
+    Pdes.send t ~dst:1 ~src_core:9 ~at:12 (note 90);
+    Pdes.send t ~dst:1 ~src_core:9 ~at:30 (note 91)
+  in
+  let as_run =
+    delivery_order (fun t note ->
+        competing note t;
+        Pdes.send_run t ~dst:1 ~src_shard:0 ~src_core:4 ~n:3 ~ats:[| 12; 12; 40 |]
+          (fun i -> note i))
+  in
+  let as_singles =
+    delivery_order (fun t note ->
+        competing note t;
+        Pdes.send t ~dst:1 ~src_core:4 ~at:12 (note 0);
+        Pdes.send t ~dst:1 ~src_core:4 ~at:12 (note 1);
+        Pdes.send t ~dst:1 ~src_core:4 ~at:40 (note 2))
+  in
+  check_bool "run = its singles" true (as_run = as_singles)
+
+(* -- batching referee: random cluster cells --------------------------- *)
+
+let qcheck_batch_referee =
+  qtest "cluster cell identical with wire batching forced on/off" ~count:4
+    QCheck2.Gen.(tup3 (int_range 1 3) (int_range 50 250) (int_range 0 2))
+    (fun (machines, users, pol_i) ->
+      let policy =
+        match pol_i with
+        | 0 -> Lb.Round_robin
+        | 1 -> Lb.Least_outstanding
+        | _ -> Lb.Consistent_hash
+      in
+      let run ov =
+        Mk_net.Machine_link.set_batching_override (Some ov);
+        Fun.protect
+          ~finally:(fun () -> Mk_net.Machine_link.set_batching_override None)
+          (fun () ->
+            let cl =
+              Cluster.create (Cluster.default_config ~policy ~machines ())
+            in
+            Cluster.run_load cl ~users ~think:2_000_000 ~warmup:500_000
+              ~window:4_000_000)
+      in
+      (* Every field of the result record — counts, quantiles, floats,
+         per-backend arrays — must agree; wire counters included, since
+         they describe traffic shape, not transport. *)
+      run true = run false)
+
+(* -- incremental CRLFCRLF scanner vs naive oracle --------------------- *)
+
+let naive_header_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 4 > n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go 0
+
+let chunks_of s sizes =
+  let rec go i sizes acc =
+    if i >= String.length s then List.rev acc
+    else
+      let n, rest = match sizes with [] -> (3, []) | n :: r -> (max 1 n, r) in
+      let n = min n (String.length s - i) in
+      go (i + n) rest (String.sub s i n :: acc)
+  in
+  go 0 sizes []
+
+let qcheck_scan_fragmented =
+  (* Strings over {'a', CR, LF} make blank lines likely; random chunk
+     sizes (often 1-2 bytes) put the "\r\n\r\n" astride every possible
+     boundary. The first hit must match the oracle, and the resume
+     offset must be monotonic and bounded by what was fed. *)
+  qtest "Scan.header_end over fragmented streams = naive scan" ~count:300
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; '\r'; '\n' ]) (int_range 0 60))
+        (list_size (int_range 0 40) (int_range 1 4)))
+    (fun (s, sizes) ->
+      let scan = Http.Scan.create () in
+      let first_hit = ref None in
+      let monotonic = ref true in
+      let prev_pos = ref 0 in
+      List.iter
+        (fun chunk ->
+          Http.Scan.add scan chunk;
+          let r = Http.Scan.header_end scan in
+          if !first_hit = None then first_hit := r;
+          let p = Http.Scan.pos scan in
+          if p < !prev_pos || p > Http.Scan.length scan then monotonic := false;
+          prev_pos := p)
+        (chunks_of s sizes);
+      !monotonic && !first_hit = naive_header_end s)
+
+let test_scan_straddles_boundaries () =
+  (* The blank line split across three adds, one byte astride each cut. *)
+  let scan = Http.Scan.create () in
+  Http.Scan.add scan "GET / HTTP/1.1\r";
+  check_bool "no end yet" true (Http.Scan.header_end scan = None);
+  Http.Scan.add scan "\n\r";
+  check_bool "still no end" true (Http.Scan.header_end scan = None);
+  Http.Scan.add scan "\n";
+  check_bool "found just past CRLFCRLF" true
+    (Http.Scan.header_end scan = Some 18);
+  check_string "head recoverable" "GET / HTTP/1.1\r\n\r\n"
+    (Http.Scan.sub scan 0 18)
+
+(* -- arithmetic response sizes pinned to the formatter ---------------- *)
+
+let qcheck_response_length =
+  qtest "response_length_of = String.length (format_response r)" ~count:300
+    QCheck2.Gen.(
+      tup3
+        (oneofl [ 200; 204; 301; 302; 400; 403; 404; 500; 503; 999 ])
+        (oneofl [ "text/html"; "text/plain"; "application/octet-stream"; "" ])
+        (string_size (int_range 0 200)))
+    (fun (status, content_type, body) ->
+      Http.response_length_of ~status ~content_type
+        ~body_len:(String.length body)
+      = String.length (Http.format_response { Http.status; content_type; body }))
+
+let test_digits () =
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "digits %d" n)
+        (String.length (string_of_int n))
+        (Http.digits n))
+    [ 0; 1; 9; 10; 99; 100; 12345; -1; -9; -10; -99; max_int; min_int ]
+
+let qcheck_digits =
+  qtest "digits n = length of its decimal form" ~count:500
+    QCheck2.Gen.(oneof [ int; int_range (-1000) 1000 ])
+    (fun n -> Http.digits n = String.length (string_of_int n))
+
+let suite =
+  ( "wire-batch",
+    [
+      tc "send_run unpacks in index order" test_run_unpacks_in_index_order;
+      tc "same-time frames keep src order" test_same_time_frames_keep_src_order;
+      tc "run merges with singles by time" test_run_merges_with_singles_by_time;
+      tc "run = the same frames as singles" test_run_equals_singles;
+      qcheck_batch_referee;
+      qcheck_scan_fragmented;
+      tc "scanner straddles chunk boundaries" test_scan_straddles_boundaries;
+      qcheck_response_length;
+      tc "digits (directed)" test_digits;
+      qcheck_digits;
+    ] )
